@@ -1,0 +1,25 @@
+//! # fasda-baseline
+//!
+//! The comparison systems of the paper's Fig. 16 — stand-ins for
+//! "OpenMM, one of the state-of-the-art MD software packages" running on
+//! Xeon CPUs and Nvidia GPUs (§5.1):
+//!
+//! * [`cpu::ThreadedCpuEngine`] — a real, measured multithreaded LJ-only
+//!   MD engine (cell lists, full-shell per-particle parallelism over a
+//!   rayon pool of configurable width). It genuinely exhibits the
+//!   strong-scaling behaviour Fig. 16 reports for CPUs: near-linear to a
+//!   few threads, then degradation as per-thread work shrinks below the
+//!   per-step coordination cost.
+//! * [`gpu::GpuModel`] — an **analytic performance model** for A100/V100
+//!   GPUs. No GPU exists in this reproduction environment; the model's
+//!   constants are *calibrated to the paper's reported ratios* (negative
+//!   strong scaling of −26%/−49% for 2/4 GPUs, the 4³→8³→10³ efficiency
+//!   curve) and are printed by every harness that uses them so they can
+//!   never be mistaken for measurements. See `DESIGN.md` for the
+//!   substitution rationale.
+
+pub mod cpu;
+pub mod gpu;
+
+pub use cpu::ThreadedCpuEngine;
+pub use gpu::{GpuKind, GpuModel};

@@ -1,0 +1,73 @@
+//! Ablation — cell size relative to the cutoff radius (paper Fig. 3).
+//!
+//! The paper picks the cell edge equal to `Rc` because it is "both the
+//! smallest value to maintain only 26 possible neighbor cells and the
+//! biggest value for efficient particle pair filtering". This harness
+//! quantifies the second half of that sentence: shrinking the cutoff
+//! below the cell edge (equivalently, growing the cell beyond `Rc`)
+//! leaves the candidate-pair traffic unchanged while the valid fraction
+//! collapses — wasted filter work and idle force pipelines.
+//!
+//! Usage: `ablate_cellsize [--steps N]`
+
+use fasda_bench::{rule, Args};
+use fasda_core::config::ChipConfig;
+use fasda_core::geometry::ChipGeometry;
+use fasda_core::timed::TimedChip;
+use fasda_md::space::SimulationSpace;
+use fasda_md::units::UnitSystem;
+use fasda_md::workload::WorkloadSpec;
+
+fn main() {
+    let args = Args::parse();
+    let steps: u64 = args.get("steps", 2);
+    let space = SimulationSpace::cubic(3);
+    let sys = WorkloadSpec::paper(space, 0xFA5DA).generate();
+
+    println!("FASDA reproduction — ablation: cell size vs cutoff (Fig. 3)");
+    println!("3x3x3 cells, 64 Na/cell; cutoff swept below the cell edge\n");
+    rule("cell/Rc ratio sweep (1.0 = paper design point)");
+    println!(
+        "{:<12}{:>12}{:>14}{:>14}{:>12}{:>14}",
+        "cell/Rc", "cutoff", "valid pairs", "pass rate", "µs/day", "PE hw util"
+    );
+
+    for cutoff in [1.0f64, 0.9, 0.8, 0.7, 0.6, 0.5] {
+        let mut cfg = ChipConfig::baseline();
+        cfg.cutoff_cells = cutoff;
+        let mut chip = TimedChip::new(
+            cfg,
+            ChipGeometry::single_chip(space),
+            UnitSystem::PAPER,
+            2.0,
+        );
+        chip.load(&sys);
+        let mut cycles = 0u64;
+        let mut valid = 0u64;
+        let mut comparisons = 0u64;
+        let mut pe_util = 0.0;
+        for _ in 0..steps {
+            let r = chip.run_timestep();
+            cycles += r.total_cycles();
+            valid += r.valid_pairs;
+            comparisons += r.comparisons;
+            pe_util = r.stats.hardware_util("PE", r.total_cycles());
+        }
+        let per_step = cycles as f64 / steps as f64;
+        println!(
+            "{:<12.2}{:>12.2}{:>14}{:>13.1}%{:>12.2}{:>13.1}%",
+            1.0 / cutoff,
+            cutoff,
+            valid / steps,
+            100.0 * valid as f64 / comparisons.max(1) as f64,
+            cfg.hw.us_per_day(per_step, 2.0),
+            100.0 * pe_util
+        );
+    }
+
+    println!("\nreading: candidate traffic (filter comparisons) is fixed by the cell");
+    println!("geometry, so a cell edge 2x the cutoff cuts the pass rate ~8x (r³) and");
+    println!("leaves the force pipelines starving — Fig. 3's 'more invalid pairs to");
+    println!("filter'. Physics note: a smaller cutoff evaluates a smaller force");
+    println!("sphere; this sweep isolates the *efficiency* effect at fixed hardware.");
+}

@@ -1,0 +1,91 @@
+//! Ablation — interpolation table precision vs cost (paper §3.4,
+//! Fig. 7).
+//!
+//! Sweeps the section/bin geometry of the `r⁻¹⁴`/`r⁻⁸` tables and
+//! reports the worst relative force error over the covered domain, the
+//! resulting total-energy error after a short trajectory, and the BRAM
+//! footprint. Shows why 256 bins/section is the design point: error
+//! scales as `n_b⁻²` while storage scales as `n_b`.
+//!
+//! Usage: `ablate_interp [--steps N]`
+
+use fasda_arith::interp::{InterpTable, TableConfig};
+use fasda_bench::{rule, Args};
+use fasda_core::functional::FunctionalChip;
+use fasda_md::element::PairTable;
+use fasda_md::engine::{CellListEngine, ForceEngine};
+use fasda_md::integrator::Integrator;
+use fasda_md::observables::{kinetic_energy, relative_error};
+use fasda_md::space::SimulationSpace;
+use fasda_md::units::UnitSystem;
+use fasda_md::workload::WorkloadSpec;
+
+fn trajectory_energy_error(cfg: TableConfig, steps: u64) -> f64 {
+    let sys = WorkloadSpec::paper(SimulationSpace::cubic(3), 0xFA5DA).generate();
+    let table = PairTable::new(UnitSystem::PAPER);
+    let mut chip = FunctionalChip::load(&sys, cfg, 2.0);
+    let mut ref_sys = sys.clone();
+    let mut ref_eng = CellListEngine::new(table.clone());
+    let mut meas = CellListEngine::new(table);
+    let integ = Integrator::PAPER;
+    for _ in 0..steps {
+        chip.step();
+        ref_eng.step(&mut ref_sys, &integ);
+    }
+    let mut snap = chip.snapshot();
+    let e_f = meas.compute_forces(&mut snap) + kinetic_energy(&snap);
+    let e_r = meas.compute_forces(&mut ref_sys.clone()) + kinetic_energy(&ref_sys);
+    relative_error(e_f, e_r)
+}
+
+fn main() {
+    let args = Args::parse();
+    let steps: u64 = args.get("steps", 100);
+
+    println!("FASDA reproduction — ablation: interpolation table geometry (§3.4)");
+    rule("bins/section sweep at 14 sections (paper design point: 256 bins)");
+    println!(
+        "{:<10}{:>14}{:>14}{:>16}{:>12}",
+        "bins", "r^-14 err", "r^-8 err", "E err @steps", "BRAM Kb"
+    );
+    for log2_bins in [4u32, 6, 8, 10] {
+        let cfg = TableConfig {
+            n_sections: 14,
+            log2_bins,
+        };
+        let e14 = InterpTable::build_r_pow(cfg, 14).max_rel_error(|x| x.powf(-7.0), 20_000);
+        let e8 = InterpTable::build_r_pow(cfg, 8).max_rel_error(|x| x.powf(-4.0), 20_000);
+        let traj = trajectory_energy_error(cfg, steps);
+        // four tables on chip: r^-14, r^-8, r^-12, r^-6
+        let kb = 4.0 * cfg.storage_bits() as f64 / 1024.0;
+        println!(
+            "{:<10}{:>14.3e}{:>14.3e}{:>16.3e}{:>12.0}",
+            cfg.bins(),
+            e14,
+            e8,
+            traj,
+            kb
+        );
+    }
+
+    rule("section count sweep at 256 bins (domain floor = 2^-n_s)");
+    println!("{:<10}{:>16}{:>14}", "sections", "domain min r", "r^-14 err");
+    for n_sections in [8u32, 11, 14, 17] {
+        let cfg = TableConfig {
+            n_sections,
+            log2_bins: 8,
+        };
+        let e14 = InterpTable::build_r_pow(cfg, 14).max_rel_error(|x| x.powf(-7.0), 20_000);
+        println!(
+            "{:<10}{:>16.4}{:>14.3e}",
+            n_sections,
+            cfg.domain_min().sqrt(),
+            e14
+        );
+    }
+
+    println!("\nreading: error falls quadratically with bins (chord interpolation) while");
+    println!("storage grows linearly; sections only extend the domain floor toward r = 0.");
+    println!("an `inf` row means the slope coefficient overflowed f32 (r^-14 ~ 2^119 at");
+    println!("r^2 = 2^-17) — the hardware reason the small-r region is excluded (Fig. 7).");
+}

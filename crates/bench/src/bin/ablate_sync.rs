@@ -1,0 +1,60 @@
+//! Ablation — chained vs bulk synchronization under injected stragglers
+//! (paper §4.4, Figs. 12–13).
+//!
+//! One node is stalled for a fixed number of cycles at the start of every
+//! force phase. Bulk synchronization makes every node pay the stall plus
+//! the barrier round trip; chained synchronization lets nodes that do not
+//! depend on the straggler keep going ("providing them with a head start
+//! into the next iteration").
+//!
+//! Usage: `ablate_sync [--steps N] [--space D]`
+
+use fasda_bench::{rule, Args};
+use fasda_cluster::{Cluster, ClusterConfig};
+use fasda_core::config::ChipConfig;
+use fasda_md::space::SimulationSpace;
+use fasda_md::workload::WorkloadSpec;
+use fasda_net::sync::SyncMode;
+
+fn run(space: SimulationSpace, sync: SyncMode, straggler: Option<(usize, u64)>, steps: u64) -> (f64, f64) {
+    let sys = WorkloadSpec::paper(space, 0xFA5DA).generate();
+    let mut cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
+    cfg.sync = sync;
+    cfg.straggler = straggler;
+    let mut cluster = Cluster::new(cfg, &sys);
+    let report = cluster.run(steps);
+    (report.cycles_per_step(), report.avg_completion_spread())
+}
+
+fn main() {
+    let args = Args::parse();
+    let steps: u64 = args.get("steps", 4);
+    let d: u32 = args.get("space", 6);
+    let space = SimulationSpace::cubic(d);
+
+    println!("FASDA reproduction — ablation: chained vs bulk synchronization");
+    println!("space {d}x{d}x{d}, 8 FPGAs, straggler = node 0 stalled per step\n");
+
+    // The paper motivates against host-based barriers ("milliseconds for
+    // a single MD iteration"); we use a generous central-FPGA barrier at
+    // 2k cycles and a host barrier at 200k cycles (1 ms at 200 MHz).
+    let modes: [(&str, SyncMode); 3] = [
+        ("chained", SyncMode::Chained),
+        ("bulk (central FPGA, 2k cyc)", SyncMode::Bulk { latency: 2_000 }),
+        ("bulk (host, 200k cyc ≈ 1 ms)", SyncMode::Bulk { latency: 200_000 }),
+    ];
+
+    rule("cycles per step vs injected stall");
+    println!("{:<32}{:>12}{:>14}{:>14}", "mode", "stall", "cyc/step", "spread");
+    for (label, mode) in modes {
+        for stall in [0u64, 5_000, 20_000] {
+            let straggler = if stall == 0 { None } else { Some((0usize, stall)) };
+            let (cps, spread) = run(space, mode, straggler, steps);
+            println!("{label:<32}{stall:>12}{cps:>14.0}{spread:>14.0}");
+        }
+    }
+
+    println!("\nreading: under a straggler, chained sync's per-step cost grows by less");
+    println!("than the stall (absorbed by overlap), while bulk adds the full stall plus");
+    println!("2x the barrier latency; the completion spread shows fast nodes racing ahead.");
+}

@@ -1,0 +1,94 @@
+//! Figure 17 — Hardware and time utilization of the key components (PR,
+//! FR, Filter, PE, MU) for all seven design variants.
+//!
+//! Usage: `fig17 [--steps N]`
+
+use fasda_bench::{rule, Args};
+use fasda_cluster::{Cluster, ClusterConfig};
+use fasda_core::config::{ChipConfig, DesignVariant};
+use fasda_core::geometry::ChipGeometry;
+use fasda_core::timed::TimedChip;
+use fasda_md::space::SimulationSpace;
+use fasda_md::units::UnitSystem;
+use fasda_md::workload::WorkloadSpec;
+use fasda_sim::StatSet;
+
+const COMPONENTS: [&str; 5] = ["PR", "FR", "Filter", "PE", "MU"];
+
+fn print_row(label: &str, stats: &StatSet, window: u64) {
+    print!("{label:<12}");
+    for c in COMPONENTS {
+        print!(
+            "{:>7.1}/{:<6.1}",
+            100.0 * stats.hardware_util(c, window),
+            100.0 * stats.time_util(c, window)
+        );
+    }
+    println!();
+}
+
+fn single(space: SimulationSpace, steps: u64) -> (StatSet, u64) {
+    let sys = WorkloadSpec::paper(space, 0xFA5DA).generate();
+    let mut chip = TimedChip::new(
+        ChipConfig::baseline(),
+        ChipGeometry::single_chip(space),
+        UnitSystem::PAPER,
+        2.0,
+    );
+    chip.load(&sys);
+    let mut window = 0;
+    let mut last = None;
+    for _ in 0..steps {
+        let r = chip.run_timestep();
+        window += r.total_cycles();
+        last = Some(r.stats);
+    }
+    // run_timestep resets stats per step; report the last step over its
+    // own window.
+    let r = last.expect("at least one step");
+    (r, window / steps)
+}
+
+fn cluster(
+    space: SimulationSpace,
+    block: (u32, u32, u32),
+    variant: DesignVariant,
+    steps: u64,
+) -> (StatSet, u64) {
+    let sys = WorkloadSpec::paper(space, 0xFA5DA).generate();
+    let cfg = ClusterConfig::paper(ChipConfig::variant(variant), block);
+    let mut cl = Cluster::new(cfg, &sys);
+    let report = cl.run(steps);
+    (report.stats, report.total_cycles)
+}
+
+fn main() {
+    let args = Args::parse();
+    let steps: u64 = args.get("steps", 2);
+
+    println!("FASDA reproduction — Figure 17: component utilization");
+    println!("cells: hardware-util% / time-util% per component");
+    rule("utilization (paper: PE hw 50-60%, PE time ~80%, MU < 5%, PR underused)");
+    print!("{:<12}", "design");
+    for c in COMPONENTS {
+        print!("{c:>10}    ");
+    }
+    println!();
+
+    let (s, w) = single(SimulationSpace::cubic(3), steps);
+    print_row("3x3x3", &s, w);
+    for (label, space, fpgas) in [
+        ("6x3x3", SimulationSpace::new(6, 3, 3), 2),
+        ("6x6x3", SimulationSpace::new(6, 6, 3), 4),
+        ("6x6x6", SimulationSpace::cubic(6), 8),
+    ] {
+        let (s, w) = cluster(space, (3, 3, 3), DesignVariant::A, steps);
+        print_row(&format!("{label} ({fpgas}F)"), &s, w);
+    }
+    for v in [DesignVariant::A, DesignVariant::B, DesignVariant::C] {
+        let (s, w) = cluster(SimulationSpace::cubic(4), (2, 2, 2), v, steps);
+        print_row(&format!("4x4x4-{v:?}"), &s, w);
+    }
+    println!("\nnote: cluster windows are wall-clock cycles over {steps} step(s), so");
+    println!("per-step utilization is diluted by inter-step sync gaps, as on hardware.");
+}

@@ -1,0 +1,110 @@
+//! Figure 18 — Communication bandwidth demand and breakdown.
+//!
+//! (A) average per-FPGA bandwidth demand in Gbps for the position and
+//! force ports across the multi-chip designs (paper: below 25 Gbps even
+//! for 2-SPE/3-PE);
+//! (B) percentage breakdown of position and force traffic by peer node
+//! (paper: forces concentrate on logically-near nodes because zero
+//! forces are discarded rather than returned).
+//!
+//! Usage: `fig18 [--steps N]`
+
+use fasda_bench::{rule, Args};
+use fasda_cluster::{Cluster, ClusterConfig};
+use fasda_core::config::{ChipConfig, DesignVariant};
+use fasda_md::space::SimulationSpace;
+use fasda_md::workload::WorkloadSpec;
+
+fn run(
+    label: &str,
+    space: SimulationSpace,
+    block: (u32, u32, u32),
+    variant: DesignVariant,
+    steps: u64,
+) {
+    let sys = WorkloadSpec::paper(space, 0xFA5DA).generate();
+    let cfg = ClusterConfig::paper(ChipConfig::variant(variant), block);
+    let mut cl = Cluster::new(cfg, &sys);
+    let report = cl.run(steps);
+    println!(
+        "{:<14}{:>7}{:>12.2}{:>12.2}{:>14}{:>14}",
+        label,
+        report.nodes,
+        report.pos_gbps_per_node(),
+        report.frc_gbps_per_node(),
+        report.pos_packets,
+        report.frc_packets,
+    );
+}
+
+fn breakdown(
+    label: &str,
+    space: SimulationSpace,
+    block: (u32, u32, u32),
+    variant: DesignVariant,
+    steps: u64,
+) {
+    let sys = WorkloadSpec::paper(space, 0xFA5DA).generate();
+    let cfg = ClusterConfig::paper(ChipConfig::variant(variant), block);
+    let mut cl = Cluster::new(cfg, &sys);
+    let report = cl.run(steps);
+    let t = &report.per_node_traffic[0];
+    let pos_total: u64 = t.pos_sent.values().sum();
+    let frc_total: u64 = t.frc_sent.values().sum();
+    println!("\n  {label}: traffic share of node (0,0,0) by peer (pos% / frc%)");
+    let mut peers: Vec<_> = t.pos_sent.keys().collect();
+    peers.sort_by_key(|c| (c.x, c.y, c.z));
+    for p in peers {
+        let pos = *t.pos_sent.get(p).unwrap_or(&0) as f64 / pos_total.max(1) as f64;
+        let frc = *t.frc_sent.get(p).unwrap_or(&0) as f64 / frc_total.max(1) as f64;
+        let dist = p.x.min(1) + p.y.min(1) + p.z.min(1); // face/edge/corner
+        let kind = match dist {
+            1 => "face  ",
+            2 => "edge  ",
+            _ => "corner",
+        };
+        println!(
+            "    peer ({},{},{}) {kind}: pos {:>5.1}%   frc {:>5.1}%",
+            p.x,
+            p.y,
+            p.z,
+            100.0 * pos,
+            100.0 * frc
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let steps: u64 = args.get("steps", 2);
+
+    println!("FASDA reproduction — Figure 18: communication intensity");
+    rule("(A) average per-FPGA bandwidth demand (paper: < 25 Gbps)");
+    println!(
+        "{:<14}{:>7}{:>12}{:>12}{:>14}{:>14}",
+        "design", "FPGAs", "pos Gbps", "frc Gbps", "pos pkts", "frc pkts"
+    );
+    run("6x3x3", SimulationSpace::new(6, 3, 3), (3, 3, 3), DesignVariant::A, steps);
+    run("6x6x3", SimulationSpace::new(6, 6, 3), (3, 3, 3), DesignVariant::A, steps);
+    run("6x6x6", SimulationSpace::cubic(6), (3, 3, 3), DesignVariant::A, steps);
+    run("4x4x4-A", SimulationSpace::cubic(4), (2, 2, 2), DesignVariant::A, steps);
+    run("4x4x4-B", SimulationSpace::cubic(4), (2, 2, 2), DesignVariant::B, steps);
+    run("4x4x4-C", SimulationSpace::cubic(4), (2, 2, 2), DesignVariant::C, steps);
+
+    rule("(B) traffic breakdown by peer (paper: force traffic to corner peers ≈ 0)");
+    breakdown(
+        "6x6x6 (8F)",
+        SimulationSpace::cubic(6),
+        (3, 3, 3),
+        DesignVariant::A,
+        steps,
+    );
+    breakdown(
+        "4x4x4-C (8F)",
+        SimulationSpace::cubic(4),
+        (2, 2, 2),
+        DesignVariant::C,
+        steps,
+    );
+    println!("\ndone.");
+}

@@ -1,0 +1,68 @@
+//! # fasda-bench
+//!
+//! Harnesses that regenerate every table and figure of the FASDA paper's
+//! evaluation (§5), plus ablation studies. Each harness is a binary:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig16` | Fig. 16 — simulation rate (µs/day), weak + strong scaling, FPGA vs CPU vs GPU |
+//! | `fig17` | Fig. 17 — hardware/time utilization of PR, FR, Filter, PE, MU |
+//! | `fig18` | Fig. 18 — communication bandwidth demand and per-peer breakdown |
+//! | `table1` | Table 1 — FPGA resource utilization (model vs paper) |
+//! | `fig19` | Fig. 19 — energy relative error vs the f64 reference |
+//! | `ablate_sync` | §4.4 — chained vs bulk synchronization under stragglers |
+//! | `ablate_interp` | §3.4 — interpolation table precision sweep |
+//! | `ablate_filters` | §5.3 — filters-per-pipeline sweep |
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+use std::collections::HashMap;
+
+/// Tiny `--key value` / `--flag` argument parser (no external deps).
+pub struct Args {
+    flags: Vec<String>,
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()`.
+    pub fn parse() -> Self {
+        let mut flags = Vec::new();
+        let mut values = HashMap::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { flags, values }
+    }
+
+    /// Value of `--key`, parsed.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Presence of `--flag`.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Print a separator line for harness output.
+pub fn rule(title: &str) {
+    println!("\n=== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+}

@@ -1,0 +1,251 @@
+//! `fasda` — command-line driver mirroring the paper artifact's flow.
+//!
+//! The artifact configures a build with `./compile.sh 222 444` (2×2×2
+//! cells per FPGA, 4×4×4 total) and runs it with
+//! `python run.py <scheduler> <dump_group> <num_iterations>`. This CLI
+//! reproduces both steps against the cycle-level simulator:
+//!
+//! ```text
+//! fasda run --per-fpga 222 --total 444 --steps 10 [--variant A|B|C]
+//!           [--sync chained|bulk] [--dump-group N] [--per-cell 64]
+//! fasda generate --total 444 --out system.pdb [--per-cell 64]
+//! fasda info --per-fpga 222 --total 444 [--variant C]
+//! ```
+
+use fasda_cluster::{Cluster, ClusterConfig, HostController};
+use fasda_core::config::{ChipConfig, DesignVariant};
+use fasda_core::geometry::{ChipCoord, ChipGeometry};
+use fasda_core::resources::{estimate, ALVEO_U280};
+use fasda_md::pdb::to_pdb;
+use fasda_md::space::SimulationSpace;
+use fasda_md::workload::WorkloadSpec;
+use fasda_net::sync::SyncMode;
+use std::process::ExitCode;
+
+/// Parse the artifact's `222`-style dimension triple.
+fn parse_dims(s: &str) -> Result<(u32, u32, u32), String> {
+    let digits: Vec<u32> = s
+        .chars()
+        .map(|c| c.to_digit(10).ok_or_else(|| format!("bad dims '{s}'")))
+        .collect::<Result<_, _>>()?;
+    match digits.as_slice() {
+        [x, y, z] => Ok((*x, *y, *z)),
+        _ => Err(format!(
+            "dims must be three digits like the artifact's '222'/'444', got '{s}'"
+        )),
+    }
+}
+
+struct Opts {
+    args: Vec<String>,
+}
+
+impl Opts {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  fasda run --per-fpga 222 --total 444 [--steps N] [--variant A|B|C]\n\
+         \x20           [--sync chained|bulk] [--dump-group N] [--per-cell 64] [--seed S]\n\
+         \x20 fasda generate --total 444 --out system.pdb [--per-cell 64] [--seed S]\n\
+         \x20 fasda info --per-fpga 222 --total 444 [--variant A|B|C]"
+    );
+    ExitCode::from(2)
+}
+
+fn variant(opts: &Opts) -> Result<DesignVariant, String> {
+    match opts.get_or("--variant", "A") {
+        "A" | "a" => Ok(DesignVariant::A),
+        "B" | "b" => Ok(DesignVariant::B),
+        "C" | "c" => Ok(DesignVariant::C),
+        other => Err(format!("unknown variant '{other}'")),
+    }
+}
+
+fn workload(opts: &Opts) -> Result<(SimulationSpace, fasda_md::system::ParticleSystem), String> {
+    let total = parse_dims(opts.get("--total").ok_or("--total required")?)?;
+    let space = SimulationSpace::new(total.0, total.1, total.2);
+    let per_cell: u32 = opts
+        .get_or("--per-cell", "64")
+        .parse()
+        .map_err(|_| "bad --per-cell")?;
+    let seed: u64 = opts.get_or("--seed", "64205").parse().map_err(|_| "bad --seed")?;
+    let spec = WorkloadSpec {
+        per_cell,
+        ..WorkloadSpec::paper(space, seed)
+    };
+    Ok((space, spec.generate()))
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let per_fpga = parse_dims(opts.get("--per-fpga").ok_or("--per-fpga required")?)?;
+    let (space, sys) = workload(opts)?;
+    let steps: u64 = opts.get_or("--steps", "5").parse().map_err(|_| "bad --steps")?;
+    let v = variant(opts)?;
+    let mut cfg = ClusterConfig::paper(ChipConfig::variant(v), per_fpga);
+    cfg.sync = match opts.get_or("--sync", "chained") {
+        "chained" => SyncMode::Chained,
+        "bulk" => SyncMode::Bulk { latency: 2_000 },
+        other => return Err(format!("unknown sync mode '{other}'")),
+    };
+
+    println!(
+        "FASDA: {}x{}x{} cells ({} atoms) on {}x{}x{} cells/FPGA, variant {} ({}), {} steps",
+        space.dx,
+        space.dy,
+        space.dz,
+        sys.len(),
+        per_fpga.0,
+        per_fpga.1,
+        per_fpga.2,
+        match v {
+            DesignVariant::A => "A",
+            DesignVariant::B => "B",
+            DesignVariant::C => "C",
+        },
+        v.label(),
+        steps
+    );
+
+    let cluster = Cluster::new(cfg, &sys);
+    println!("{} FPGA node(s) configured; running...", cluster.num_nodes());
+    let mut host = HostController::new(cluster);
+    let run = host
+        .run_iterations(steps)
+        .map_err(|e| format!("cluster stalled: {e}"))?;
+
+    println!("\nAXI-Lite result registers (per node):");
+    println!(
+        "{:<6}{:>16}{:>14}{:>12}{:>12}{:>12}{:>12}",
+        "node",
+        "operation_cyc",
+        "PE_cyc",
+        "out_pos",
+        "out_frc",
+        "in_pos",
+        "in_frc"
+    );
+    for (n, regs) in run.regs.iter().enumerate() {
+        println!(
+            "{:<6}{:>16}{:>14}{:>12}{:>12}{:>12}{:>12}",
+            n,
+            regs.operation_cycle_cnt,
+            regs.PE_cycle_cnt,
+            regs.out_traffic_packets_pos,
+            regs.out_traffic_packets_frc,
+            regs.in_traffic_packets_pos,
+            regs.in_traffic_packets_frc
+        );
+    }
+    println!(
+        "\nsimulation rate: {:.2} µs/day ({:.0} cycles/step at 200 MHz)",
+        run.report.us_per_day(),
+        run.report.cycles_per_step()
+    );
+    println!(
+        "bandwidth demand: pos {:.2} Gbps, frc {:.2} Gbps per node",
+        run.report.pos_gbps_per_node(),
+        run.report.frc_gbps_per_node()
+    );
+
+    if let Some(g) = opts.get("--dump-group") {
+        let node: usize = g.parse().map_err(|_| "bad --dump-group")?;
+        let dump = host.dump_group(node);
+        println!("\ndump of node {node} ({} particles):", dump.len());
+        for (id, elem, pos, vel) in dump.iter().take(16) {
+            println!(
+                "  id {id:>6} {:<3} pos [{:+.4} {:+.4} {:+.4}] vel [{:+.2e} {:+.2e} {:+.2e}]",
+                elem.symbol(),
+                pos[0],
+                pos[1],
+                pos[2],
+                vel[0],
+                vel[1],
+                vel[2]
+            );
+        }
+        if dump.len() > 16 {
+            println!("  ... {} more", dump.len() - 16);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let (_, sys) = workload(opts)?;
+    let out = opts.get("--out").ok_or("--out required")?;
+    std::fs::write(out, to_pdb(&sys)).map_err(|e| e.to_string())?;
+    println!("wrote {} atoms to {out}", sys.len());
+    Ok(())
+}
+
+fn cmd_info(opts: &Opts) -> Result<(), String> {
+    let per_fpga = parse_dims(opts.get("--per-fpga").ok_or("--per-fpga required")?)?;
+    let total = parse_dims(opts.get("--total").ok_or("--total required")?)?;
+    let space = SimulationSpace::new(total.0, total.1, total.2);
+    let v = variant(opts)?;
+    let geo = ChipGeometry::new(space, per_fpga, ChipCoord::new(0, 0, 0));
+    let cfg = ChipConfig::variant(v);
+    println!(
+        "configuration: {} FPGAs, {} CBBs each, {} PEs/CBB ({} filters), {} peers/node",
+        geo.num_chips(),
+        geo.num_cbbs(),
+        cfg.pes_per_cbb(),
+        cfg.filters_per_cbb(),
+        geo.send_chips().len(),
+    );
+    let pct = estimate(&cfg, &geo).percent_of(ALVEO_U280);
+    println!(
+        "estimated per-FPGA resources (Alveo U280): LUT {:.0}%  FF {:.0}%  BRAM {:.0}%  URAM {:.0}%  DSP {:.0}%",
+        pct.lut, pct.ff, pct.bram, pct.uram, pct.dsp
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    let opts = Opts { args };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "generate" => cmd_generate(&opts),
+        "info" => cmd_info(&opts),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_dims;
+
+    #[test]
+    fn artifact_dim_syntax() {
+        assert_eq!(parse_dims("222"), Ok((2, 2, 2)));
+        assert_eq!(parse_dims("444"), Ok((4, 4, 4)));
+        assert_eq!(parse_dims("633"), Ok((6, 3, 3)));
+        assert!(parse_dims("22").is_err());
+        assert!(parse_dims("2222").is_err());
+        assert!(parse_dims("2x2").is_err());
+    }
+}

@@ -1,0 +1,599 @@
+//! The cluster driver: chips + packetizers + fabric + synchronization.
+
+use crate::report::{ClusterRunReport, NodeStepReport};
+use crate::wire::{Cargo, Delivery};
+use fasda_core::config::ChipConfig;
+use fasda_core::geometry::{ChipCoord, ChipGeometry};
+use fasda_core::timed::ring::{FrcFlit, MigFlit, PosFlit};
+use fasda_core::timed::TimedChip;
+use fasda_md::space::SimulationSpace;
+use fasda_md::system::ParticleSystem;
+use fasda_md::units::UnitSystem;
+use fasda_net::encap::Packetizer;
+use fasda_net::packet::PacketKind;
+use fasda_net::switch::SwitchFabric;
+use fasda_net::sync::{BulkBarrier, ChainedSync, SyncMode};
+use fasda_net::topology::Topology;
+use fasda_sim::{MessageQueue, StatSet};
+use std::collections::HashMap;
+
+/// Safety cap on the global cycle loop.
+const MAX_RUN_CYCLES: u64 = 2_000_000_000;
+
+/// Configuration of a multi-FPGA run.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Per-chip architecture configuration.
+    pub chip: ChipConfig,
+    /// Cells per chip along each axis.
+    pub block: (u32, u32, u32),
+    /// Synchronization strategy (§4.4).
+    pub sync: SyncMode,
+    /// Inter-node topology (§4.1).
+    pub topology: Topology,
+    /// Port bandwidth, bits per cycle (paper: 500 = 100 Gbps @ 200 MHz).
+    pub bits_per_cycle: f64,
+    /// Packet-departure cooldown in cycles (§5.4).
+    pub packet_cooldown: u32,
+    /// Timestep in femtoseconds.
+    pub dt_fs: f64,
+    /// Optional straggler injection: `(node, stall_cycles)` delays that
+    /// node's force phase every step (ablation for §4.4).
+    pub straggler: Option<(usize, u64)>,
+    /// Optional packet-loss injection `(probability, seed)` on both
+    /// fabrics. UDP has no retransmission, so any loss deadlocks the
+    /// chained synchronization — use with [`Cluster::try_run`] to observe
+    /// the stall the paper's cooldown counters exist to prevent (§5.4).
+    pub loss: Option<(f64, u64)>,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed setup for a given chip config and block.
+    pub fn paper(chip: ChipConfig, block: (u32, u32, u32)) -> Self {
+        ClusterConfig {
+            chip,
+            block,
+            sync: SyncMode::Chained,
+            topology: Topology::PAPER_SWITCH,
+            bits_per_cycle: SwitchFabric::PAPER_BITS_PER_CYCLE,
+            packet_cooldown: 2,
+            dt_fs: 2.0,
+            straggler: None,
+            loss: None,
+        }
+    }
+}
+
+/// A cluster run that failed to make progress within its cycle budget —
+/// e.g. a lost packet starving the chained synchronization.
+#[derive(Clone, Debug)]
+pub struct ClusterStalled {
+    /// Cycle at which the run gave up.
+    pub at_cycle: u64,
+    /// Per-node `(step, phase)` snapshot at the stall.
+    pub node_states: Vec<(u64, String)>,
+    /// Packets lost by the fabrics so far.
+    pub packets_lost: u64,
+}
+
+impl std::fmt::Display for ClusterStalled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cluster stalled at cycle {} ({} packets lost); node states: {:?}",
+            self.at_cycle, self.packets_lost, self.node_states
+        )
+    }
+}
+
+impl std::error::Error for ClusterStalled {}
+
+/// Per-node execution state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodePhase {
+    Force,
+    /// Waiting at the bulk barrier before entering MU.
+    BarrierBeforeMu,
+    Mu,
+    /// Waiting at the bulk barrier before the next step's force phase.
+    BarrierBeforeForce,
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct NodeState {
+    step: u64,
+    phase: NodePhase,
+    phase_start: u64,
+    force_cycles: u64,
+    last_pos_flushed: bool,
+    mig_flushed: bool,
+    barrier_release: Option<u64>,
+}
+
+/// The multi-FPGA FASDA system.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    global: SimulationSpace,
+    /// One timed chip per node, indexed in Eq.-7 order over the node
+    /// grid.
+    pub chips: Vec<TimedChip>,
+    node_coord: Vec<ChipCoord>,
+    coord_to_node: HashMap<ChipCoord, usize>,
+    sync: Vec<ChainedSync<usize>>,
+    pos_pz: Vec<Packetizer<usize, PosFlit>>,
+    frc_pz: Vec<Packetizer<usize, FrcFlit>>,
+    mig_pz: Vec<Packetizer<usize, MigFlit>>,
+    /// Position-port fabric (positions + migration).
+    pub pos_fabric: SwitchFabric,
+    /// Force-port fabric.
+    pub frc_fabric: SwitchFabric,
+    inbox: Vec<MessageQueue<Delivery>>,
+    state: Vec<NodeState>,
+    stalls: Vec<u64>,
+    barrier_mu: BulkBarrier,
+    barrier_force: BulkBarrier,
+    /// Global wall-clock cycle.
+    pub cycle: u64,
+    records: Vec<NodeStepReport>,
+}
+
+impl Cluster {
+    /// Build the cluster over a simulation space and load the particles.
+    pub fn new(cfg: ClusterConfig, sys: &ParticleSystem) -> Self {
+        let global = sys.space;
+        let probe = ChipGeometry::new(global, cfg.block, ChipCoord::new(0, 0, 0));
+        let grid = probe.grid();
+        let n = probe.num_chips() as usize;
+        assert!(n >= 2, "use TimedChip::run_timestep for single-chip runs");
+
+        // Node ids in Eq.-7 order over the chip grid.
+        let mut node_coord = Vec::with_capacity(n);
+        for x in 0..grid.0 {
+            for y in 0..grid.1 {
+                for z in 0..grid.2 {
+                    node_coord.push(ChipCoord::new(x, y, z));
+                }
+            }
+        }
+        // Match Eq. 7: z fastest — the triple loop above already does
+        // x-major / z-fastest ordering.
+        let coord_to_node: HashMap<ChipCoord, usize> = node_coord
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (*c, i))
+            .collect();
+
+        let mut chips = Vec::with_capacity(n);
+        let mut sync = Vec::with_capacity(n);
+        let mut pos_pz = Vec::with_capacity(n);
+        let mut frc_pz = Vec::with_capacity(n);
+        let mut mig_pz = Vec::with_capacity(n);
+        for coord in &node_coord {
+            let geo = ChipGeometry::new(global, cfg.block, *coord);
+            let mut chip = TimedChip::new(cfg.chip, geo, sys.units, cfg.dt_fs);
+            chip.load(sys);
+            let send: Vec<usize> = chip.send_chips.iter().map(|c| coord_to_node[c]).collect();
+            let recv: Vec<usize> = chip.recv_chips.iter().map(|c| coord_to_node[c]).collect();
+            let s = ChainedSync::new(send, recv);
+            pos_pz.push(Packetizer::new(
+                PacketKind::Position,
+                s.send_peers.clone(),
+                cfg.packet_cooldown,
+            ));
+            frc_pz.push(Packetizer::new(
+                PacketKind::Force,
+                s.recv_peers.clone(),
+                cfg.packet_cooldown,
+            ));
+            mig_pz.push(Packetizer::new(
+                PacketKind::Migration,
+                s.mig_peers.clone(),
+                cfg.packet_cooldown,
+            ));
+            sync.push(s);
+            chips.push(chip);
+        }
+
+        let total: usize = chips.iter().map(TimedChip::num_particles).sum();
+        assert_eq!(total, sys.len(), "every particle must land on some chip");
+
+        let bulk_latency = match cfg.sync {
+            SyncMode::Bulk { latency } => latency,
+            SyncMode::Chained => 0,
+        };
+
+        Cluster {
+            cfg,
+            global,
+            chips,
+            node_coord,
+            coord_to_node,
+            sync,
+            pos_pz,
+            frc_pz,
+            mig_pz,
+            pos_fabric: match cfg.loss {
+                Some((p, seed)) => {
+                    SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle).with_loss(p, seed)
+                }
+                None => SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle),
+            },
+            frc_fabric: match cfg.loss {
+                Some((p, seed)) => SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle)
+                    .with_loss(p, seed.wrapping_add(1)),
+                None => SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle),
+            },
+            inbox: (0..n).map(|_| MessageQueue::new()).collect(),
+            state: vec![
+                NodeState {
+                    step: 0,
+                    phase: NodePhase::Force,
+                    phase_start: 0,
+                    force_cycles: 0,
+                    last_pos_flushed: false,
+                    mig_flushed: false,
+                    barrier_release: None,
+                };
+                n
+            ],
+            stalls: vec![0; n],
+            barrier_mu: BulkBarrier::new(n, bulk_latency),
+            barrier_force: BulkBarrier::new(n, bulk_latency),
+            cycle: 0,
+            records: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Node coordinates in the logical torus.
+    pub fn node_coord(&self, node: usize) -> ChipCoord {
+        self.node_coord[node]
+    }
+
+    /// Run `steps` timesteps; returns the run report.
+    ///
+    /// # Panics
+    /// If the cluster fails to converge (see [`Cluster::try_run`] for the
+    /// non-panicking variant used in failure-injection studies).
+    pub fn run(&mut self, steps: u64) -> ClusterRunReport {
+        match self.try_run(steps, MAX_RUN_CYCLES) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run `steps` timesteps with an explicit cycle budget; returns
+    /// `Err(ClusterStalled)` instead of panicking when progress stops —
+    /// the observable consequence of, e.g., injected packet loss starving
+    /// the chained synchronization.
+    pub fn try_run(&mut self, steps: u64, cycle_budget: u64) -> Result<ClusterRunReport, ClusterStalled> {
+        assert!(steps > 0);
+        let run_start = self.cycle;
+        for chip in &mut self.chips {
+            chip.reset_stats();
+        }
+        self.records.clear();
+        // arm step 0
+        for node in 0..self.num_nodes() {
+            self.sync[node].begin_step(self.state[node].step);
+            self.chips[node].begin_force_phase();
+            self.state[node].phase = NodePhase::Force;
+            self.state[node].phase_start = self.cycle;
+            self.state[node].last_pos_flushed = false;
+            if let Some((s, d)) = self.cfg.straggler {
+                if s == node {
+                    self.stalls[node] = d;
+                }
+            }
+        }
+
+        while !self.all_done(steps) {
+            for node in 0..self.num_nodes() {
+                if self.stalls[node] > 0 {
+                    self.stalls[node] -= 1;
+                    continue;
+                }
+                match self.state[node].phase {
+                    NodePhase::Force => self.force_cycle(node, steps),
+                    NodePhase::Mu => self.mu_cycle(node, steps),
+                    NodePhase::BarrierBeforeMu => {
+                        if self.state[node].barrier_release.is_some_and(|r| self.cycle >= r) {
+                            self.enter_mu(node);
+                        }
+                    }
+                    NodePhase::BarrierBeforeForce => {
+                        if self.state[node].barrier_release.is_some_and(|r| self.cycle >= r) {
+                            self.enter_next_force(node);
+                        }
+                    }
+                    NodePhase::Done => {}
+                }
+            }
+            self.network_cycle();
+            self.deliver_due();
+            self.cycle += 1;
+            if self.cycle - run_start >= cycle_budget {
+                return Err(ClusterStalled {
+                    at_cycle: self.cycle,
+                    node_states: self
+                        .state
+                        .iter()
+                        .map(|s| (s.step, format!("{:?}", s.phase)))
+                        .collect(),
+                    packets_lost: self.pos_fabric.packets_lost + self.frc_fabric.packets_lost,
+                });
+            }
+        }
+
+        Ok(self.assemble_report(steps, self.cycle - run_start))
+    }
+
+    fn all_done(&self, steps: u64) -> bool {
+        self.state.iter().all(|s| s.phase == NodePhase::Done && s.step >= steps)
+    }
+
+    // ------------------------------------------------------------------
+
+    fn force_cycle(&mut self, node: usize, _steps: u64) {
+        let step = self.state[node].step;
+        if !self.chips[node].force_phase_local_idle() {
+            self.chips[node].step_force_cycle();
+        }
+
+        // Drain EX egress into the encapsulation chains.
+        for (peer_coord, flit) in self.chips[node].drain_pos_egress() {
+            let peer = self.coord_to_node[&peer_coord];
+            self.pos_pz[node].offer(&peer, flit, step);
+        }
+        for (peer_coord, flit) in self.chips[node].drain_frc_egress() {
+            let peer = self.coord_to_node[&peer_coord];
+            self.frc_pz[node].offer(&peer, flit, step);
+        }
+
+        // Last-position markers: all local positions routed and departed.
+        if !self.state[node].last_pos_flushed && self.chips[node].all_positions_departed() {
+            let peers = self.sync[node].send_peers.clone();
+            for p in peers {
+                self.pos_pz[node].flush_last(&p, step);
+                self.sync[node].mark_last_pos_sent(p);
+            }
+            self.state[node].last_pos_flushed = true;
+        }
+
+        // Last-force markers, per §4.4: answered only once every position
+        // from that peer has been processed and the forces have departed.
+        let recv_peers = self.sync[node].recv_peers.clone();
+        for p in recv_peers {
+            if self.sync[node].owes_last_frc(&p) {
+                let pc = self.node_coord[p];
+                if self.chips[node].outstanding_from(pc) == 0
+                    && self.chips[node].frc_drained_to(pc)
+                    && self.chips[node].frc_egress_empty()
+                {
+                    self.frc_pz[node].flush_last(&p, step);
+                    self.sync[node].mark_last_frc_sent(p);
+                }
+            }
+        }
+
+        // Phase transition.
+        if self.sync[node].force_phase_complete() && self.chips[node].force_phase_local_idle() {
+            self.state[node].force_cycles = self.cycle - self.state[node].phase_start;
+            match self.cfg.sync {
+                SyncMode::Chained => self.enter_mu(node),
+                SyncMode::Bulk { .. } => {
+                    self.state[node].phase = NodePhase::BarrierBeforeMu;
+                    if let Some(release) = self.barrier_mu.arrive(node, self.cycle) {
+                        for s in self.state.iter_mut() {
+                            if s.phase == NodePhase::BarrierBeforeMu {
+                                s.barrier_release = Some(release);
+                            }
+                        }
+                        self.barrier_mu.reset();
+                    }
+                }
+            }
+        }
+    }
+
+    fn enter_mu(&mut self, node: usize) {
+        self.chips[node].begin_mu_phase();
+        self.state[node].phase = NodePhase::Mu;
+        self.state[node].phase_start = self.cycle;
+        self.state[node].mig_flushed = false;
+        self.state[node].barrier_release = None;
+    }
+
+    fn mu_cycle(&mut self, node: usize, steps: u64) {
+        let step = self.state[node].step;
+        if !self.chips[node].mu_phase_local_idle() || !self.state[node].mig_flushed {
+            self.chips[node].step_mu_cycle();
+        }
+
+        for (peer_coord, flit) in self.chips[node].drain_mig_egress() {
+            let peer = self.coord_to_node[&peer_coord];
+            self.mig_pz[node].offer(&peer, flit, step);
+        }
+
+        if !self.state[node].mig_flushed && self.chips[node].all_migrants_departed() {
+            let peers = self.sync[node].mig_peers.clone();
+            for p in peers {
+                self.mig_pz[node].flush_last(&p, step);
+                self.sync[node].mark_last_mig_sent(p);
+            }
+            self.state[node].mig_flushed = true;
+        }
+
+        if self.state[node].mig_flushed
+            && self.sync[node].mu_phase_complete()
+            && self.chips[node].mu_phase_local_idle()
+        {
+            let mu_cycles = self.cycle - self.state[node].phase_start;
+            self.chips[node].end_mu_phase();
+            self.records.push(NodeStepReport {
+                node,
+                step,
+                force_cycles: self.state[node].force_cycles,
+                mu_cycles,
+                wall_end: self.cycle,
+            });
+            self.state[node].step += 1;
+            if self.state[node].step >= steps {
+                self.state[node].phase = NodePhase::Done;
+                return;
+            }
+            match self.cfg.sync {
+                SyncMode::Chained => self.enter_next_force(node),
+                SyncMode::Bulk { .. } => {
+                    self.state[node].phase = NodePhase::BarrierBeforeForce;
+                    if let Some(release) = self.barrier_force.arrive(node, self.cycle) {
+                        for s in self.state.iter_mut() {
+                            if s.phase == NodePhase::BarrierBeforeForce {
+                                s.barrier_release = Some(release);
+                            }
+                        }
+                        self.barrier_force.reset();
+                    }
+                }
+            }
+        }
+    }
+
+    fn enter_next_force(&mut self, node: usize) {
+        let step = self.state[node].step;
+        self.sync[node].begin_step(step);
+        self.chips[node].begin_force_phase();
+        self.state[node].phase = NodePhase::Force;
+        self.state[node].phase_start = self.cycle;
+        self.state[node].last_pos_flushed = false;
+        self.state[node].barrier_release = None;
+        if let Some((s, d)) = self.cfg.straggler {
+            if s == node {
+                self.stalls[node] = d;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn network_cycle(&mut self) {
+        for node in 0..self.num_nodes() {
+            if let Some((peer, pkt)) = self.pos_pz[node].tick(self.cycle) {
+                if let Some(at) = self.pos_fabric.send_lossy(self.cycle, node, peer) {
+                    self.inbox[peer].send(
+                        at,
+                        Delivery {
+                            from: node,
+                            cargo: Cargo::Pos(pkt.payloads),
+                            last: pkt.last,
+                            step: pkt.step,
+                        },
+                    );
+                }
+            }
+            if let Some((peer, pkt)) = self.frc_pz[node].tick(self.cycle) {
+                if let Some(at) = self.frc_fabric.send_lossy(self.cycle, node, peer) {
+                    self.inbox[peer].send(
+                        at,
+                        Delivery {
+                            from: node,
+                            cargo: Cargo::Frc(pkt.payloads),
+                            last: pkt.last,
+                            step: pkt.step,
+                        },
+                    );
+                }
+            }
+            if let Some((peer, pkt)) = self.mig_pz[node].tick(self.cycle) {
+                if let Some(at) = self.pos_fabric.send_lossy(self.cycle, node, peer) {
+                    self.inbox[peer].send(
+                        at,
+                        Delivery {
+                            from: node,
+                            cargo: Cargo::Mig(pkt.payloads),
+                            last: pkt.last,
+                            step: pkt.step,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn deliver_due(&mut self) {
+        for node in 0..self.num_nodes() {
+            while let Some(d) = self.inbox[node].pop_due(self.cycle) {
+                let kind = d.cargo.kind();
+                match d.cargo {
+                    Cargo::Pos(flits) => {
+                        for f in flits {
+                            self.chips[node].ingest_remote_pos(f);
+                        }
+                    }
+                    Cargo::Frc(flits) => {
+                        for f in flits {
+                            self.chips[node].ingest_remote_frc(f);
+                        }
+                    }
+                    Cargo::Mig(flits) => {
+                        for f in flits {
+                            self.chips[node].ingest_remote_mig(f);
+                        }
+                    }
+                }
+                if d.last {
+                    self.sync[node].on_marker(kind, d.from, d.step);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    /// Gather particle state from all chips into `sys`.
+    pub fn store_into(&self, sys: &mut ParticleSystem) {
+        assert_eq!(sys.space, self.global);
+        for chip in &self.chips {
+            chip.store_into(sys);
+        }
+    }
+
+    /// Total particles across chips.
+    pub fn num_particles(&self) -> usize {
+        self.chips.iter().map(TimedChip::num_particles).sum()
+    }
+
+    /// The unit system in use.
+    pub fn units(&self) -> UnitSystem {
+        self.chips[0].units()
+    }
+
+    fn assemble_report(&mut self, steps: u64, total_cycles: u64) -> ClusterRunReport {
+        // Merge per-chip utilization counters into a cluster-wide set.
+        let mut stats = StatSet::new();
+        for chip in &self.chips {
+            stats.merge_from(&chip.report(0, 0).stats);
+        }
+        let per_node_traffic: Vec<_> = self.chips.iter().map(|c| c.traffic.clone()).collect();
+
+        ClusterRunReport {
+            steps,
+            total_cycles,
+            records: std::mem::take(&mut self.records),
+            stats,
+            per_node_traffic,
+            pos_packets: self.pos_fabric.packets,
+            frc_packets: self.frc_fabric.packets,
+            pos_bits: self.pos_fabric.bits_sent,
+            frc_bits: self.frc_fabric.bits_sent,
+            clock_hz: self.cfg.chip.hw.clock_hz,
+            dt_fs: self.cfg.dt_fs,
+            nodes: self.num_nodes(),
+        }
+    }
+}

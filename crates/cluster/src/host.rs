@@ -1,0 +1,149 @@
+//! Host-side control flow — the artifact's `dask`/`pynq` equivalent.
+//!
+//! The paper's artifact drives the FPGAs from Python: a dask scheduler
+//! fans `run.py <scheduler> <dump_group> <num_iterations>` out to the
+//! hosts, each host configures its board over pynq, the boards run
+//! independently, and afterwards the hosts read the AXI-Lite result
+//! registers and optionally dump one group of cells for inspection.
+//! [`HostController`] reproduces that workflow over the simulated
+//! cluster: run a number of iterations, read every node's
+//! [`AxiLiteRegs`], and dump the particle contents of a chosen cell
+//! group.
+
+use crate::driver::{Cluster, ClusterStalled};
+use crate::report::ClusterRunReport;
+use fasda_core::timed::axi::AxiLiteRegs;
+use fasda_md::system::ParticleSystem;
+
+/// Result of one host-driven run.
+#[derive(Clone, Debug)]
+pub struct HostRun {
+    /// The cluster-level report (timing, traffic, utilization).
+    pub report: ClusterRunReport,
+    /// Per-node AXI-Lite register dumps, indexed by node.
+    pub regs: Vec<AxiLiteRegs>,
+}
+
+impl HostRun {
+    /// The artifact's bottom line: convert each node's
+    /// `operation_cycle_cnt` to µs/day and report the slowest node
+    /// (the simulation rate of the whole machine).
+    pub fn machine_rate_us_per_day(&self, dt_fs: f64, clock_hz: f64) -> f64 {
+        self.regs
+            .iter()
+            .map(|r| r.us_per_day(self.report.steps, dt_fs, clock_hz))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Drives a [`Cluster`] the way the artifact's host scripts drive the
+/// testbed.
+pub struct HostController {
+    cluster: Cluster,
+}
+
+impl HostController {
+    /// Attach to a cluster (the boards are already configured — the
+    /// bitstream-loading step of the artifact is `Cluster::new`).
+    pub fn new(cluster: Cluster) -> Self {
+        HostController { cluster }
+    }
+
+    /// Access the underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// `run.py <num_iterations>`: execute iterations and read back every
+    /// node's result registers.
+    pub fn run_iterations(&mut self, num_iterations: u64) -> Result<HostRun, ClusterStalled> {
+        let report = self
+            .cluster
+            .try_run(num_iterations, 2_000_000_000)?;
+        let regs = (0..self.cluster.num_nodes())
+            .map(|n| AxiLiteRegs::read(&self.cluster.chips[n], report.total_cycles))
+            .collect();
+        Ok(HostRun { report, regs })
+    }
+
+    /// `<dump_group>`: dump the particle contents of one node's cells
+    /// (stable ID, element, global position, velocity) — the artifact's
+    /// demonstration dump.
+    pub fn dump_group(&self, node: usize) -> Vec<(u32, fasda_md::element::Element, [f64; 3], [f64; 3])> {
+        let chip = &self.cluster.chips[node];
+        let mut out = Vec::new();
+        for cbb in &chip.cbbs {
+            for i in 0..cbb.len() {
+                let [ox, oy, oz] = cbb.offset[i].to_f64();
+                out.push((
+                    cbb.id[i],
+                    cbb.elem[i],
+                    [
+                        cbb.gcell.x as f64 + ox,
+                        cbb.gcell.y as f64 + oy,
+                        cbb.gcell.z as f64 + oz,
+                    ],
+                    [
+                        cbb.vel[i][0] as f64,
+                        cbb.vel[i][1] as f64,
+                        cbb.vel[i][2] as f64,
+                    ],
+                ));
+            }
+        }
+        out.sort_by_key(|e| e.0);
+        out
+    }
+
+    /// Gather the full particle state (all nodes) into `sys`.
+    pub fn gather(&self, sys: &mut ParticleSystem) {
+        self.cluster.store_into(sys);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::ClusterConfig;
+    use fasda_core::config::ChipConfig;
+    use fasda_md::element::Element;
+    use fasda_md::space::SimulationSpace;
+    use fasda_md::workload::{Placement, WorkloadSpec};
+
+    fn cluster() -> Cluster {
+        let sys = WorkloadSpec {
+            space: SimulationSpace::cubic(6),
+            per_cell: 3,
+            placement: Placement::JitteredLattice { jitter: 0.05 },
+            temperature_k: 150.0,
+            seed: 71,
+            element: Element::Na,
+        }
+        .generate();
+        Cluster::new(ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3)), &sys)
+    }
+
+    #[test]
+    fn host_run_reads_all_registers() {
+        let mut host = HostController::new(cluster());
+        let run = host.run_iterations(2).expect("run converges");
+        assert_eq!(run.regs.len(), 8);
+        for regs in &run.regs {
+            assert_eq!(regs.operation_cycle_cnt, run.report.total_cycles);
+            assert!(regs.PE_cycle_cnt > 0);
+            assert!(regs.out_traffic_packets_pos > 0, "multi-chip must talk");
+        }
+        let rate = run.machine_rate_us_per_day(2.0, 200.0e6);
+        assert!(rate > 0.0 && rate < 1_000.0);
+    }
+
+    #[test]
+    fn dump_group_returns_owned_particles_sorted() {
+        let mut host = HostController::new(cluster());
+        host.run_iterations(1).expect("run");
+        let total: usize = (0..8).map(|n| host.dump_group(n).len()).sum();
+        assert_eq!(total, 6 * 6 * 6 * 3, "every particle in exactly one dump");
+        let d = host.dump_group(0);
+        assert!(d.windows(2).all(|w| w[0].0 < w[1].0), "sorted by id");
+    }
+}

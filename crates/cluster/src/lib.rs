@@ -1,0 +1,23 @@
+//! # fasda-cluster
+//!
+//! The distributed multi-FPGA FASDA system (paper §4).
+//!
+//! [`Cluster`] instantiates one [`fasda_core::TimedChip`] per FPGA node
+//! over a partition of the simulation space, connects their EX-node
+//! queues through [`fasda_net`] packetizers and a switch fabric, and
+//! drives the whole system cycle by cycle. Nodes progress through their
+//! force-evaluation and motion-update phases **independently**, gated
+//! only by the chained-synchronization handshakes with their immediate
+//! neighbours (§4.4) — a fast node races ahead into the next timestep
+//! while a slow one finishes, which is exactly the behaviour the
+//! straggler ablation measures. A bulk-synchronous mode replaces the
+//! chained handshake with a central barrier for comparison.
+
+pub mod driver;
+pub mod host;
+pub mod report;
+pub mod wire;
+
+pub use driver::{Cluster, ClusterConfig, ClusterStalled};
+pub use host::{HostController, HostRun};
+pub use report::{ClusterRunReport, NodeStepReport};

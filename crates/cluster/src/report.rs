@@ -1,0 +1,114 @@
+//! Cluster run reports: timing, utilization, and traffic — the raw
+//! material for Figs. 16–18.
+
+use fasda_core::timed::TrafficCounters;
+use fasda_md::units::UnitSystem;
+use fasda_sim::StatSet;
+
+/// One node's record for one completed timestep.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeStepReport {
+    /// Node index.
+    pub node: usize,
+    /// Timestep index.
+    pub step: u64,
+    /// Force-phase duration in global cycles (includes waits on
+    /// neighbours — this is the node's wall time in the phase).
+    pub force_cycles: u64,
+    /// Motion-update phase duration in global cycles.
+    pub mu_cycles: u64,
+    /// Global cycle at which the node finished the step.
+    pub wall_end: u64,
+}
+
+/// Aggregate report for a multi-step cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterRunReport {
+    /// Steps executed.
+    pub steps: u64,
+    /// Wall-clock cycles for the whole run (all nodes done).
+    pub total_cycles: u64,
+    /// Per-node per-step records.
+    pub records: Vec<NodeStepReport>,
+    /// Cluster-merged component utilization counters.
+    pub stats: StatSet,
+    /// Per-node flit-level traffic counters.
+    pub per_node_traffic: Vec<TrafficCounters>,
+    /// Packets carried by the position port fabric (positions +
+    /// migration).
+    pub pos_packets: u64,
+    /// Packets carried by the force port fabric.
+    pub frc_packets: u64,
+    /// Bits carried by the position port fabric.
+    pub pos_bits: u64,
+    /// Bits carried by the force port fabric.
+    pub frc_bits: u64,
+    /// Fabric clock.
+    pub clock_hz: f64,
+    /// Timestep, femtoseconds.
+    pub dt_fs: f64,
+    /// Node count.
+    pub nodes: usize,
+}
+
+impl ClusterRunReport {
+    /// Average wall-clock cycles per timestep.
+    pub fn cycles_per_step(&self) -> f64 {
+        self.total_cycles as f64 / self.steps as f64
+    }
+
+    /// The paper's simulation-rate metric.
+    pub fn us_per_day(&self) -> f64 {
+        let seconds_per_step = self.cycles_per_step() / self.clock_hz;
+        UnitSystem::us_per_day(self.dt_fs, seconds_per_step)
+    }
+
+    /// Average per-node position-port bandwidth demand in Gbps
+    /// (Fig. 18 A).
+    pub fn pos_gbps_per_node(&self) -> f64 {
+        self.gbps(self.pos_bits)
+    }
+
+    /// Average per-node force-port bandwidth demand in Gbps (Fig. 18 A).
+    pub fn frc_gbps_per_node(&self) -> f64 {
+        self.gbps(self.frc_bits)
+    }
+
+    fn gbps(&self, bits: u64) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        let bits_per_cycle_per_node = bits as f64 / self.total_cycles as f64 / self.nodes as f64;
+        bits_per_cycle_per_node * self.clock_hz / 1.0e9
+    }
+
+    /// Slowest node's average force-phase duration (straggler view).
+    pub fn max_force_cycles(&self) -> u64 {
+        self.records.iter().map(|r| r.force_cycles).max().unwrap_or(0)
+    }
+
+    /// Per-step completion spread: max − min `wall_end` within each step,
+    /// averaged over steps. Chained sync keeps this large under a
+    /// straggler (fast nodes race ahead); bulk sync forces it to ~0.
+    pub fn avg_completion_spread(&self) -> f64 {
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for step in 0..self.steps {
+            let ends: Vec<u64> = self
+                .records
+                .iter()
+                .filter(|r| r.step == step)
+                .map(|r| r.wall_end)
+                .collect();
+            if let (Some(&min), Some(&max)) = (ends.iter().min(), ends.iter().max()) {
+                total += max - min;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! The shared numerical datapath: filter + force pipeline arithmetic
+//! (paper §3.3–3.4, Fig. 6–7).
+//!
+//! Both execution models (functional and timed) evaluate pairs with
+//! exactly this arithmetic:
+//!
+//! 1. **Filter** — fixed-point: subtract the RCID-concatenated positions,
+//!    square and sum in `Q5.26`, compare against `Rc² = 1` and against the
+//!    excluded-region threshold `2^-n_sections`. Pass ⇒ the pair enters
+//!    the force pipeline.
+//! 2. **Force pipeline** — floating point: convert `r²` to `f32`, look up
+//!    `r⁻¹⁴` and `r⁻⁸` by linear interpolation (Eq. 8), combine with the
+//!    element-pair coefficients (Eq. 2) and scale the fixed-point
+//!    displacement converted to `f32`.
+//!
+//! Forces accumulate in `f32` (the Force Cache stores "32-bit floating
+//! point forces", §3.1).
+
+use fasda_arith::fixed::{Fix, FixVec3};
+use fasda_arith::interp::{InterpTable, LjForceTable, LjPotentialTable, TableConfig};
+use fasda_md::element::{Element, PairTable};
+use fasda_md::ewald::EwaldParams;
+
+/// A filtered pair ready for force evaluation: fixed-point displacement
+/// and squared distance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FilteredPair {
+    /// `r_home − r_neighbour` in concatenated fixed point.
+    pub delta: FixVec3,
+    /// `|delta|²` in fixed point, guaranteed inside the table domain.
+    pub r2: Fix,
+}
+
+/// The electrostatic extension of the datapath: the real-space PME
+/// kernel tabulated through the same section/bin mechanism as the LJ
+/// terms ("the RL force pipelines are nearly identical", §2.1), plus the
+/// per-element charge ROM.
+#[derive(Clone, Debug)]
+struct CoulombPath {
+    force_table: InterpTable,
+    pot_table: InterpTable,
+    charge: [f32; Element::COUNT],
+}
+
+/// The bit-faithful filter + force-pipeline arithmetic.
+#[derive(Clone, Debug)]
+pub struct ForceDatapath {
+    force_table: LjForceTable,
+    pot_table: LjPotentialTable,
+    coulomb: Option<CoulombPath>,
+    /// `[a][b] → (c14, c8)` force coefficients as the `f32` words the
+    /// element-indexed coefficient BRAM holds (§3.4).
+    force_coeff: [[(f32, f32); Element::COUNT]; Element::COUNT],
+    /// `[a][b] → (c12, c6)` potential coefficients (validation path).
+    pot_coeff: [[(f32, f32); Element::COUNT]; Element::COUNT],
+    /// Inclusive lower bound of the covered `r²` domain in fixed point.
+    min_r2: Fix,
+    /// Exclusive upper bound: `Rc² = 1`.
+    cutoff_r2: Fix,
+}
+
+impl ForceDatapath {
+    /// Build the datapath from the physical pair table and a table
+    /// geometry.
+    pub fn new(pairs: &PairTable, table: TableConfig) -> Self {
+        let mut force_coeff = [[(0.0f32, 0.0f32); Element::COUNT]; Element::COUNT];
+        let mut pot_coeff = [[(0.0f32, 0.0f32); Element::COUNT]; Element::COUNT];
+        for a in Element::ALL {
+            for b in Element::ALL {
+                let c = pairs.get(a, b);
+                force_coeff[a.index()][b.index()] = (c.c14 as f32, c.c8 as f32);
+                pot_coeff[a.index()][b.index()] = (c.c12 as f32, c.c6 as f32);
+            }
+        }
+        ForceDatapath {
+            force_table: LjForceTable::new(table),
+            pot_table: LjPotentialTable::new(table),
+            coulomb: None,
+            force_coeff,
+            pot_coeff,
+            min_r2: Fix::from_f64(table.domain_min()),
+            cutoff_r2: Fix::ONE,
+        }
+    }
+
+    /// Extend the pipeline with the real-space PME electrostatic term
+    /// (§2.1). The Ewald kernel is tabulated with the *same* section/bin
+    /// interpolation as the LJ terms — the "trivial modification" that
+    /// retargets the force pipeline to a different model (§3.4).
+    pub fn with_electrostatics(mut self, params: EwaldParams) -> Self {
+        let cfg = self.force_table.config();
+        let mut charge = [0.0f32; Element::COUNT];
+        for e in Element::ALL {
+            charge[e.index()] = e.charge() as f32;
+        }
+        self.coulomb = Some(CoulombPath {
+            force_table: InterpTable::build_fn(cfg, params.force_kernel()),
+            pot_table: InterpTable::build_fn(cfg, params.potential_kernel()),
+            charge,
+        });
+        self
+    }
+
+    /// True when the electrostatic path is configured.
+    pub fn has_electrostatics(&self) -> bool {
+        self.coulomb.is_some()
+    }
+
+    /// Set the filter's cutoff radius in cell units (`0 < c ≤ 1`).
+    /// The paper fixes `Rc = cell edge` (Fig. 3: the largest value that
+    /// keeps only 26 neighbour cells); smaller values model a cell edge
+    /// *larger* than the cutoff, where "unnecessary margins" make the
+    /// filters reject more candidates.
+    pub fn with_cutoff(mut self, cells: f64) -> Self {
+        assert!(
+            cells > 0.0 && cells <= 1.0,
+            "cutoff must be in (0, 1] cell units"
+        );
+        self.cutoff_r2 = Fix::from_f64(cells * cells);
+        self
+    }
+
+    /// The active squared cutoff in cell units.
+    pub fn cutoff_sq(&self) -> f64 {
+        self.cutoff_r2.to_f64()
+    }
+
+    /// Table geometry in use.
+    pub fn table_config(&self) -> TableConfig {
+        self.force_table.config()
+    }
+
+    /// The fixed-point pair filter: pass iff
+    /// `min_r2 ≤ |a−b|² < Rc²`. `a` and `b` are RCID-concatenated
+    /// coordinates. Returns the filtered pair on pass.
+    #[inline]
+    pub fn filter(&self, home: FixVec3, neighbour: FixVec3) -> Option<FilteredPair> {
+        let delta = home.delta(neighbour);
+        let r2 = delta.norm_sq();
+        if r2 < self.cutoff_r2 && r2 >= self.min_r2 {
+            Some(FilteredPair { delta, r2 })
+        } else {
+            None
+        }
+    }
+
+    /// Force-pipeline body: force **on the home particle** of the pair,
+    /// in kcal/mol/cell as `f32`. The neighbour receives the negation
+    /// (Newton's third law, applied by the caller).
+    #[inline]
+    pub fn force(&self, home_elem: Element, nbr_elem: Element, pair: FilteredPair) -> [f32; 3] {
+        let r2 = pair.r2.to_f32();
+        let (r14, r8) = self.force_table.eval(r2);
+        let (c14, c8) = self.force_coeff[home_elem.index()][nbr_elem.index()];
+        let mut scale = c14 * r14 - c8 * r8;
+        if let Some(c) = &self.coulomb {
+            let qq = c.charge[home_elem.index()] * c.charge[nbr_elem.index()];
+            if qq != 0.0 {
+                scale += qq * c.force_table.eval_filtered(r2);
+            }
+        }
+        let [dx, dy, dz] = pair.delta.to_f32();
+        [scale * dx, scale * dy, scale * dz]
+    }
+
+    /// Pair potential energy via the interpolated `r⁻¹²`/`r⁻⁶` tables,
+    /// kcal/mol as `f32` (validation/diagnostic path).
+    #[inline]
+    pub fn potential(&self, a: Element, b: Element, pair: FilteredPair) -> f32 {
+        let r2 = pair.r2.to_f32();
+        let (r12, r6) = self.pot_table.eval(r2);
+        let (c12, c6) = self.pot_coeff[a.index()][b.index()];
+        let mut v = c12 * r12 - c6 * r6;
+        if let Some(c) = &self.coulomb {
+            let qq = c.charge[a.index()] * c.charge[b.index()];
+            if qq != 0.0 {
+                v += qq * c.pot_table.eval_filtered(r2);
+            }
+        }
+        v
+    }
+
+    /// Concatenate an RCID with an in-cell offset (§4.2): coordinate
+    /// value `rcid + offset`, RCID ∈ {1,2,3}.
+    #[inline]
+    pub fn concat(rcid: (u8, u8, u8), offset: FixVec3) -> FixVec3 {
+        debug_assert!(offset.x.is_cell_offset() && offset.y.is_cell_offset() && offset.z.is_cell_offset());
+        let f = |r: u8, o: Fix| -> Fix {
+            debug_assert!((1..=3).contains(&r), "RCID component {r} out of range");
+            Fix::from_bits((r as i32) << fasda_arith::fixed::FRAC_BITS) + o
+        };
+        FixVec3::new(
+            f(rcid.0, offset.x),
+            f(rcid.1, offset.y),
+            f(rcid.2, offset.z),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasda_md::units::UnitSystem;
+
+    fn dp() -> ForceDatapath {
+        ForceDatapath::new(&PairTable::new(UnitSystem::PAPER), TableConfig::PAPER)
+    }
+
+    fn concat_home(off: [f64; 3]) -> FixVec3 {
+        ForceDatapath::concat(
+            (2, 2, 2),
+            FixVec3::from_f64(off[0], off[1], off[2]),
+        )
+    }
+
+    #[test]
+    fn filter_passes_within_cutoff() {
+        let d = dp();
+        let a = concat_home([0.5, 0.5, 0.5]);
+        let b = concat_home([0.9, 0.5, 0.5]);
+        let p = d.filter(a, b).expect("r=0.4 passes");
+        assert!((p.r2.to_f64() - 0.16).abs() < 1e-6);
+        assert!((p.delta.x.to_f64() + 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn filter_rejects_at_and_beyond_cutoff() {
+        let d = dp();
+        let a = concat_home([0.0, 0.0, 0.0]);
+        // neighbour cell at +x: rcid (3,2,2), offset 0 → distance exactly 1
+        let b = ForceDatapath::concat((3, 2, 2), FixVec3::ZERO);
+        assert!(d.filter(a, b).is_none(), "r = Rc must be rejected");
+        let c = ForceDatapath::concat((3, 2, 2), FixVec3::from_f64(0.5, 0.0, 0.0));
+        assert!(d.filter(a, c).is_none(), "r = 1.5 rejected");
+    }
+
+    #[test]
+    fn filter_rejects_excluded_region() {
+        let d = dp();
+        let a = concat_home([0.5, 0.5, 0.5]);
+        let b = concat_home([0.5 + 1e-4, 0.5, 0.5]);
+        assert!(d.filter(a, b).is_none(), "r=1e-4 is in the excluded region");
+        // self-pair distance 0 is also excluded
+        assert!(d.filter(a, a).is_none());
+    }
+
+    #[test]
+    fn force_matches_exact_lj_within_table_error() {
+        let d = dp();
+        let pairs = PairTable::new(UnitSystem::PAPER);
+        for r in [0.3f64, 0.35, 0.45, 0.6, 0.8, 0.95] {
+            let a = concat_home([0.0, 0.2, 0.2]);
+            let off_b = [r, 0.2, 0.2];
+            let b = concat_home(off_b);
+            let p = d.filter(a, b).unwrap();
+            let f = d.force(Element::Na, Element::Na, p);
+            // exact: force on home = s·(r_home − r_nbr); home at x=0, nbr at x=r
+            let s = pairs.force_scale(Element::Na, Element::Na, r * r);
+            let want = s * (0.0 - r);
+            let got = f[0] as f64;
+            let tol = want.abs().max(1e-6) * 5e-3;
+            assert!(
+                (got - want).abs() < tol,
+                "r={r}: got {got}, want {want}"
+            );
+            assert!(f[1].abs() < 1e-9 && f[2].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn force_antisymmetric_under_swap() {
+        let d = dp();
+        let a = concat_home([0.1, 0.6, 0.3]);
+        let b = concat_home([0.5, 0.4, 0.8]);
+        let pab = d.filter(a, b).unwrap();
+        let pba = d.filter(b, a).unwrap();
+        let fab = d.force(Element::Na, Element::Na, pab);
+        let fba = d.force(Element::Na, Element::Na, pba);
+        for k in 0..3 {
+            assert_eq!(fab[k], -fba[k], "component {k}");
+        }
+    }
+
+    #[test]
+    fn potential_matches_exact_within_table_error() {
+        let d = dp();
+        let pairs = PairTable::new(UnitSystem::PAPER);
+        let a = concat_home([0.0, 0.0, 0.0]);
+        let b = concat_home([0.4, 0.1, 0.0]);
+        let p = d.filter(a, b).unwrap();
+        let got = d.potential(Element::Na, Element::Na, p) as f64;
+        let r2 = p.r2.to_f64();
+        let want = pairs.potential(Element::Na, Element::Na, r2);
+        assert!(
+            (got - want).abs() < want.abs().max(1e-6) * 5e-3,
+            "{got} vs {want}"
+        );
+    }
+
+    #[test]
+    fn concat_rejects_bad_rcid_in_debug() {
+        // Valid construction with all three RCID extremes.
+        let v = ForceDatapath::concat((1, 2, 3), FixVec3::from_f64(0.25, 0.5, 0.75));
+        assert_eq!(v.to_f64(), [1.25, 2.5, 3.75]);
+    }
+
+    #[test]
+    fn electrostatic_path_adds_coulomb_force() {
+        use fasda_md::ewald::EwaldParams;
+        use fasda_md::units::UnitSystem;
+        let params = EwaldParams::standard(UnitSystem::PAPER);
+        let d = ForceDatapath::new(&PairTable::new(UnitSystem::PAPER), TableConfig::PAPER)
+            .with_electrostatics(params);
+        assert!(d.has_electrostatics());
+        let a = concat_home([0.0, 0.0, 0.0]);
+        let b = concat_home([0.4, 0.0, 0.0]);
+        let p = d.filter(a, b).unwrap();
+        // like charges add repulsion relative to neutral LJ
+        let f_neutral = d.force(Element::Na, Element::Na, p)[0];
+        let f_like = d.force(Element::NaPlus, Element::NaPlus, p)[0];
+        let f_unlike = d.force(Element::NaPlus, Element::ClMinus, p)[0];
+        // home at x=0, neighbour at x=0.4 → repulsion pushes home in -x
+        assert!(f_like < f_neutral, "like charges more repulsive");
+        assert!(f_unlike > f_neutral - 1.0 && f_unlike > f_like, "opposite charges attract");
+        // magnitude matches the exact Ewald term within table error
+        let exact = params.force_scale_unit(p.r2.to_f64()) * (0.0 - 0.4);
+        let got = f_like as f64 - f_neutral as f64;
+        assert!(
+            ((got - exact) / exact).abs() < 5e-3,
+            "coulomb term {got} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn cross_element_uses_mixed_coefficients() {
+        let d = dp();
+        let a = concat_home([0.0, 0.0, 0.0]);
+        let b = concat_home([0.45, 0.0, 0.0]);
+        let p = d.filter(a, b).unwrap();
+        let f_na_na = d.force(Element::Na, Element::Na, p)[0];
+        let f_na_ar = d.force(Element::Na, Element::Ar, p)[0];
+        assert_ne!(f_na_na, f_na_ar, "element lookup must differentiate pairs");
+    }
+}

@@ -1,0 +1,495 @@
+//! The Processing Element: filter stations, pair arbiter, force pipeline
+//! (paper §3.3, Fig. 6).
+//!
+//! A neighbour position arriving from the PRN is "dispatched to one of the
+//! registers to pair with the positions from local PC being traversed
+//! repeatedly". Each of the PE's filter stations holds one neighbour
+//! position and streams the home cell's particles past it, one comparison
+//! per cycle. Passing pairs are buffered per-station and arbitrated into
+//! the force pipeline (one issue per cycle). Retired forces split two
+//! ways: the home component accumulates into the local FC, the neighbour
+//! component is negated and accumulated in the station register; when the
+//! station's scan is complete **and** its pairs have drained from the
+//! pipeline, the accumulated neighbour force is ejected toward the FRN —
+//! or discarded if no pair passed ("zero force is simply discarded rather
+//! than returned", §5.4).
+
+// Componentwise `for k in 0..3` loops mirror the per-lane datapath.
+#![allow(clippy::needless_range_loop)]
+use crate::datapath::{FilteredPair, ForceDatapath};
+use fasda_arith::fixed::FixVec3;
+use fasda_md::element::Element;
+use fasda_sim::{Activity, Cycle, Fifo, Pipeline};
+
+use super::ring::FrcFlit;
+use crate::geometry::ChipCoord;
+
+/// Where an ejected neighbour force must go.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NbrKind {
+    /// The neighbour came from another cell (possibly another chip): the
+    /// force returns via the force ring.
+    Ring {
+        owner_chip: ChipCoord,
+        owner_cbb: u16,
+        slot: u16,
+        /// Whether the owner is a remote chip (for per-origin sync
+        /// accounting).
+        remote: bool,
+    },
+    /// A home-internal entry (the half-shell's own-cell `i < j` pairs):
+    /// the reaction force lands directly in the local FC at `slot`.
+    Internal { slot: u16 },
+}
+
+/// A neighbour position occupying a filter station.
+#[derive(Clone, Copy, Debug)]
+pub struct NbrEntry {
+    /// RCID-concatenated coordinates of the neighbour.
+    pub concat: FixVec3,
+    /// Element type.
+    pub elem: Element,
+    /// First home slot to scan (0 for ring neighbours; `slot + 1` for
+    /// home-internal entries, giving the `i < j` rule).
+    pub scan_from: u16,
+    /// Force-return routing.
+    pub kind: NbrKind,
+}
+
+/// A filtered pair in flight toward / inside the force pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct PipeJob {
+    /// Station that produced the pair (for neighbour-force accumulation).
+    pub station: u8,
+    /// Home slot of the pair.
+    pub home_slot: u16,
+    /// Home element.
+    pub home_elem: Element,
+    /// Neighbour element.
+    pub nbr_elem: Element,
+    /// Filter output.
+    pub pair: FilteredPair,
+}
+
+/// One filter station.
+#[derive(Clone, Debug)]
+struct Station {
+    entry: Option<NbrEntry>,
+    cursor: u16,
+    in_flight: u32,
+    had_pairs: bool,
+    acc: [f32; 3],
+    pair_fifo: Fifo<PipeJob>,
+}
+
+impl Station {
+    fn new(fifo_depth: usize) -> Self {
+        Station {
+            entry: None,
+            cursor: 0,
+            in_flight: 0,
+            had_pairs: false,
+            acc: [0.0; 3],
+            pair_fifo: Fifo::new(fifo_depth),
+        }
+    }
+
+    fn scan_done(&self, home_len: u16) -> bool {
+        self.cursor >= home_len
+    }
+
+    fn drained(&self, home_len: u16) -> bool {
+        self.entry.is_some()
+            && self.scan_done(home_len)
+            && self.in_flight == 0
+            && self.pair_fifo.is_empty()
+    }
+
+    fn load(&mut self, entry: NbrEntry) {
+        self.cursor = entry.scan_from;
+        self.in_flight = 0;
+        self.had_pairs = false;
+        self.acc = [0.0; 3];
+        self.entry = Some(entry);
+    }
+}
+
+/// The result of ejecting a completed neighbour entry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Ejection {
+    /// Send this flit along the force ring.
+    Ring(FrcFlit, /*remote origin:*/ bool),
+    /// Accumulate directly into the local FC (home-internal reaction).
+    Local { slot: u16, force: [f32; 3] },
+    /// Neighbour passed no filter: zero force, discarded (§5.4). The
+    /// origin and `remote` flag still matter for per-origin sync
+    /// accounting.
+    Discard { origin: ChipCoord, remote: bool },
+}
+
+/// A Processing Element: `filters_per_pe` stations + one force pipeline.
+#[derive(Clone, Debug)]
+pub struct Pe {
+    stations: Vec<Station>,
+    pipe: Pipeline<PipeJob>,
+    rr: usize,
+    /// Filter activity (capacity = stations).
+    pub filter_stats: Activity,
+    /// Force-pipeline activity (capacity = 1/cycle).
+    pub pe_stats: Activity,
+}
+
+impl Pe {
+    /// Build a PE.
+    pub fn new(filters: u32, pipe_latency: u32, pair_fifo_depth: usize) -> Self {
+        Pe {
+            stations: (0..filters).map(|_| Station::new(pair_fifo_depth)).collect(),
+            pipe: Pipeline::new(pipe_latency as u64),
+            rr: 0,
+            filter_stats: Activity::with_capacity(filters as u64),
+            pe_stats: Activity::with_capacity(1),
+        }
+    }
+
+    /// True if some station is free to accept a neighbour entry.
+    pub fn has_free_station(&self) -> bool {
+        self.stations.iter().any(|s| s.entry.is_none())
+    }
+
+    /// Load a neighbour entry into a free station. Panics if none free —
+    /// guard with [`Pe::has_free_station`].
+    pub fn dispatch(&mut self, entry: NbrEntry) {
+        let s = self
+            .stations
+            .iter_mut()
+            .find(|s| s.entry.is_none())
+            .expect("dispatch requires a free station");
+        s.load(entry);
+    }
+
+    /// True when the PE holds no work at all.
+    pub fn is_idle(&self) -> bool {
+        self.pipe.is_empty() && self.stations.iter().all(|s| s.entry.is_none())
+    }
+
+    /// One cycle of PE operation against the home cell's snapshot.
+    ///
+    /// `home` is (elements, concatenated home coordinates). Returns
+    /// `(retired_force, ejections)`: at most one retired pipeline result
+    /// `(home_slot, force_on_home)` this cycle, and any station ejections.
+    ///
+    /// `ring_eject_budget` models the SPE's single arbitrated injection
+    /// path into the FRN (§4.5): a station whose force must travel the
+    /// force ring can only eject while the budget is positive; local
+    /// reactions and zero-force discards are port-free.
+    #[allow(clippy::type_complexity)]
+    pub fn step(
+        &mut self,
+        cycle: Cycle,
+        dp: &ForceDatapath,
+        home_elem: &[Element],
+        home_concat: &[FixVec3],
+        ejections: &mut Vec<Ejection>,
+        ring_eject_budget: &mut u32,
+    ) -> Option<(u16, [f32; 3])> {
+        let home_len = home_elem.len() as u16;
+
+        // 1. Retire a pipeline result: home force to FC, reaction into
+        //    the producing station's accumulator.
+        let mut retired = None;
+        if let Some(job) = self.pipe.pop_ready(cycle) {
+            let f = dp.force(job.home_elem, job.nbr_elem, job.pair);
+            let st = &mut self.stations[job.station as usize];
+            for k in 0..3 {
+                st.acc[k] -= f[k];
+            }
+            st.in_flight -= 1;
+            retired = Some((job.home_slot, f));
+        }
+
+        // 2. Arbitrate one buffered pair into the pipeline (round-robin).
+        if self.pipe.can_issue(cycle) {
+            let n = self.stations.len();
+            for k in 0..n {
+                let idx = (self.rr + k) % n;
+                if let Some(job) = self.stations[idx].pair_fifo.pop() {
+                    self.pipe
+                        .issue(cycle, job).expect("can_issue checked");
+                    self.rr = (idx + 1) % n;
+                    break;
+                }
+            }
+        }
+
+        // 3. Filters: each occupied, unfinished station compares one home
+        //    particle per cycle (stalling only on a full pair FIFO).
+        let mut comparisons = 0u64;
+        let mut any_station_active = false;
+        for (si, st) in self.stations.iter_mut().enumerate() {
+            let Some(entry) = st.entry else { continue };
+            any_station_active = true;
+            if st.scan_done(home_len) || st.pair_fifo.is_full() {
+                continue;
+            }
+            let hi = st.cursor as usize;
+            comparisons += 1;
+            if let Some(pair) = dp.filter(home_concat[hi], entry.concat) {
+                let job = PipeJob {
+                    station: si as u8,
+                    home_slot: st.cursor,
+                    home_elem: home_elem[hi],
+                    nbr_elem: entry.elem,
+                    pair,
+                };
+                st.pair_fifo.push(job).expect("fullness checked");
+                st.in_flight += 1;
+                st.had_pairs = true;
+            }
+            st.cursor += 1;
+        }
+
+        // 4. Eject at most one drained station per cycle. Ring ejections
+        //    additionally need the SPE's FRN injection budget.
+        for st in &mut self.stations {
+            if !st.drained(home_len) {
+                continue;
+            }
+            let entry = st.entry.expect("drained implies occupied");
+            let needs_ring = matches!(entry.kind, NbrKind::Ring { .. }) && st.had_pairs;
+            if needs_ring && *ring_eject_budget == 0 {
+                continue; // retry next cycle
+            }
+            st.entry = None;
+            let ej = match entry.kind {
+                NbrKind::Internal { slot } => {
+                    if st.had_pairs {
+                        Ejection::Local {
+                            slot,
+                            force: st.acc,
+                        }
+                    } else {
+                        Ejection::Discard {
+                            origin: ChipCoord::new(0, 0, 0),
+                            remote: false,
+                        }
+                    }
+                }
+                NbrKind::Ring {
+                    owner_chip,
+                    owner_cbb,
+                    slot,
+                    remote,
+                } => {
+                    if st.had_pairs {
+                        *ring_eject_budget -= 1;
+                        Ejection::Ring(
+                            FrcFlit {
+                                owner_chip,
+                                owner_cbb,
+                                slot,
+                                force: st.acc,
+                            },
+                            remote,
+                        )
+                    } else {
+                        Ejection::Discard {
+                            origin: owner_chip,
+                            remote,
+                        }
+                    }
+                }
+            };
+            ejections.push(ej);
+            break;
+        }
+
+        // 5. Stats.
+        self.filter_stats.record(comparisons, any_station_active);
+        self.pe_stats
+            .record(u64::from(retired.is_some()), !self.pipe.is_empty() || retired.is_some());
+
+        retired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasda_arith::interp::TableConfig;
+    use fasda_md::element::PairTable;
+    use fasda_md::units::UnitSystem;
+
+    fn budget() -> u32 {
+        1
+    }
+
+    fn dp() -> ForceDatapath {
+        ForceDatapath::new(&PairTable::new(UnitSystem::PAPER), TableConfig::PAPER)
+    }
+
+    fn home(n: usize) -> (Vec<Element>, Vec<FixVec3>) {
+        // n home particles along x in the home cell (RCID 2)
+        let elems = vec![Element::Na; n];
+        let concat = (0..n)
+            .map(|i| {
+                ForceDatapath::concat(
+                    (2, 2, 2),
+                    FixVec3::from_f64(0.1 + 0.8 * i as f64 / n.max(1) as f64, 0.5, 0.5),
+                )
+            })
+            .collect();
+        (elems, concat)
+    }
+
+    fn nbr_at(x: f64) -> NbrEntry {
+        NbrEntry {
+            concat: ForceDatapath::concat((2, 2, 2), FixVec3::from_f64(x, 0.5, 0.5)),
+            elem: Element::Na,
+            scan_from: 0,
+            kind: NbrKind::Ring {
+                owner_chip: ChipCoord::new(0, 0, 0),
+                owner_cbb: 3,
+                slot: 9,
+                remote: false,
+            },
+        }
+    }
+
+    #[test]
+    fn scan_filter_retire_eject_cycle() {
+        let dp = dp();
+        let (he, hc) = home(4);
+        let mut pe = Pe::new(2, 5, 8);
+        pe.dispatch(nbr_at(0.45));
+        let mut ej = Vec::new();
+        let mut retired = Vec::new();
+        for c in 0..60u64 {
+            if let Some(r) = pe.step(c, &dp, &he, &hc, &mut ej, &mut budget()) {
+                retired.push(r);
+            }
+            if pe.is_idle() {
+                break;
+            }
+        }
+        assert!(!retired.is_empty(), "some pairs must pass");
+        assert_eq!(ej.len(), 1);
+        match ej[0] {
+            Ejection::Ring(f, remote) => {
+                assert!(!remote);
+                assert_eq!((f.owner_cbb, f.slot), (3, 9));
+                // reaction = -(sum of home forces), up to f32 rounding
+                let sum: f64 = retired.iter().map(|(_, f)| f[0] as f64).sum();
+                let tol = retired
+                    .iter()
+                    .map(|(_, f)| f[0].abs() as f64)
+                    .sum::<f64>()
+                    .max(1.0)
+                    * 1e-5;
+                assert!(
+                    (f.force[0] as f64 + sum).abs() < tol,
+                    "{} vs {sum}",
+                    f.force[0]
+                );
+            }
+            ref other => panic!("expected ring ejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_force_discarded() {
+        let dp = dp();
+        // home particles clustered at x≈0.1; neighbour at RCID 3 far side
+        let (he, hc) = home(3);
+        let mut pe = Pe::new(1, 3, 4);
+        pe.dispatch(NbrEntry {
+            concat: ForceDatapath::concat((3, 2, 2), FixVec3::from_f64(0.99, 0.5, 0.5)),
+            elem: Element::Na,
+            scan_from: 0,
+            kind: NbrKind::Ring {
+                owner_chip: ChipCoord::new(1, 0, 0),
+                owner_cbb: 0,
+                slot: 0,
+                remote: true,
+            },
+        });
+        let mut ej = Vec::new();
+        for c in 0..40u64 {
+            pe.step(c, &dp, &he, &hc, &mut ej, &mut budget());
+            if pe.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(
+            ej,
+            vec![Ejection::Discard {
+                origin: ChipCoord::new(1, 0, 0),
+                remote: true
+            }]
+        );
+    }
+
+    #[test]
+    fn internal_entry_scans_only_upper_slots() {
+        let dp = dp();
+        let (he, hc) = home(5);
+        let mut pe = Pe::new(1, 3, 4);
+        pe.dispatch(NbrEntry {
+            concat: hc[2],
+            elem: Element::Na,
+            scan_from: 3, // i = 2, scan j in 3..5
+            kind: NbrKind::Internal { slot: 2 },
+        });
+        let mut ej = Vec::new();
+        let mut retired = Vec::new();
+        for c in 0..40u64 {
+            if let Some(r) = pe.step(c, &dp, &he, &hc, &mut ej, &mut budget()) {
+                retired.push(r.0);
+            }
+            if pe.is_idle() {
+                break;
+            }
+        }
+        assert!(retired.iter().all(|&s| s >= 3), "scanned slots {retired:?}");
+        // comparisons = 2 (slots 3 and 4)
+        assert_eq!(pe.filter_stats.work, 2);
+    }
+
+    #[test]
+    fn initiation_interval_limits_throughput() {
+        let dp = dp();
+        // 6 stations all loaded with close neighbours → filters produce up
+        // to 6 valid pairs/cycle but the pipeline retires at most 1/cycle.
+        let (he, hc) = home(16);
+        let mut pe = Pe::new(6, 10, 8);
+        for _ in 0..6 {
+            pe.dispatch(nbr_at(0.48));
+        }
+        let mut ej = Vec::new();
+        let mut retired = 0;
+        let mut last_cycle_with_two = false;
+        let mut prev = false;
+        for c in 0..400u64 {
+            let r = pe.step(c, &dp, &he, &hc, &mut ej, &mut budget());
+            if r.is_some() && prev {
+                last_cycle_with_two = true; // consecutive retires are fine; >1/cycle impossible by API
+            }
+            prev = r.is_some();
+            retired += u64::from(r.is_some());
+            if pe.is_idle() {
+                break;
+            }
+        }
+        let _ = last_cycle_with_two;
+        assert!(retired > 0);
+        assert_eq!(pe.pe_stats.work, retired);
+        assert_eq!(ej.len(), 6);
+    }
+
+    #[test]
+    fn dispatch_requires_free_station() {
+        let mut pe = Pe::new(1, 3, 4);
+        assert!(pe.has_free_station());
+        pe.dispatch(nbr_at(0.5));
+        assert!(!pe.has_free_station());
+    }
+}

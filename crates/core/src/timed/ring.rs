@@ -1,0 +1,217 @@
+//! Slotted daisy-chain rings and the flits they carry (paper §3.2).
+//!
+//! FASDA maps the 3-D cell space onto 1-D rings: the **position ring**
+//! moves particle broadcasts clockwise (increasing CBB index), the
+//! **force ring** moves accumulated neighbour forces counter-clockwise,
+//! and the **motion-update ring** carries migrating particles. Each ring
+//! node holds one flit register; flits advance one hop per cycle. A flit
+//! that cannot be delivered (full input buffer) simply keeps rotating and
+//! retries next lap — the "data pieces spinning in rings" of §5.3.
+
+use crate::geometry::ChipCoord;
+use fasda_arith::fixed::FixVec3;
+use fasda_md::element::Element;
+use fasda_md::space::CellCoord;
+
+/// A position broadcast travelling the position ring.
+///
+/// Carries the owner identity (chip/CBB/slot — the "header that contains
+/// particle identification information" of Fig. 11), the payload, and the
+/// remaining destinations as masks. The local mask is over this chip's
+/// CBB indices; the remote mask is over the chip's `send_chips()` list
+/// and is drained by the EX node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PosFlit {
+    /// Home chip of the particle.
+    pub owner_chip: ChipCoord,
+    /// Home CBB on the owner chip.
+    pub owner_cbb: u16,
+    /// Slot in the owner cell's phase snapshot.
+    pub slot: u16,
+    /// Element type.
+    pub elem: Element,
+    /// Fixed-point offset within the home cell.
+    pub offset: FixVec3,
+    /// Global coordinates of the home cell (for RCID at delivery).
+    pub src_gcell: CellCoord,
+    /// Remaining on-chip destination CBBs (bit = CBB index).
+    pub local_mask: u64,
+    /// Remaining remote destination chips (bit = index into the sending
+    /// chip's `send_chips()` list).
+    pub remote_mask: u32,
+}
+
+impl PosFlit {
+    /// True once every destination has been served.
+    #[inline]
+    pub fn exhausted(&self) -> bool {
+        self.local_mask == 0 && self.remote_mask == 0
+    }
+}
+
+/// An accumulated neighbour force returning to its home cell on the
+/// force ring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrcFlit {
+    /// Home chip of the particle the force belongs to.
+    pub owner_chip: ChipCoord,
+    /// Home CBB on the owner chip.
+    pub owner_cbb: u16,
+    /// Slot in the owner cell's phase snapshot.
+    pub slot: u16,
+    /// Accumulated partial force, kcal/mol/cell.
+    pub force: [f32; 3],
+}
+
+/// A migrating particle on the motion-update ring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MigFlit {
+    /// Destination cell, global coordinates.
+    pub dest_gcell: CellCoord,
+    /// Stable particle ID.
+    pub id: u32,
+    /// Element type.
+    pub elem: Element,
+    /// Offset within the destination cell.
+    pub offset: FixVec3,
+    /// Velocity, cells/fs.
+    pub vel: [f32; 3],
+}
+
+/// Ring rotation direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Toward increasing node index (position ring, §3.2).
+    Clockwise,
+    /// Toward decreasing node index (force ring).
+    CounterClockwise,
+}
+
+/// A slotted ring: one flit register per node, one hop per cycle.
+#[derive(Clone, Debug)]
+pub struct Ring<T> {
+    slots: Vec<Option<T>>,
+    dir: Direction,
+    /// Flit-hops performed (hardware-utilization numerator).
+    pub hops: u64,
+}
+
+impl<T> Ring<T> {
+    /// A ring of `nodes` registers.
+    pub fn new(nodes: usize, dir: Direction) -> Self {
+        assert!(nodes >= 2, "a ring needs at least 2 nodes");
+        Ring {
+            slots: (0..nodes).map(|_| None).collect(),
+            dir,
+            hops: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no flits are on the ring.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Occupied slot count.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Advance every flit one hop.
+    pub fn rotate(&mut self) {
+        let occ = self.occupancy() as u64;
+        self.hops += occ;
+        if occ == 0 {
+            return;
+        }
+        match self.dir {
+            Direction::Clockwise => self.slots.rotate_right(1),
+            Direction::CounterClockwise => self.slots.rotate_left(1),
+        }
+    }
+
+    /// The flit currently at `node`, if any.
+    #[inline]
+    pub fn at(&self, node: usize) -> Option<&T> {
+        self.slots[node].as_ref()
+    }
+
+    /// Mutable access to the flit at `node`.
+    #[inline]
+    pub fn at_mut(&mut self, node: usize) -> &mut Option<T> {
+        &mut self.slots[node]
+    }
+
+    /// Remove and return the flit at `node`.
+    #[inline]
+    pub fn take(&mut self, node: usize) -> Option<T> {
+        self.slots[node].take()
+    }
+
+    /// Inject a flit at `node` if the register is empty.
+    #[inline]
+    pub fn inject(&mut self, node: usize, flit: T) -> Result<(), T> {
+        if self.slots[node].is_some() {
+            return Err(flit);
+        }
+        self.slots[node] = Some(flit);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clockwise_moves_to_higher_index() {
+        let mut r: Ring<u32> = Ring::new(4, Direction::Clockwise);
+        r.inject(0, 7).unwrap();
+        r.rotate();
+        assert_eq!(r.at(1), Some(&7));
+        r.rotate();
+        assert_eq!(r.at(2), Some(&7));
+        // wraps
+        r.rotate();
+        r.rotate();
+        assert_eq!(r.at(0), Some(&7));
+        assert_eq!(r.hops, 4);
+    }
+
+    #[test]
+    fn counterclockwise_moves_to_lower_index() {
+        let mut r: Ring<u32> = Ring::new(4, Direction::CounterClockwise);
+        r.inject(1, 9).unwrap();
+        r.rotate();
+        assert_eq!(r.at(0), Some(&9));
+        r.rotate();
+        assert_eq!(r.at(3), Some(&9), "wraps downward");
+    }
+
+    #[test]
+    fn inject_requires_empty_slot() {
+        let mut r: Ring<u32> = Ring::new(3, Direction::Clockwise);
+        r.inject(2, 1).unwrap();
+        assert_eq!(r.inject(2, 2), Err(2));
+        assert_eq!(r.occupancy(), 1);
+        assert_eq!(r.take(2), Some(1));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn multiple_flits_keep_relative_order() {
+        let mut r: Ring<u32> = Ring::new(4, Direction::Clockwise);
+        r.inject(0, 0).unwrap();
+        r.inject(1, 1).unwrap();
+        r.rotate();
+        assert_eq!(r.at(1), Some(&0));
+        assert_eq!(r.at(2), Some(&1));
+        assert_eq!(r.occupancy(), 2);
+    }
+}

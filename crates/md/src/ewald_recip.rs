@@ -1,0 +1,317 @@
+//! Reciprocal-space (long-range) Ewald summation — the LR companion.
+//!
+//! FASDA accelerates the range-limited component; the paper treats the
+//! long-range part as "largely independent in terms of data flow" and
+//! points to its companion FPGA 3D-FFT systems (§1, refs \[29, 50, 51\]).
+//! This module is that companion substrate in software: the k-space sum
+//! and self-energy that complete the Ewald decomposition started by
+//! [`crate::ewald`]'s real-space term, so the repository can compute
+//! *full* periodic electrostatics:
+//!
+//! ```text
+//! E = E_real + E_recip + E_self
+//! E_recip = (2π·C/V) Σ_{k≠0} exp(−|k|²/4β²)/|k|² · |S(k)|²
+//! S(k)    = Σ_i q_i exp(i k·r_i),   k = 2π(n_x/L_x, n_y/L_y, n_z/L_z)
+//! E_self  = −C·β/√π · Σ_i q_i²
+//! ```
+//!
+//! Validated against the NaCl Madelung constant (1.74756…) in the tests
+//! — the classic acceptance test for any Ewald implementation.
+
+// Index loops over particles keep the k-space math close to the formulas.
+#![allow(clippy::needless_range_loop)]
+use crate::ewald::EwaldParams;
+use crate::system::ParticleSystem;
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the k-space sum.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecipParams {
+    /// Splitting parameter β (1/cell) — must match the real-space term.
+    pub beta: f64,
+    /// Coulomb constant in kcal·cell/(mol·e²) — must match.
+    pub coulomb: f64,
+    /// Maximum |n| per axis for k = 2π n/L. The Gaussian factor decays
+    /// as exp(−(π n / (β L))²); `kmax ≈ β·L` keeps the truncation error
+    /// below ~1e-4.
+    pub kmax: i32,
+}
+
+impl RecipParams {
+    /// Derive k-space parameters from the real-space term for a box of
+    /// the given maximum edge (cells).
+    pub fn matching(real: EwaldParams, max_edge_cells: f64) -> Self {
+        RecipParams {
+            beta: real.beta,
+            coulomb: real.coulomb,
+            kmax: (real.beta * max_edge_cells).ceil() as i32,
+        }
+    }
+}
+
+/// One term of the k-space sum, precomputed.
+struct KVector {
+    k: Vec3,
+    /// `(2π·C/V)·exp(−|k|²/4β²)/|k|²`, the energy prefactor.
+    a: f64,
+}
+
+/// The reciprocal-space Ewald evaluator for one box shape.
+pub struct EwaldRecip {
+    params: RecipParams,
+    kvecs: Vec<KVector>,
+    volume: f64,
+}
+
+impl EwaldRecip {
+    /// Precompute the k-vector table for a system's box.
+    pub fn new(params: RecipParams, sys: &ParticleSystem) -> Self {
+        let e = sys.space.edges();
+        let volume = e.x * e.y * e.z;
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let mut kvecs = Vec::new();
+        let km = params.kmax;
+        for nx in -km..=km {
+            for ny in -km..=km {
+                for nz in -km..=km {
+                    if (nx, ny, nz) == (0, 0, 0) {
+                        continue;
+                    }
+                    let k = Vec3::new(
+                        two_pi * nx as f64 / e.x,
+                        two_pi * ny as f64 / e.y,
+                        two_pi * nz as f64 / e.z,
+                    );
+                    let k2 = k.norm_sq();
+                    let a = two_pi * params.coulomb / volume
+                        * (-k2 / (4.0 * params.beta * params.beta)).exp()
+                        / k2;
+                    // skip negligible shells to keep the table compact
+                    if a.abs() > 1e-16 {
+                        kvecs.push(KVector { k, a });
+                    }
+                }
+            }
+        }
+        EwaldRecip {
+            params,
+            kvecs,
+            volume,
+        }
+    }
+
+    /// Number of retained k-vectors.
+    pub fn num_kvectors(&self) -> usize {
+        self.kvecs.len()
+    }
+
+    /// Box volume (cell³).
+    pub fn volume(&self) -> f64 {
+        self.volume
+    }
+
+    /// Reciprocal-space energy (kcal/mol).
+    pub fn energy(&self, sys: &ParticleSystem) -> f64 {
+        let mut total = 0.0;
+        for kv in &self.kvecs {
+            let (mut re, mut im) = (0.0f64, 0.0f64);
+            for i in 0..sys.len() {
+                let q = sys.element[i].charge();
+                if q == 0.0 {
+                    continue;
+                }
+                let phase = kv.k.dot(sys.pos[i]);
+                re += q * phase.cos();
+                im += q * phase.sin();
+            }
+            total += kv.a * (re * re + im * im);
+        }
+        total
+    }
+
+    /// Self-energy correction (kcal/mol) — independent of positions.
+    pub fn self_energy(&self, sys: &ParticleSystem) -> f64 {
+        let q2: f64 = sys.element.iter().map(|e| e.charge() * e.charge()).sum();
+        -self.params.coulomb * self.params.beta / std::f64::consts::PI.sqrt() * q2
+    }
+
+    /// Add the reciprocal-space forces into `sys.force` and return the
+    /// reciprocal energy. `F_i = 2·q_i·Σ_k a·k·[sin(k·r_i)·Re S − cos(k·r_i)·Im S]`.
+    pub fn accumulate_forces(&self, sys: &mut ParticleSystem) -> f64 {
+        let n = sys.len();
+        let mut total = 0.0;
+        let mut phases = vec![(0.0f64, 0.0f64); n];
+        for kv in &self.kvecs {
+            let (mut s_re, mut s_im) = (0.0f64, 0.0f64);
+            for i in 0..n {
+                let q = sys.element[i].charge();
+                let phase = kv.k.dot(sys.pos[i]);
+                let (sin, cos) = phase.sin_cos();
+                phases[i] = (cos, sin);
+                s_re += q * cos;
+                s_im += q * sin;
+            }
+            total += kv.a * (s_re * s_re + s_im * s_im);
+            for i in 0..n {
+                let q = sys.element[i].charge();
+                if q == 0.0 {
+                    continue;
+                }
+                let (cos, sin) = phases[i];
+                let scale = 2.0 * kv.a * q * (sin * s_re - cos * s_im);
+                sys.force[i] += kv.k * scale;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Element, PairTable};
+    use crate::engine::{DirectEngine, ForceEngine};
+    use crate::space::SimulationSpace;
+    use crate::units::UnitSystem;
+
+    /// Rock-salt crystal: ions on a simple-cubic grid of spacing `d`
+    /// cells, charge alternating with site parity.
+    fn rock_salt(cells: u32, sites_per_cell_axis: u32) -> (ParticleSystem, f64) {
+        let space = SimulationSpace::cubic(cells);
+        let mut sys = ParticleSystem::new(space, UnitSystem::PAPER);
+        let d = 1.0 / sites_per_cell_axis as f64;
+        let n_axis = cells * sites_per_cell_axis;
+        for ix in 0..n_axis {
+            for iy in 0..n_axis {
+                for iz in 0..n_axis {
+                    let elem = if (ix + iy + iz) % 2 == 0 {
+                        Element::NaPlus
+                    } else {
+                        Element::ClMinus
+                    };
+                    sys.push(
+                        elem,
+                        Vec3::new(
+                            (ix as f64 + 0.25) * d,
+                            (iy as f64 + 0.25) * d,
+                            (iz as f64 + 0.25) * d,
+                        ),
+                        Vec3::ZERO,
+                    );
+                }
+            }
+        }
+        (sys, d)
+    }
+
+    /// The acceptance test: full Ewald energy of rock salt reproduces
+    /// the Madelung constant 1.747565.
+    #[test]
+    fn nacl_madelung_constant() {
+        let (mut sys, d) = rock_salt(3, 2); // 216 ions, d = 0.5 cells
+        let real_params = EwaldParams::standard(UnitSystem::PAPER);
+        // real-space part: Coulomb term only → subtract the LJ part
+        let table = PairTable::new(UnitSystem::PAPER);
+        let mut lj_plus_real = DirectEngine::new(table.clone()).with_electrostatics(real_params);
+        let e_lj_real = lj_plus_real.compute_forces(&mut sys);
+        let mut lj_only = DirectEngine::new(table);
+        let e_lj = lj_only.compute_forces(&mut sys.clone());
+        let e_real = e_lj_real - e_lj;
+
+        let recip = EwaldRecip::new(RecipParams::matching(real_params, 3.0), &sys);
+        let e_recip = recip.energy(&sys);
+        let e_self = recip.self_energy(&sys);
+        let e_total = e_real + e_recip + e_self;
+
+        // Madelung: E_total = -M · C · N / (2d)  (per ion -M·C·q²/(2d)·2/2)
+        let n = sys.len() as f64;
+        let m = -e_total * 2.0 * d / (real_params.coulomb * n);
+        assert!(
+            (m - 1.747_565).abs() < 2e-3,
+            "Madelung constant {m}, want 1.747565 (E_real={e_real:.1}, E_recip={e_recip:.1}, E_self={e_self:.1})"
+        );
+    }
+
+    #[test]
+    fn recip_energy_translation_invariant() {
+        let (sys, _) = rock_salt(3, 2);
+        let real = EwaldParams::standard(UnitSystem::PAPER);
+        let recip = EwaldRecip::new(RecipParams::matching(real, 3.0), &sys);
+        let e0 = recip.energy(&sys);
+        let mut shifted = sys.clone();
+        for p in &mut shifted.pos {
+            *p = shifted.space.wrap_pos(*p + Vec3::new(0.37, 0.11, 0.93));
+        }
+        let e1 = recip.energy(&shifted);
+        assert!(
+            ((e0 - e1) / e0).abs() < 1e-9,
+            "translation changed E_recip: {e0} vs {e1}"
+        );
+    }
+
+    #[test]
+    fn recip_forces_are_negative_gradient() {
+        // finite-difference check on one ion of a small salt
+        let (sys, _) = rock_salt(3, 1); // 27 ions... odd parity mismatch is fine for a gradient check
+        let real = EwaldParams::standard(UnitSystem::PAPER);
+        let recip = EwaldRecip::new(RecipParams::matching(real, 3.0), &sys);
+        let mut fsys = sys.clone();
+        fsys.clear_forces();
+        recip.accumulate_forces(&mut fsys);
+        let h = 1e-5;
+        for axis in 0..3 {
+            let mut plus = sys.clone();
+            let mut minus = sys.clone();
+            match axis {
+                0 => {
+                    plus.pos[0].x += h;
+                    minus.pos[0].x -= h;
+                }
+                1 => {
+                    plus.pos[0].y += h;
+                    minus.pos[0].y -= h;
+                }
+                _ => {
+                    plus.pos[0].z += h;
+                    minus.pos[0].z -= h;
+                }
+            }
+            let de = (recip.energy(&plus) - recip.energy(&minus)) / (2.0 * h);
+            let f = match axis {
+                0 => fsys.force[0].x,
+                1 => fsys.force[0].y,
+                _ => fsys.force[0].z,
+            };
+            let want = -de;
+            assert!(
+                (f - want).abs() < 1e-4 * want.abs().max(1.0),
+                "axis {axis}: F={f} vs -dE={want}"
+            );
+        }
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        let (sys, _) = rock_salt(3, 2);
+        let real = EwaldParams::standard(UnitSystem::PAPER);
+        let recip = EwaldRecip::new(RecipParams::matching(real, 3.0), &sys);
+        let mut fsys = sys.clone();
+        fsys.clear_forces();
+        let e = recip.accumulate_forces(&mut fsys);
+        assert!(e > 0.0 || e < 0.0, "energy computed");
+        assert!(fsys.net_force().max_abs() < 1e-8, "momentum conservation");
+    }
+
+    #[test]
+    fn neutral_system_has_zero_recip_energy() {
+        let space = SimulationSpace::cubic(3);
+        let mut sys = ParticleSystem::new(space, UnitSystem::PAPER);
+        sys.push(Element::Na, Vec3::splat(0.5), Vec3::ZERO);
+        sys.push(Element::Ar, Vec3::splat(1.5), Vec3::ZERO);
+        let real = EwaldParams::standard(UnitSystem::PAPER);
+        let recip = EwaldRecip::new(RecipParams::matching(real, 3.0), &sys);
+        assert_eq!(recip.energy(&sys), 0.0);
+        assert_eq!(recip.self_energy(&sys), 0.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Complex FFTs, from scratch — the 3D-FFT substrate of the LR
+//! companion systems.
+//!
+//! The paper's long-range counterpart lives in the authors' FPGA 3D-FFT
+//! line of work ("Design of 3D FFTs with FPGA Clusters", "HPC on FPGA
+//! Clouds: 3D FFTs and Implications for Molecular Dynamics" — §1 refs
+//! \[50, 51\]): particle–mesh electrostatics reduces to forward 3D FFT →
+//! pointwise influence-function multiply → inverse 3D FFT. This module
+//! provides that kernel in software: an iterative radix-2
+//! decimation-in-time complex FFT and a 3D transform over a dense grid.
+
+// Index-based loops mirror the textbook butterfly/pencil formulations.
+#![allow(clippy::needless_range_loop)]
+use crate::vec3::Vec3;
+
+/// A complex number (we avoid external num crates; two f64s suffice).
+/// Named methods instead of operator traits keep the butterfly kernels
+/// explicit about every flop.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[allow(clippy::should_implement_trait)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+#[allow(clippy::should_implement_trait)]
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Construct.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex::new(c, s)
+    }
+
+    /// Complex multiplication.
+    #[inline]
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    /// Addition.
+    #[inline]
+    pub fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    /// Subtraction.
+    #[inline]
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scale by a real.
+    #[inline]
+    pub fn scale(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+}
+
+/// In-place iterative radix-2 DIT FFT. `inverse` applies the conjugate
+/// transform **without** the 1/N normalization (callers normalize once,
+/// as mesh codes do).
+///
+/// # Panics
+/// If `data.len()` is not a power of two.
+pub fn fft_1d(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs power-of-two length");
+    if n <= 1 {
+        return;
+    }
+    // bit-reversal permutation
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // butterflies
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2].mul(w);
+                data[start + k] = u.add(v);
+                data[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// A dense complex 3D grid with FFT along each axis.
+#[derive(Clone, Debug)]
+pub struct Grid3 {
+    /// Grid dimensions (each a power of two).
+    pub dims: (usize, usize, usize),
+    /// Row-major data: index `(x·ny + y)·nz + z`.
+    pub data: Vec<Complex>,
+}
+
+impl Grid3 {
+    /// A zeroed grid.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(
+            nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two(),
+            "grid dims must be powers of two for the radix-2 FFT"
+        );
+        Grid3 {
+            dims: (nx, ny, nz),
+            data: vec![Complex::ZERO; nx * ny * nz],
+        }
+    }
+
+    /// Linear index.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (x * self.dims.1 + y) * self.dims.2 + z
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize, z: usize) -> Complex {
+        self.data[self.idx(x, y, z)]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, x: usize, y: usize, z: usize) -> &mut Complex {
+        let i = self.idx(x, y, z);
+        &mut self.data[i]
+    }
+
+    /// Zero all entries.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|c| *c = Complex::ZERO);
+    }
+
+    /// Total points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty (never, after construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// In-place 3D FFT (forward or inverse-unnormalized), axis by axis —
+    /// the same pencil decomposition the FPGA 3D-FFT systems use.
+    pub fn fft(&mut self, inverse: bool) {
+        let (nx, ny, nz) = self.dims;
+        // z-axis: contiguous pencils
+        let mut buf = vec![Complex::ZERO; nx.max(ny).max(nz)];
+        for x in 0..nx {
+            for y in 0..ny {
+                let base = self.idx(x, y, 0);
+                fft_1d(&mut self.data[base..base + nz], inverse);
+            }
+        }
+        // y-axis
+        for x in 0..nx {
+            for z in 0..nz {
+                for y in 0..ny {
+                    buf[y] = self.at(x, y, z);
+                }
+                fft_1d(&mut buf[..ny], inverse);
+                for y in 0..ny {
+                    *self.at_mut(x, y, z) = buf[y];
+                }
+            }
+        }
+        // x-axis
+        for y in 0..ny {
+            for z in 0..nz {
+                for x in 0..nx {
+                    buf[x] = self.at(x, y, z);
+                }
+                fft_1d(&mut buf[..nx], inverse);
+                for x in 0..nx {
+                    *self.at_mut(x, y, z) = buf[x];
+                }
+            }
+        }
+    }
+}
+
+/// Naive O(N²) DFT, the test oracle.
+pub fn dft_reference(data: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                let theta = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = acc.add(x.mul(Complex::cis(theta)));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Fractional coordinates helper used by mesh codes: position (cells) →
+/// grid coordinate in `[0, n)`.
+pub fn to_grid_coord(pos: Vec3, edges: Vec3, dims: (usize, usize, usize)) -> Vec3 {
+    Vec3::new(
+        pos.x / edges.x * dims.0 as f64,
+        pos.y / edges.y * dims.1 as f64,
+        pos.z / edges.z * dims.2 as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize, seed: u64) -> Vec<Complex> {
+        // deterministic pseudo-random complex signal
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                let mut next = || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x as f64 / u64::MAX as f64) * 2.0 - 1.0
+                };
+                Complex::new(next(), next())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_reference_dft() {
+        for n in [2usize, 4, 8, 32, 128] {
+            let sig = signal(n, 7);
+            let mut fast = sig.clone();
+            fft_1d(&mut fast, false);
+            let slow = dft_reference(&sig, false);
+            for k in 0..n {
+                assert!(
+                    (fast[k].re - slow[k].re).abs() < 1e-9
+                        && (fast[k].im - slow[k].im).abs() < 1e-9,
+                    "n={n} bin {k}: {:?} vs {:?}",
+                    fast[k],
+                    slow[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_identity() {
+        let sig = signal(64, 9);
+        let mut data = sig.clone();
+        fft_1d(&mut data, false);
+        fft_1d(&mut data, true);
+        for k in 0..64 {
+            let back = data[k].scale(1.0 / 64.0);
+            assert!((back.re - sig[k].re).abs() < 1e-12);
+            assert!((back.im - sig[k].im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let sig = signal(256, 11);
+        let time: f64 = sig.iter().map(|c| c.norm_sq()).sum();
+        let mut f = sig.clone();
+        fft_1d(&mut f, false);
+        let freq: f64 = f.iter().map(|c| c.norm_sq()).sum::<f64>() / 256.0;
+        assert!((time - freq).abs() < 1e-9 * time, "{time} vs {freq}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let mut d = vec![Complex::ZERO; 6];
+        fft_1d(&mut d, false);
+    }
+
+    #[test]
+    fn grid3_single_mode_transforms_to_delta() {
+        // a pure plane wave concentrates into one bin
+        let (nx, ny, nz) = (8, 8, 8);
+        let mut g = Grid3::new(nx, ny, nz);
+        let (mx, my, mz) = (2usize, 3usize, 1usize);
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let theta = 2.0 * std::f64::consts::PI
+                        * (mx * x) as f64 / nx as f64
+                        + 2.0 * std::f64::consts::PI * (my * y) as f64 / ny as f64
+                        + 2.0 * std::f64::consts::PI * (mz * z) as f64 / nz as f64;
+                    *g.at_mut(x, y, z) = Complex::cis(theta);
+                }
+            }
+        }
+        g.fft(false);
+        let total: f64 = g.data.iter().map(|c| c.norm_sq()).sum();
+        let peak = g.at(mx, my, mz).norm_sq();
+        assert!(
+            peak / total > 0.999_999,
+            "mode not concentrated: peak {peak}, total {total}"
+        );
+    }
+
+    #[test]
+    fn grid3_roundtrip() {
+        let mut g = Grid3::new(4, 8, 4);
+        let sig = signal(g.len(), 21);
+        g.data.copy_from_slice(&sig);
+        g.fft(false);
+        g.fft(true);
+        let norm = 1.0 / g.len() as f64;
+        for (a, b) in g.data.iter().zip(&sig) {
+            let back = a.scale(norm);
+            assert!((back.re - b.re).abs() < 1e-12);
+            assert!((back.im - b.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grid_coord_mapping() {
+        let c = to_grid_coord(
+            Vec3::new(1.5, 0.0, 2.999),
+            Vec3::splat(3.0),
+            (16, 16, 16),
+        );
+        assert_eq!(c.x, 8.0);
+        assert_eq!(c.y, 0.0);
+        assert!(c.z < 16.0 && c.z > 15.9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Trajectory recording and transport analysis.
+//!
+//! Long-timescale properties — the reason FASDA exists — are extracted
+//! from trajectories: diffusion constants from mean-squared displacement,
+//! structure from frame dumps. Positions in a periodic box wrap, so MSD
+//! needs *unwrapped* coordinates: [`Unwrapper`] tracks boundary crossings
+//! frame to frame (valid whenever no particle moves more than half a box
+//! per sampling interval, which holds by orders of magnitude at MD
+//! timesteps).
+
+use crate::system::ParticleSystem;
+use crate::vec3::Vec3;
+use std::fmt::Write as _;
+
+/// Tracks unwrapped coordinates across periodic boundaries.
+#[derive(Clone, Debug)]
+pub struct Unwrapper {
+    origin: Vec<Vec3>,
+    prev: Vec<Vec3>,
+    unwrapped: Vec<Vec3>,
+}
+
+impl Unwrapper {
+    /// Start tracking from the system's current positions.
+    pub fn new(sys: &ParticleSystem) -> Self {
+        Unwrapper {
+            origin: sys.pos.clone(),
+            prev: sys.pos.clone(),
+            unwrapped: sys.pos.clone(),
+        }
+    }
+
+    /// Particles tracked.
+    pub fn len(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// True when tracking nothing.
+    pub fn is_empty(&self) -> bool {
+        self.origin.is_empty()
+    }
+
+    /// Fold in the next frame (positions must belong to the same
+    /// particles in the same order).
+    pub fn update(&mut self, sys: &ParticleSystem) {
+        assert_eq!(sys.len(), self.prev.len(), "frame size changed");
+        for i in 0..sys.len() {
+            // displacement by minimum image — correct when no particle
+            // travels more than half a box between frames
+            let d = sys.space.min_image(sys.pos[i], self.prev[i]);
+            self.unwrapped[i] += d;
+            self.prev[i] = sys.pos[i];
+        }
+    }
+
+    /// Mean-squared displacement from the tracking origin, cell² units.
+    pub fn msd(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.unwrapped
+            .iter()
+            .zip(&self.origin)
+            .map(|(u, o)| (*u - *o).norm_sq())
+            .sum::<f64>()
+            / self.len() as f64
+    }
+
+    /// Diffusion coefficient estimate from the Einstein relation
+    /// `D = MSD / (6·t)`, in cell²/fs, for elapsed time `t_fs`.
+    pub fn diffusion(&self, t_fs: f64) -> f64 {
+        if t_fs <= 0.0 {
+            return 0.0;
+        }
+        self.msd() / (6.0 * t_fs)
+    }
+}
+
+/// Serialize one frame in XYZ format (Å), appendable into a multi-frame
+/// trajectory file readable by VMD/OVITO.
+pub fn to_xyz_frame(sys: &ParticleSystem, comment: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "{}", sys.len()).unwrap();
+    writeln!(out, "{}", comment.replace('\n', " ")).unwrap();
+    let u = sys.units;
+    for i in 0..sys.len() {
+        let p = sys.pos[i];
+        writeln!(
+            out,
+            "{} {:.4} {:.4} {:.4}",
+            sys.element[i].symbol(),
+            u.len_to_angstrom(p.x),
+            u.len_to_angstrom(p.y),
+            u.len_to_angstrom(p.z)
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::space::SimulationSpace;
+    use crate::units::UnitSystem;
+
+    fn one_particle_at(x: f64) -> ParticleSystem {
+        let mut sys = ParticleSystem::new(SimulationSpace::cubic(3), UnitSystem::PAPER);
+        sys.push(Element::Na, Vec3::new(x, 0.5, 0.5), Vec3::ZERO);
+        sys
+    }
+
+    #[test]
+    fn unwrap_through_boundary() {
+        let mut sys = one_particle_at(2.9);
+        let mut uw = Unwrapper::new(&sys);
+        // particle drifts +0.2 per frame, wrapping at 3.0
+        for k in 1..=10 {
+            let x = (2.9 + 0.2 * k as f64) % 3.0;
+            sys.pos[0] = Vec3::new(x, 0.5, 0.5);
+            uw.update(&sys);
+        }
+        // net displacement = 2.0 cells, MSD = 4.0 cell²
+        assert!((uw.msd() - 4.0).abs() < 1e-9, "msd = {}", uw.msd());
+    }
+
+    #[test]
+    fn stationary_particle_has_zero_msd() {
+        let sys = one_particle_at(1.0);
+        let mut uw = Unwrapper::new(&sys);
+        for _ in 0..5 {
+            uw.update(&sys);
+        }
+        assert_eq!(uw.msd(), 0.0);
+        assert_eq!(uw.diffusion(100.0), 0.0);
+    }
+
+    #[test]
+    fn diffusion_einstein_relation() {
+        let mut sys = one_particle_at(0.1);
+        let mut uw = Unwrapper::new(&sys);
+        sys.pos[0] = Vec3::new(0.4, 0.5, 0.5); // Δ = 0.3 cells
+        uw.update(&sys);
+        let d = uw.diffusion(10.0); // MSD 0.09 / 60
+        assert!((d - 0.09 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xyz_frame_format() {
+        let sys = one_particle_at(1.0);
+        let frame = to_xyz_frame(&sys, "frame 0");
+        let lines: Vec<&str> = frame.lines().collect();
+        assert_eq!(lines[0], "1");
+        assert_eq!(lines[1], "frame 0");
+        assert!(lines[2].starts_with("NA "));
+        // 1.0 cells = 8.5 Å
+        assert!(lines[2].contains("8.5000"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the MD substrate invariants.
+
+use fasda_md::celllist::CellList;
+use fasda_md::element::{Element, PairTable};
+use fasda_md::engine::{CellListEngine, DirectEngine, ForceEngine};
+use fasda_md::space::{CellCoord, SimulationSpace};
+use fasda_md::system::ParticleSystem;
+use fasda_md::units::UnitSystem;
+use fasda_md::vec3::Vec3;
+use fasda_md::workload::{Placement, WorkloadSpec};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_space() -> impl Strategy<Value = SimulationSpace> {
+    (3u32..6, 3u32..6, 3u32..6).prop_map(|(x, y, z)| SimulationSpace::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 7 cell IDs are a bijection over any space.
+    #[test]
+    fn cid_bijection(space in arb_space()) {
+        let mut seen = HashSet::new();
+        for c in space.iter_cells() {
+            let id = space.cell_id(c);
+            prop_assert!(seen.insert(id));
+            prop_assert_eq!(space.cell_coord(id), c);
+        }
+        prop_assert_eq!(seen.len(), space.num_cells());
+    }
+
+    /// Minimum-image displacement never exceeds half the box per axis.
+    #[test]
+    fn min_image_bounded(
+        space in arb_space(),
+        ax in 0.0f64..6.0, ay in 0.0f64..6.0, az in 0.0f64..6.0,
+        bx in 0.0f64..6.0, by in 0.0f64..6.0, bz in 0.0f64..6.0,
+    ) {
+        let a = space.wrap_pos(Vec3::new(ax, ay, az));
+        let b = space.wrap_pos(Vec3::new(bx, by, bz));
+        let d = space.min_image(a, b);
+        let e = space.edges();
+        prop_assert!(d.x >= -e.x / 2.0 && d.x < e.x / 2.0 + 1e-12);
+        prop_assert!(d.y >= -e.y / 2.0 && d.y < e.y / 2.0 + 1e-12);
+        prop_assert!(d.z >= -e.z / 2.0 && d.z < e.z / 2.0 + 1e-12);
+    }
+
+    /// The half-shell sweep covers every within-cutoff pair exactly once
+    /// and never visits a pair twice, on arbitrary particle placements.
+    #[test]
+    fn halfshell_covers_cutoff_pairs(space in arb_space(), seed in 0u64..1000) {
+        let spec = WorkloadSpec {
+            space,
+            per_cell: 3,
+            placement: Placement::JitteredLattice { jitter: 0.12 },
+            temperature_k: 0.0,
+            seed,
+            element: Element::Na,
+        };
+        let sys = spec.generate();
+        let cl = CellList::build(&sys);
+        let mut seen = HashSet::new();
+        let mut dup = None;
+        cl.for_each_halfshell_pair(|i, j| {
+            let key = (i.min(j), i.max(j));
+            if !seen.insert(key) {
+                dup = Some(key);
+            }
+        });
+        prop_assert!(dup.is_none(), "pair {dup:?} visited twice");
+        // every pair with r < 1 must be among the candidates
+        for i in 0..sys.len() as u32 {
+            for j in (i + 1)..sys.len() as u32 {
+                let r2 = sys
+                    .space
+                    .min_image(sys.pos[i as usize], sys.pos[j as usize])
+                    .norm_sq();
+                if r2 < 1.0 {
+                    prop_assert!(
+                        seen.contains(&(i, j)),
+                        "within-cutoff pair ({i},{j}) r²={r2} missed"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Direct and cell-list engines agree on forces and energy for random
+    /// small systems.
+    #[test]
+    fn engines_agree(seed in 0u64..500) {
+        let spec = WorkloadSpec {
+            space: SimulationSpace::cubic(3),
+            per_cell: 4,
+            placement: Placement::JitteredLattice { jitter: 0.1 },
+            temperature_k: 0.0,
+            seed,
+            element: Element::Na,
+        };
+        let mut s1 = spec.generate();
+        let mut s2 = s1.clone();
+        let table = PairTable::new(UnitSystem::PAPER);
+        let pe1 = DirectEngine::new(table.clone()).compute_forces(&mut s1);
+        let pe2 = CellListEngine::new(table).compute_forces(&mut s2);
+        prop_assert!((pe1 - pe2).abs() <= 1e-9 * pe1.abs().max(1.0));
+        for i in 0..s1.len() {
+            prop_assert!((s1.force[i] - s2.force[i]).max_abs() < 1e-9);
+        }
+    }
+
+    /// Newton's third law: net force is zero for any configuration.
+    #[test]
+    fn net_force_zero(seed in 0u64..500) {
+        let spec = WorkloadSpec {
+            space: SimulationSpace::cubic(3),
+            per_cell: 5,
+            placement: Placement::JitteredLattice { jitter: 0.1 },
+            temperature_k: 0.0,
+            seed,
+            element: Element::Na,
+        };
+        let mut sys = spec.generate();
+        CellListEngine::new(PairTable::new(UnitSystem::PAPER)).compute_forces(&mut sys);
+        prop_assert!(sys.net_force().max_abs() < 1e-8);
+    }
+
+    /// Wrapping a coordinate is idempotent and lands in range.
+    #[test]
+    fn wrap_coord_idempotent(space in arb_space(), x in -10i32..10, y in -10i32..10, z in -10i32..10) {
+        let w = space.wrap_coord(CellCoord::new(x, y, z));
+        prop_assert!(space.contains(w));
+        prop_assert_eq!(space.wrap_coord(w), w);
+    }
+}
+
+/// Non-proptest sanity: a 2-particle system across a periodic boundary
+/// still interacts via the image.
+#[test]
+fn interaction_across_boundary() {
+    let mut sys = ParticleSystem::new(SimulationSpace::cubic(3), UnitSystem::PAPER);
+    sys.push(Element::Na, Vec3::new(0.1, 0.5, 0.5), Vec3::ZERO);
+    sys.push(Element::Na, Vec3::new(2.9, 0.5, 0.5), Vec3::ZERO);
+    let pe = CellListEngine::new(PairTable::new(UnitSystem::PAPER)).compute_forces(&mut sys);
+    assert!(pe != 0.0, "image pair at r=0.2 must interact");
+    assert!(sys.force[0].x > 0.0, "repelled away from image on the left");
+}

@@ -1,0 +1,35 @@
+//! # fasda-net
+//!
+//! Inter-FPGA communication substrate (paper §4.1, §4.3–4.4).
+//!
+//! FASDA chips exchange 512-bit AXI-Stream packets, each carrying four
+//! data pieces plus identification headers (Fig. 10–11), over a
+//! switch-based or hyper-ring topology (Fig. 8) with UDP framing. This
+//! crate models that stack:
+//!
+//! * [`packet::Packet`] — the 512-bit four-payload packet with its
+//!   in-band `last` synchronization flag and step tag;
+//! * [`encap::Packetizer`] — the P2R/F2R encapsulation chains of Fig. 11:
+//!   per-peer staging registers, departure arbitration, and the
+//!   transmission **cooldown counters** that spread communication peaks
+//!   (§5.4);
+//! * [`topology::Topology`] — switch-star and hyper-ring inter-node
+//!   latency models;
+//! * [`switch::SwitchFabric`] — per-port bandwidth and store-and-forward
+//!   latency, yielding packet delivery times;
+//! * [`sync::ChainedSync`] — the chained synchronization state machine of
+//!   §4.4 (last-position / last-force / last-migration handshakes with
+//!   immediate neighbours only), plus a bulk-synchronous baseline for the
+//!   ablation study.
+
+pub mod encap;
+pub mod packet;
+pub mod switch;
+pub mod sync;
+pub mod topology;
+
+pub use encap::Packetizer;
+pub use packet::{Packet, PACKET_BITS, PAYLOADS_PER_PACKET};
+pub use switch::SwitchFabric;
+pub use sync::{BulkBarrier, ChainedSync, SyncMode};
+pub use topology::Topology;

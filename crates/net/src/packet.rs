@@ -1,0 +1,207 @@
+//! The 512-bit four-payload packet (paper Fig. 10–11).
+//!
+//! "A 512-bit AXI-Stream position (or force) packet that contains four
+//! pieces of data is received and unpacked into separate data pieces with
+//! headers that contain particle identification information." Both packet
+//! kinds carry an in-band `last` flag used by the chained synchronization
+//! protocol (§4.4); we additionally tag packets with the timestep and
+//! phase they belong to so early-arriving traffic from a neighbour that
+//! has already raced ahead one phase (the whole point of chained sync) is
+//! credited to the right step.
+
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Wire size of one packet in bits (two 256-bit beats of a 512-bit
+/// AXI-Stream word in the artifact's counters; we count 512 per packet
+/// exactly as `out_traffic_packets_*` does).
+pub const PACKET_BITS: u64 = 512;
+
+/// Data pieces per packet.
+pub const PAYLOADS_PER_PACKET: usize = 4;
+
+/// What a packet carries — mirrors the separate position/force QSFP
+/// ports of the testbed (§5.4) plus migration traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Particle positions (force-phase broadcast traffic).
+    Position,
+    /// Accumulated neighbour forces returning home.
+    Force,
+    /// Migrating particles (motion-update phase).
+    Migration,
+}
+
+/// A payload that can be framed into the 512-bit packet format.
+pub trait WirePayload: Sized {
+    /// Encoded size in bytes (must be ≤ 16 so four fit in 512 bits with
+    /// headroom for the header beat).
+    const WIRE_BYTES: usize;
+    /// Serialize into a buffer.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Deserialize from a buffer.
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+}
+
+/// One inter-FPGA packet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Packet<T> {
+    /// Traffic class.
+    pub kind: PacketKind,
+    /// Up to four data pieces. A `last`-only packet may be empty.
+    pub payloads: Vec<T>,
+    /// In-band last-data marker for chained synchronization.
+    pub last: bool,
+    /// Timestep the data belongs to.
+    pub step: u64,
+}
+
+impl<T> Packet<T> {
+    /// A data packet.
+    pub fn data(kind: PacketKind, payloads: Vec<T>, step: u64) -> Self {
+        assert!(
+            payloads.len() <= PAYLOADS_PER_PACKET,
+            "at most {PAYLOADS_PER_PACKET} payloads per packet"
+        );
+        Packet {
+            kind,
+            payloads,
+            last: false,
+            step,
+        }
+    }
+
+    /// A bare `last` marker (empty payload).
+    pub fn last_marker(kind: PacketKind, step: u64) -> Self {
+        Packet {
+            kind,
+            payloads: Vec::new(),
+            last: true,
+            step,
+        }
+    }
+
+    /// Wire size in bits — one 512-bit beat per packet, as counted by the
+    /// artifact's traffic registers.
+    pub fn wire_bits(&self) -> u64 {
+        PACKET_BITS
+    }
+}
+
+impl<T: WirePayload> Packet<T> {
+    /// Serialize to wire bytes: header (kind, count, last, step) then the
+    /// payloads, zero-padded to 64 bytes (512 bits).
+    pub fn to_bytes(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(PACKET_BITS as usize / 8);
+        buf.put_u8(match self.kind {
+            PacketKind::Position => 0,
+            PacketKind::Force => 1,
+            PacketKind::Migration => 2,
+        });
+        buf.put_u8(self.payloads.len() as u8);
+        buf.put_u8(u8::from(self.last));
+        buf.put_u8(0); // reserved
+        buf.put_u32(self.step as u32);
+        for p in &self.payloads {
+            p.encode(&mut buf);
+        }
+        buf.resize(PACKET_BITS as usize / 8, 0);
+        buf
+    }
+
+    /// Parse wire bytes produced by [`Packet::to_bytes`].
+    pub fn from_bytes(mut bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let kind = match bytes.get_u8() {
+            0 => PacketKind::Position,
+            1 => PacketKind::Force,
+            2 => PacketKind::Migration,
+            _ => return None,
+        };
+        let count = bytes.get_u8() as usize;
+        if count > PAYLOADS_PER_PACKET {
+            return None;
+        }
+        let last = bytes.get_u8() != 0;
+        let _ = bytes.get_u8();
+        let step = bytes.get_u32() as u64;
+        let mut payloads = Vec::with_capacity(count);
+        for _ in 0..count {
+            payloads.push(T::decode(&mut bytes)?);
+        }
+        Some(Packet {
+            kind,
+            payloads,
+            last,
+            step,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    struct P(u64, u32);
+
+    impl WirePayload for P {
+        const WIRE_BYTES: usize = 12;
+        fn encode(&self, buf: &mut BytesMut) {
+            buf.put_u64(self.0);
+            buf.put_u32(self.1);
+        }
+        fn decode(buf: &mut &[u8]) -> Option<Self> {
+            if buf.len() < 12 {
+                return None;
+            }
+            Some(P(buf.get_u64(), buf.get_u32()))
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_packet() {
+        let p = Packet::data(
+            PacketKind::Position,
+            vec![P(1, 2), P(3, 4), P(5, 6), P(7, 8)],
+            42,
+        );
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len() as u64 * 8, PACKET_BITS);
+        let q: Packet<P> = Packet::from_bytes(&bytes).expect("parse");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_last_marker() {
+        let p: Packet<P> = Packet::last_marker(PacketKind::Force, 7);
+        let q: Packet<P> = Packet::from_bytes(&p.to_bytes()).expect("parse");
+        assert!(q.last);
+        assert!(q.payloads.is_empty());
+        assert_eq!(q.step, 7);
+        assert_eq!(q.kind, PacketKind::Force);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 4 payloads")]
+    fn overfull_packet_rejected() {
+        let _ = Packet::data(PacketKind::Position, vec![P(0, 0); 5], 0);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Packet::<P>::from_bytes(&[9u8; 64]).is_none());
+        assert!(Packet::<P>::from_bytes(&[0u8; 3]).is_none());
+        // count beyond payload bytes available
+        let mut b = BytesMut::new();
+        b.put_u8(0);
+        b.put_u8(4);
+        b.put_u8(0);
+        b.put_u8(0);
+        b.put_u32(0);
+        b.resize(10, 0); // truncated
+        assert!(Packet::<P>::from_bytes(&b).is_none());
+    }
+}

@@ -1,0 +1,223 @@
+//! Link bandwidth and delivery-time model.
+//!
+//! The testbed gives each FPGA two QSFP28 100 GbE ports — one for
+//! positions, one for forces (§5.4) — through a Dell Z9100-ON switch.
+//! [`SwitchFabric`] computes when a packet sent at some cycle arrives at
+//! its destination: serialization on the source port (bandwidth), path
+//! latency (topology), and destination-port contention, with per-port
+//! next-free bookkeeping.
+
+use crate::packet::PACKET_BITS;
+use crate::topology::{NodeId, Topology};
+use fasda_sim::Cycle;
+
+/// Per-traffic-class link fabric.
+#[derive(Clone, Debug)]
+pub struct SwitchFabric {
+    topology: Topology,
+    /// Port bandwidth in bits per cycle. 100 Gb/s at 200 MHz = 500
+    /// bits/cycle.
+    bits_per_cycle: f64,
+    tx_free: Vec<Cycle>,
+    rx_free: Vec<Cycle>,
+    /// Packet-loss probability per packet (UDP has no retransmission —
+    /// §5.4's cooldown counters exist to keep this at zero by avoiding
+    /// switch-buffer overruns). Default 0.
+    loss_probability: f64,
+    /// Deterministic xorshift state for loss decisions.
+    loss_rng: u64,
+    /// Packets dropped by injected loss.
+    pub packets_lost: u64,
+    /// Total bits offered (bandwidth accounting).
+    pub bits_sent: u64,
+    /// Total packets carried.
+    pub packets: u64,
+}
+
+impl SwitchFabric {
+    /// The paper's testbed rate: 100 Gbps ports at a 200 MHz fabric
+    /// clock.
+    pub const PAPER_BITS_PER_CYCLE: f64 = 100.0e9 / 200.0e6;
+
+    /// New fabric over `nodes` endpoints.
+    pub fn new(topology: Topology, nodes: usize, bits_per_cycle: f64) -> Self {
+        if let Some(cap) = topology.capacity() {
+            assert!(nodes <= cap, "topology capacity exceeded");
+        }
+        assert!(bits_per_cycle > 0.0);
+        SwitchFabric {
+            topology,
+            bits_per_cycle,
+            tx_free: vec![0; nodes],
+            rx_free: vec![0; nodes],
+            loss_probability: 0.0,
+            loss_rng: 0x9E37_79B9_7F4A_7C15,
+            packets_lost: 0,
+            bits_sent: 0,
+            packets: 0,
+        }
+    }
+
+    /// Inject packet loss with the given per-packet probability
+    /// (deterministic given `seed`). Models a switch dropping frames
+    /// under buffer pressure — the failure mode the paper's transmission
+    /// cooldown is designed to prevent.
+    pub fn with_loss(mut self, probability: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&probability));
+        self.loss_probability = probability;
+        self.loss_rng = seed | 1;
+        self
+    }
+
+    /// Paper-testbed fabric: switch star, 100 Gbps ports.
+    pub fn paper(nodes: usize) -> Self {
+        SwitchFabric::new(Topology::PAPER_SWITCH, nodes, Self::PAPER_BITS_PER_CYCLE)
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Send one 512-bit packet at `cycle`; returns its delivery cycle,
+    /// or `None` if the fabric dropped it (injected loss).
+    pub fn send_lossy(&mut self, cycle: Cycle, src: NodeId, dst: NodeId) -> Option<Cycle> {
+        if self.loss_probability > 0.0 {
+            // xorshift64*
+            let mut x = self.loss_rng;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.loss_rng = x;
+            let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            if u < self.loss_probability {
+                self.packets_lost += 1;
+                // the sender's port time is still consumed
+                let ser = (PACKET_BITS as f64 / self.bits_per_cycle).ceil() as u64;
+                let tx_start = cycle.max(self.tx_free[src]);
+                self.tx_free[src] = tx_start + ser;
+                return None;
+            }
+        }
+        Some(self.send(cycle, src, dst))
+    }
+
+    /// Send one 512-bit packet at `cycle`; returns its delivery cycle.
+    pub fn send(&mut self, cycle: Cycle, src: NodeId, dst: NodeId) -> Cycle {
+        let ser = (PACKET_BITS as f64 / self.bits_per_cycle).ceil() as u64;
+        // serialization on the source port
+        let tx_start = cycle.max(self.tx_free[src]);
+        let tx_done = tx_start + ser;
+        self.tx_free[src] = tx_done;
+        // flight
+        let arrive = tx_done + self.topology.path_latency(src, dst);
+        // destination-port contention
+        let rx_start = arrive.max(self.rx_free[dst]);
+        let rx_done = rx_start + ser;
+        self.rx_free[dst] = rx_done;
+        self.bits_sent += PACKET_BITS;
+        self.packets += 1;
+        rx_done
+    }
+
+    /// Average offered bandwidth in bits/cycle over a window.
+    pub fn avg_bits_per_cycle(&self, window_cycles: u64) -> f64 {
+        if window_cycles == 0 {
+            0.0
+        } else {
+            self.bits_sent as f64 / window_cycles as f64
+        }
+    }
+
+    /// Convert bits/cycle to Gbps for a given clock.
+    pub fn to_gbps(bits_per_cycle: f64, clock_hz: f64) -> f64 {
+        bits_per_cycle * clock_hz / 1.0e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> SwitchFabric {
+        SwitchFabric::new(Topology::Switch { latency: 200 }, 4, 512.0)
+    }
+
+    #[test]
+    fn single_packet_latency() {
+        let mut f = fabric();
+        // ser = 1 cycle at 512 b/cyc; 1 (tx) + 200 (flight) + 1 (rx)
+        assert_eq!(f.send(0, 0, 1), 202);
+        assert_eq!(f.packets, 1);
+        assert_eq!(f.bits_sent, 512);
+    }
+
+    #[test]
+    fn source_port_serializes_back_to_back() {
+        let mut f = fabric();
+        let d1 = f.send(0, 0, 1);
+        let d2 = f.send(0, 0, 2);
+        assert_eq!(d1, 202);
+        assert_eq!(d2, 203, "second packet waits one serialization slot");
+    }
+
+    #[test]
+    fn destination_port_contends() {
+        let mut f = fabric();
+        let d1 = f.send(0, 0, 3);
+        let d2 = f.send(0, 1, 3);
+        assert_eq!(d1, 202);
+        assert!(d2 > d1, "same rx port serializes: {d2}");
+    }
+
+    #[test]
+    fn paper_rate_is_500_bits_per_cycle() {
+        assert_eq!(SwitchFabric::PAPER_BITS_PER_CYCLE, 500.0);
+        assert_eq!(SwitchFabric::to_gbps(125.0, 200.0e6), 25.0);
+    }
+
+    #[test]
+    fn bandwidth_accounting() {
+        let mut f = fabric();
+        for _ in 0..10 {
+            f.send(0, 0, 1);
+        }
+        assert_eq!(f.avg_bits_per_cycle(100), 51.2);
+    }
+
+    #[test]
+    fn lossless_by_default() {
+        let mut f = fabric();
+        for _ in 0..100 {
+            assert!(f.send_lossy(0, 0, 1).is_some());
+        }
+        assert_eq!(f.packets_lost, 0);
+    }
+
+    #[test]
+    fn injected_loss_drops_expected_fraction() {
+        let mut f = fabric().with_loss(0.25, 42);
+        let mut dropped = 0;
+        for _ in 0..10_000 {
+            if f.send_lossy(0, 0, 1).is_none() {
+                dropped += 1;
+            }
+        }
+        assert_eq!(f.packets_lost, dropped);
+        let rate = dropped as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.03, "loss rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn ring_capacity_enforced() {
+        SwitchFabric::new(
+            Topology::HyperRing {
+                nodes: 2,
+                hop_latency: 1,
+            },
+            3,
+            500.0,
+        );
+    }
+}

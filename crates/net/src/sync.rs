@@ -1,0 +1,315 @@
+//! Chained synchronization (paper §4.4, Figs. 12–13) and the
+//! bulk-synchronous baseline it replaces.
+//!
+//! Each node synchronizes **only with its immediate neighbours**, through
+//! in-band `last` markers:
+//!
+//! 1. after routing all of its positions, a node sends *last-position* to
+//!    every peer it broadcasts to;
+//! 2. after processing all positions received from a peer (and returning
+//!    the resulting forces), it answers that peer with *last-force*;
+//! 3. a node may enter motion update once four criteria hold: last-pos
+//!    sent to all send-peers, last-pos received from all recv-peers,
+//!    last-force sent to all recv-peers, last-force received from all
+//!    send-peers;
+//! 4. motion update uses a single *last-migration* handshake per
+//!    neighbour.
+//!
+//! Because a finished node proceeds immediately, a straggler delays only
+//! the nodes that transitively depend on it — markers can therefore
+//! arrive for a *future* step and are buffered per step.
+
+use crate::packet::PacketKind;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// Synchronization strategy for the cluster driver.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// The paper's chained synchronization.
+    Chained,
+    /// Bulk-synchronous baseline: a central barrier (host or central
+    /// FPGA) with the given one-way latency in cycles.
+    Bulk {
+        /// One-way coordinator latency (cycles). A host round trip is
+        /// "milliseconds for a single MD iteration" (§4.4) — 200k cycles
+        /// per ms at 200 MHz; a central FPGA is cheaper but still far
+        /// from free.
+        latency: u64,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct StepMarkers<P> {
+    pos: HashSet<P>,
+    frc: HashSet<P>,
+    mig: HashSet<P>,
+}
+
+impl<P> Default for StepMarkers<P> {
+    fn default() -> Self {
+        StepMarkers {
+            pos: HashSet::new(),
+            frc: HashSet::new(),
+            mig: HashSet::new(),
+        }
+    }
+}
+
+/// Per-node chained synchronization state machine.
+#[derive(Clone, Debug)]
+pub struct ChainedSync<P: Eq + Hash + Clone> {
+    /// Peers this node sends positions to (and receives forces from).
+    pub send_peers: Vec<P>,
+    /// Peers this node receives positions from (and sends forces to).
+    pub recv_peers: Vec<P>,
+    /// Peers exchanged with during motion update (migration can cross
+    /// any face: the union of the two sets).
+    pub mig_peers: Vec<P>,
+    step: u64,
+    sent_pos: HashSet<P>,
+    sent_frc: HashSet<P>,
+    sent_mig: HashSet<P>,
+    received: HashMap<u64, StepMarkers<P>>,
+}
+
+impl<P: Eq + Hash + Clone> ChainedSync<P> {
+    /// Build the state machine for a node's neighbourhood.
+    pub fn new(send_peers: Vec<P>, recv_peers: Vec<P>) -> Self {
+        let mut mig_peers = send_peers.clone();
+        for p in &recv_peers {
+            if !mig_peers.contains(p) {
+                mig_peers.push(p.clone());
+            }
+        }
+        ChainedSync {
+            send_peers,
+            recv_peers,
+            mig_peers,
+            step: 0,
+            sent_pos: HashSet::new(),
+            sent_frc: HashSet::new(),
+            sent_mig: HashSet::new(),
+            received: HashMap::new(),
+        }
+    }
+
+    /// Current step.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Arm the state machine for a new step. Markers already received for
+    /// this step (from fast neighbours) remain credited.
+    pub fn begin_step(&mut self, step: u64) {
+        assert!(step >= self.step, "steps are monotonic");
+        // Drop buffered markers for completed steps.
+        self.received.retain(|&s, _| s >= step);
+        self.step = step;
+        self.sent_pos.clear();
+        self.sent_frc.clear();
+        self.sent_mig.clear();
+    }
+
+    /// Record an incoming `last` marker.
+    pub fn on_marker(&mut self, kind: PacketKind, peer: P, step: u64) {
+        debug_assert!(
+            step >= self.step,
+            "marker for an already-completed step"
+        );
+        let m = self.received.entry(step).or_default();
+        match kind {
+            PacketKind::Position => m.pos.insert(peer),
+            PacketKind::Force => m.frc.insert(peer),
+            PacketKind::Migration => m.mig.insert(peer),
+        };
+    }
+
+    fn current(&self) -> Option<&StepMarkers<P>> {
+        self.received.get(&self.step)
+    }
+
+    /// Note that *last-position* departed to `peer`.
+    pub fn mark_last_pos_sent(&mut self, peer: P) {
+        self.sent_pos.insert(peer);
+    }
+
+    /// Note that *last-force* departed to `peer`.
+    pub fn mark_last_frc_sent(&mut self, peer: P) {
+        self.sent_frc.insert(peer);
+    }
+
+    /// Note that *last-migration* departed to `peer`.
+    pub fn mark_last_mig_sent(&mut self, peer: P) {
+        self.sent_mig.insert(peer);
+    }
+
+    /// True if last-position has been sent to every send-peer.
+    pub fn last_pos_sent_all(&self) -> bool {
+        self.send_peers.iter().all(|p| self.sent_pos.contains(p))
+    }
+
+    /// True if last-position was received from `peer` for the current
+    /// step.
+    pub fn last_pos_received(&self, peer: &P) -> bool {
+        self.current().is_some_and(|m| m.pos.contains(peer))
+    }
+
+    /// True if this node still owes `peer` a last-force marker.
+    pub fn owes_last_frc(&self, peer: &P) -> bool {
+        self.last_pos_received(peer) && !self.sent_frc.contains(peer)
+    }
+
+    /// The four force-phase criteria of §4.4 (Fig. 13): a node "can
+    /// independently proceed to the motion update phase" when all hold.
+    pub fn force_phase_complete(&self) -> bool {
+        let Some(m) = self.current() else {
+            return self.send_peers.is_empty() && self.recv_peers.is_empty();
+        };
+        self.last_pos_sent_all()
+            && self.recv_peers.iter().all(|p| m.pos.contains(p))
+            && self.recv_peers.iter().all(|p| self.sent_frc.contains(p))
+            && self.send_peers.iter().all(|p| m.frc.contains(p))
+    }
+
+    /// The simplified single-handshake MU criterion (§4.4).
+    pub fn mu_phase_complete(&self) -> bool {
+        let sent_all = self.mig_peers.iter().all(|p| self.sent_mig.contains(p));
+        if self.mig_peers.is_empty() {
+            return true;
+        }
+        let Some(m) = self.current() else {
+            return false;
+        };
+        sent_all && self.mig_peers.iter().all(|p| m.mig.contains(p))
+    }
+}
+
+/// Bulk-synchronous baseline: every node reports to a coordinator, which
+/// releases them all once the slowest has arrived.
+#[derive(Clone, Debug)]
+pub struct BulkBarrier {
+    n: usize,
+    latency: u64,
+    arrived: HashSet<usize>,
+    slowest: u64,
+}
+
+impl BulkBarrier {
+    /// Barrier over `n` nodes with one-way coordinator latency.
+    pub fn new(n: usize, latency: u64) -> Self {
+        BulkBarrier {
+            n,
+            latency,
+            arrived: HashSet::new(),
+            slowest: 0,
+        }
+    }
+
+    /// Node `id` reaches the barrier at `cycle`. Returns the global
+    /// release cycle once every node has arrived.
+    pub fn arrive(&mut self, id: usize, cycle: u64) -> Option<u64> {
+        assert!(id < self.n);
+        self.arrived.insert(id);
+        self.slowest = self.slowest.max(cycle);
+        if self.arrived.len() == self.n {
+            // arrival message + release broadcast
+            Some(self.slowest + 2 * self.latency)
+        } else {
+            None
+        }
+    }
+
+    /// Reset for the next phase.
+    pub fn reset(&mut self) {
+        self.arrived.clear();
+        self.slowest = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sync2() -> ChainedSync<u8> {
+        ChainedSync::new(vec![1, 2], vec![1, 2])
+    }
+
+    #[test]
+    fn four_criteria_required() {
+        let mut s = sync2();
+        s.begin_step(0);
+        assert!(!s.force_phase_complete());
+        s.mark_last_pos_sent(1);
+        s.mark_last_pos_sent(2);
+        assert!(!s.force_phase_complete());
+        s.on_marker(PacketKind::Position, 1, 0);
+        s.on_marker(PacketKind::Position, 2, 0);
+        assert!(s.owes_last_frc(&1));
+        s.mark_last_frc_sent(1);
+        s.mark_last_frc_sent(2);
+        assert!(!s.force_phase_complete(), "still missing last-force in");
+        s.on_marker(PacketKind::Force, 1, 0);
+        assert!(!s.force_phase_complete());
+        s.on_marker(PacketKind::Force, 2, 0);
+        assert!(s.force_phase_complete());
+    }
+
+    #[test]
+    fn early_markers_buffer_for_future_steps() {
+        let mut s = sync2();
+        s.begin_step(0);
+        // fast neighbour already racing ahead: sends step-1 markers
+        s.on_marker(PacketKind::Position, 1, 1);
+        assert!(!s.last_pos_received(&1), "step-1 marker must not credit step 0");
+        s.on_marker(PacketKind::Position, 1, 0);
+        assert!(s.last_pos_received(&1));
+        s.begin_step(1);
+        assert!(s.last_pos_received(&1), "buffered step-1 marker now visible");
+    }
+
+    #[test]
+    fn mu_single_handshake() {
+        let mut s = sync2();
+        s.begin_step(0);
+        assert!(!s.mu_phase_complete());
+        s.mark_last_mig_sent(1);
+        s.mark_last_mig_sent(2);
+        assert!(!s.mu_phase_complete());
+        s.on_marker(PacketKind::Migration, 1, 0);
+        s.on_marker(PacketKind::Migration, 2, 0);
+        assert!(s.mu_phase_complete());
+    }
+
+    #[test]
+    fn isolated_node_always_complete() {
+        let mut s: ChainedSync<u8> = ChainedSync::new(vec![], vec![]);
+        s.begin_step(0);
+        assert!(s.force_phase_complete());
+        assert!(s.mu_phase_complete());
+    }
+
+    #[test]
+    fn bulk_barrier_waits_for_slowest() {
+        let mut b = BulkBarrier::new(3, 100);
+        assert_eq!(b.arrive(0, 1_000), None);
+        assert_eq!(b.arrive(2, 5_000), None);
+        assert_eq!(b.arrive(1, 2_000), Some(5_200));
+        b.reset();
+        assert_eq!(b.arrive(0, 10), None);
+    }
+
+    #[test]
+    fn asymmetric_peer_sets() {
+        // sends to {1}, receives from {2}
+        let mut s = ChainedSync::new(vec![1], vec![2]);
+        s.begin_step(3);
+        s.mark_last_pos_sent(1);
+        s.on_marker(PacketKind::Position, 2, 3);
+        s.mark_last_frc_sent(2);
+        s.on_marker(PacketKind::Force, 1, 3);
+        assert!(s.force_phase_complete());
+        assert_eq!(s.mig_peers.len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the network substrate: packet framing,
+//! encapsulation conservation, topology metrics, and the sync state
+//! machine.
+
+use fasda_net::encap::Packetizer;
+use fasda_net::packet::{Packet, PacketKind, PAYLOADS_PER_PACKET};
+use fasda_net::sync::ChainedSync;
+use fasda_net::topology::Topology;
+use proptest::prelude::*;
+
+proptest! {
+    /// Everything offered to a packetizer departs exactly once, in order
+    /// per peer, regardless of offer pattern and cooldown.
+    #[test]
+    fn packetizer_conserves_payloads(
+        items in proptest::collection::vec((0u8..3, 0u64..1000), 1..200),
+        cooldown in 1u32..8,
+    ) {
+        let mut pz = Packetizer::new(PacketKind::Position, vec![0u8, 1, 2], cooldown);
+        for (peer, item) in &items {
+            pz.offer(peer, *item, 0);
+        }
+        for peer in [0u8, 1, 2] {
+            pz.flush(&peer, 0);
+        }
+        let mut received: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        let mut cycle = 0u64;
+        while !pz.is_empty() {
+            if let Some((peer, pkt)) = pz.tick(cycle) {
+                prop_assert!(pkt.payloads.len() <= PAYLOADS_PER_PACKET);
+                received[peer as usize].extend(pkt.payloads);
+            }
+            cycle += 1;
+            prop_assert!(cycle < 100_000, "packetizer failed to drain");
+        }
+        let mut expected: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        for (peer, item) in &items {
+            expected[*peer as usize].push(*item);
+        }
+        prop_assert_eq!(received, expected);
+    }
+
+    /// Cooldown is respected: consecutive departures are at least
+    /// `cooldown` cycles apart.
+    #[test]
+    fn packetizer_respects_cooldown(
+        n in 1usize..50,
+        cooldown in 1u32..10,
+    ) {
+        let mut pz = Packetizer::new(PacketKind::Force, vec![0u8], cooldown);
+        for i in 0..n as u64 * 4 {
+            pz.offer(&0, i, 0);
+        }
+        let mut last: Option<u64> = None;
+        for cycle in 0..(n as u64 * 4 * cooldown as u64 + 100) {
+            if pz.tick(cycle).is_some() {
+                if let Some(prev) = last {
+                    prop_assert!(cycle - prev >= cooldown as u64);
+                }
+                last = Some(cycle);
+            }
+        }
+        prop_assert!(pz.is_empty());
+    }
+
+    /// Packet wire serialization round-trips arbitrary u64-pair payloads.
+    #[test]
+    fn packet_bytes_roundtrip(
+        vals in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..5),
+        last in any::<bool>(),
+        step in 0u64..u32::MAX as u64,
+    ) {
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct P(u64, u32);
+        impl fasda_net::packet::WirePayload for P {
+            const WIRE_BYTES: usize = 12;
+            fn encode(&self, buf: &mut bytes::BytesMut) {
+                use bytes::BufMut;
+                buf.put_u64(self.0);
+                buf.put_u32(self.1);
+            }
+            fn decode(buf: &mut &[u8]) -> Option<Self> {
+                use bytes::Buf;
+                if buf.len() < 12 {
+                    return None;
+                }
+                Some(P(buf.get_u64(), buf.get_u32()))
+            }
+        }
+        let payloads: Vec<P> = vals.iter().map(|(a, b)| P(*a, *b)).collect();
+        let count = payloads.len().min(PAYLOADS_PER_PACKET);
+        let mut pkt = Packet::data(PacketKind::Migration, payloads[..count].to_vec(), step);
+        pkt.last = last;
+        let back: Packet<P> = Packet::from_bytes(&pkt.to_bytes()).expect("parse");
+        prop_assert_eq!(back, pkt);
+    }
+
+    /// Ring topologies are symmetric and satisfy the triangle
+    /// inequality through any relay node.
+    #[test]
+    fn ring_metric_properties(nodes in 3usize..16, hop in 1u64..100) {
+        let t = Topology::HyperRing { nodes, hop_latency: hop };
+        for a in 0..nodes {
+            for b in 0..nodes {
+                prop_assert_eq!(t.path_latency(a, b), t.path_latency(b, a));
+                for c in 0..nodes {
+                    prop_assert!(
+                        t.path_latency(a, b) <= t.path_latency(a, c) + t.path_latency(c, b)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Chained sync completes iff all four marker sets are complete, for
+    /// arbitrary neighbourhood sizes and arrival orders.
+    #[test]
+    fn chained_sync_completion_exact(
+        n_send in 1usize..6,
+        n_recv in 1usize..6,
+        order_seed in 0u64..1000,
+    ) {
+        let send: Vec<u8> = (0..n_send as u8).collect();
+        let recv: Vec<u8> = (10..10 + n_recv as u8).collect();
+        let mut s = ChainedSync::new(send.clone(), recv.clone());
+        s.begin_step(0);
+        // event list: (kind, peer)
+        let mut events: Vec<(u8, u8)> = Vec::new();
+        for p in &send {
+            events.push((0, *p)); // mark last_pos sent
+            events.push((3, *p)); // recv last_frc from send peer
+        }
+        for p in &recv {
+            events.push((1, *p)); // recv last_pos
+            events.push((2, *p)); // mark last_frc sent
+        }
+        // deterministic shuffle
+        let mut rng = order_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for i in (1..events.len()).rev() {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let j = (rng as usize) % (i + 1);
+            events.swap(i, j);
+        }
+        for (k, (kind, peer)) in events.iter().enumerate() {
+            prop_assert!(
+                !s.force_phase_complete() || k == events.len(),
+                "complete before all events applied"
+            );
+            match kind {
+                0 => s.mark_last_pos_sent(*peer),
+                1 => s.on_marker(fasda_net::packet::PacketKind::Position, *peer, 0),
+                2 => s.mark_last_frc_sent(*peer),
+                3 => s.on_marker(fasda_net::packet::PacketKind::Force, *peer, 0),
+                _ => unreachable!(),
+            }
+        }
+        prop_assert!(s.force_phase_complete());
+    }
+}

@@ -1,0 +1,141 @@
+//! Timestamped message delivery between independently-stepped nodes.
+//!
+//! Multi-FPGA FASDA couples chips through a switch whose latency is many
+//! cycles. That physical latency is simulation headroom: a node can safely
+//! advance `min_link_latency` cycles without seeing messages its peers
+//! emit in the same window (conservative lookahead). [`MessageQueue`]
+//! holds in-flight messages ordered by delivery cycle so each node drains
+//! exactly the messages due in the window it is stepping.
+
+use crate::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A message annotated with its delivery cycle.
+#[derive(Clone, Debug)]
+pub struct TimedMsg<M> {
+    /// Cycle at which the message becomes visible to the receiver.
+    pub deliver_at: Cycle,
+    /// Monotonic sequence number breaking ties so same-cycle messages
+    /// keep their send order (FIFO links).
+    pub seq: u64,
+    /// Payload.
+    pub msg: M,
+}
+
+impl<M> PartialEq for TimedMsg<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver_at, self.seq) == (other.deliver_at, other.seq)
+    }
+}
+
+impl<M> Eq for TimedMsg<M> {}
+
+impl<M> Ord for TimedMsg<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+impl<M> PartialOrd for TimedMsg<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An inbox of in-flight messages for one node.
+#[derive(Debug)]
+pub struct MessageQueue<M> {
+    heap: BinaryHeap<Reverse<TimedMsg<M>>>,
+    next_seq: u64,
+}
+
+impl<M> Default for MessageQueue<M> {
+    fn default() -> Self {
+        MessageQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M> MessageQueue<M> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule a message for delivery.
+    pub fn send(&mut self, deliver_at: Cycle, msg: M) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(TimedMsg {
+            deliver_at,
+            seq,
+            msg,
+        }));
+    }
+
+    /// Pop the next message if it is due at or before `cycle`.
+    pub fn pop_due(&mut self, cycle: Cycle) -> Option<M> {
+        match self.heap.peek() {
+            Some(Reverse(m)) if m.deliver_at <= cycle => {
+                self.heap.pop().map(|Reverse(m)| m.msg)
+            }
+            _ => None,
+        }
+    }
+
+    /// Delivery cycle of the earliest in-flight message.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(m)| m.deliver_at)
+    }
+
+    /// In-flight message count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_respects_timestamps() {
+        let mut q = MessageQueue::new();
+        q.send(10, "late");
+        q.send(5, "early");
+        assert_eq!(q.pop_due(4), None);
+        assert_eq!(q.pop_due(5), Some("early"));
+        assert_eq!(q.pop_due(9), None);
+        assert_eq!(q.pop_due(10), Some("late"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_preserves_send_order() {
+        let mut q = MessageQueue::new();
+        for i in 0..10 {
+            q.send(7, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop_due(7), Some(i));
+        }
+    }
+
+    #[test]
+    fn next_due_reports_earliest() {
+        let mut q = MessageQueue::new();
+        assert_eq!(q.next_due(), None);
+        q.send(42, ());
+        q.send(17, ());
+        assert_eq!(q.next_due(), Some(17));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Bounded FIFOs with hardware semantics.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO modelling an on-chip buffer between pipeline stages.
+///
+/// `push` fails (backpressure) when full — the upstream stage must stall,
+/// exactly like a full BRAM FIFO deasserting `ready`. The high-water mark
+/// is tracked so sizing experiments can report the depth actually used.
+#[derive(Clone, Debug)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    high_water: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Create a FIFO of the given capacity (entries).
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+        }
+    }
+
+    /// Attempt to enqueue; returns the item back on backpressure.
+    #[inline]
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() == self.capacity {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeue the oldest item.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Oldest item without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when no more pushes are accepted.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Free slots remaining.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Configured capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Maximum occupancy ever observed.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Drop all contents (end-of-timestep reset paths).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterate items front (oldest) to back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = Fifo::new(3);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_returns_item() {
+        let mut f = Fifo::new(1);
+        f.push("a").unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push("b"), Err("b"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        f.push(3).unwrap();
+        f.push(4).unwrap();
+        assert_eq!(f.high_water(), 3);
+        assert_eq!(f.free(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn peek_and_clear() {
+        let mut f = Fifo::new(2);
+        f.push(7).unwrap();
+        assert_eq!(f.peek(), Some(&7));
+        assert_eq!(f.len(), 1);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.high_water(), 1);
+    }
+}

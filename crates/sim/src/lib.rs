@@ -1,0 +1,33 @@
+//! # fasda-sim
+//!
+//! Cycle-level hardware-simulation substrate.
+//!
+//! The FASDA evaluation reports everything in **clock cycles at 200 MHz**
+//! (`operation_cycle_cnt` and per-component cycle counters in the artifact
+//! appendix), so the accelerator model in `fasda-core` is a synchronous
+//! cycle simulation. This crate provides its building blocks:
+//!
+//! * [`fifo::Fifo`] — bounded queues with hardware push/pop semantics and
+//!   occupancy high-water tracking (the BRAM FIFOs between stages);
+//! * [`pipeline::Pipeline`] — fixed-latency, initiation-interval-1
+//!   pipelines (the floating-point force pipeline, the motion-update
+//!   datapath);
+//! * [`stats::Activity`] — the paper's two utilization metrics (§5.3):
+//!   *hardware utilization* (work done vs capacity) and *time utilization*
+//!   (fraction of cycles active);
+//! * [`bus::MessageQueue`] — timestamped message delivery between
+//!   independently-stepped nodes, enabling conservative-lookahead parallel
+//!   simulation of multi-FPGA systems in `fasda-cluster`.
+
+pub mod bus;
+pub mod fifo;
+pub mod pipeline;
+pub mod stats;
+
+pub use bus::{MessageQueue, TimedMsg};
+pub use fifo::Fifo;
+pub use pipeline::Pipeline;
+pub use stats::{Activity, StatSet};
+
+/// Clock cycle count. All component models advance in units of one cycle.
+pub type Cycle = u64;

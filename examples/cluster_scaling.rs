@@ -1,0 +1,74 @@
+//! Cluster scaling study: sweep node counts, design variants, and
+//! synchronization modes through the public API.
+//!
+//! Demonstrates FASDA's "plugable components": the same workload runs on
+//! 2/4/8 FPGAs, with the CBB→SPE→SCBB strong-scaling variants, and with
+//! chained vs bulk synchronization — printing the rates and the
+//! communication profile of each configuration.
+//!
+//! Run with: `cargo run --release --example cluster_scaling`
+
+use fasda::cluster::{Cluster, ClusterConfig};
+use fasda::core::config::{ChipConfig, DesignVariant};
+use fasda::md::space::SimulationSpace;
+use fasda::md::workload::WorkloadSpec;
+use fasda::net::sync::SyncMode;
+
+fn main() {
+    let steps = 2;
+
+    println!("FASDA cluster scaling study (cycle-level simulation)\n");
+
+    // --- weak scaling: grow the box with the node count ---------------
+    println!("weak scaling (variant A, 3x3x3 cells per FPGA):");
+    println!("{:<12}{:>8}{:>12}{:>14}{:>14}", "space", "FPGAs", "µs/day", "pos Gbps", "frc Gbps");
+    for (space, block) in [
+        (SimulationSpace::new(6, 3, 3), (3u32, 3u32, 3u32)),
+        (SimulationSpace::new(6, 6, 3), (3, 3, 3)),
+        (SimulationSpace::cubic(6), (3, 3, 3)),
+    ] {
+        let sys = WorkloadSpec::paper(space, 99).generate();
+        let cfg = ClusterConfig::paper(ChipConfig::variant(DesignVariant::A), block);
+        let mut cluster = Cluster::new(cfg, &sys);
+        let nodes = cluster.num_nodes();
+        let r = cluster.run(steps);
+        println!(
+            "{:<12}{:>8}{:>12.2}{:>14.2}{:>14.2}",
+            format!("{}x{}x{}", space.dx, space.dy, space.dz),
+            nodes,
+            r.us_per_day(),
+            r.pos_gbps_per_node(),
+            r.frc_gbps_per_node()
+        );
+    }
+
+    // --- strong scaling: same box, stronger chips ----------------------
+    println!("\nstrong scaling (4x4x4 cells on 8 FPGAs):");
+    println!("{:<16}{:>12}{:>16}", "variant", "µs/day", "vs variant A");
+    let sys = WorkloadSpec::paper(SimulationSpace::cubic(4), 99).generate();
+    let mut base = 0.0;
+    for v in [DesignVariant::A, DesignVariant::B, DesignVariant::C] {
+        let cfg = ClusterConfig::paper(ChipConfig::variant(v), (2, 2, 2));
+        let r = Cluster::new(cfg, &sys).run(steps);
+        let rate = r.us_per_day();
+        if v == DesignVariant::A {
+            base = rate;
+        }
+        println!("{:<16}{:>12.2}{:>15.2}x", v.label(), rate, rate / base);
+    }
+
+    // --- synchronization modes ----------------------------------------
+    println!("\nsynchronization (6x6x6 on 8 FPGAs, variant A):");
+    println!("{:<34}{:>14}", "mode", "cycles/step");
+    let sys = WorkloadSpec::paper(SimulationSpace::cubic(6), 99).generate();
+    for (label, mode) in [
+        ("chained (paper §4.4)", SyncMode::Chained),
+        ("bulk barrier via central FPGA", SyncMode::Bulk { latency: 2_000 }),
+        ("bulk barrier via host (~1 ms)", SyncMode::Bulk { latency: 200_000 }),
+    ] {
+        let mut cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
+        cfg.sync = mode;
+        let r = Cluster::new(cfg, &sys).run(steps);
+        println!("{label:<34}{:>14.0}", r.cycles_per_step());
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: simulate the paper's workload on one FASDA chip.
+//!
+//! Builds the 3×3×3-cell sodium system (64 atoms per cell, Rc = 8.5 Å,
+//! dt = 2 fs), runs a few timesteps on the cycle-level chip model, and
+//! prints the simulation rate, component utilization, and an energy
+//! check against the double-precision reference.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fasda::core::config::ChipConfig;
+use fasda::core::geometry::ChipGeometry;
+use fasda::core::timed::TimedChip;
+use fasda::md::element::PairTable;
+use fasda::md::engine::{CellListEngine, ForceEngine};
+use fasda::md::observables::kinetic_energy;
+use fasda::md::space::SimulationSpace;
+use fasda::md::units::UnitSystem;
+use fasda::md::workload::WorkloadSpec;
+
+fn main() {
+    // 1. The paper's dataset: 64 randomly-placed neutral sodium atoms in
+    //    every 8.5 Å cell (§5.1).
+    let space = SimulationSpace::cubic(3);
+    let sys = WorkloadSpec::paper(space, 2023).generate();
+    println!(
+        "workload: {} Na atoms in {} cells ({}³ × 8.5 Å box)",
+        sys.len(),
+        space.num_cells(),
+        space.dx
+    );
+
+    // 2. One FASDA FPGA: a Cell Building Block per cell, 6 filters per
+    //    force pipeline, 200 MHz.
+    let cfg = ChipConfig::baseline();
+    let mut chip = TimedChip::new(
+        cfg,
+        ChipGeometry::single_chip(space),
+        UnitSystem::PAPER,
+        2.0,
+    );
+    chip.load(&sys);
+
+    // 3. Run timesteps, watching the cycle counts.
+    println!("\nstep   force-cycles   MU-cycles   valid-pairs    µs/day");
+    let mut last_total = 0;
+    for step in 1..=5 {
+        let r = chip.run_timestep();
+        last_total = r.total_cycles();
+        println!(
+            "{step:>4}{:>15}{:>12}{:>14}{:>10.2}",
+            r.force_cycles,
+            r.mu_cycles,
+            r.valid_pairs,
+            cfg.hw.us_per_day(last_total as f64, 2.0)
+        );
+    }
+
+    // 4. Utilization of the key components (paper Fig. 17 regime).
+    let r = chip.run_timestep();
+    println!("\ncomponent utilization (hardware / time):");
+    for name in ["PR", "FR", "Filter", "PE", "MU"] {
+        println!(
+            "  {name:<8}{:>6.1}% /{:>6.1}%",
+            100.0 * r.stats.hardware_util(name, last_total),
+            100.0 * r.stats.time_util(name, last_total)
+        );
+    }
+
+    // 5. Energy sanity check against the f64 reference engine.
+    let mut snap = sys.clone();
+    chip.store_into(&mut snap);
+    let mut eng = CellListEngine::new(PairTable::new(UnitSystem::PAPER));
+    let pe = eng.compute_forces(&mut snap.clone());
+    let ke = kinetic_energy(&snap);
+    println!("\nafter 6 steps: PE = {pe:.2} kcal/mol, KE = {ke:.2} kcal/mol");
+    println!("total energy: {:.2} kcal/mol", pe + ke);
+}

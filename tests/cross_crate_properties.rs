@@ -1,0 +1,135 @@
+//! Property-based tests spanning crates: random spaces, partitions, and
+//! workloads through the full accelerator stack.
+
+use fasda::arith::interp::TableConfig;
+use fasda::cluster::{Cluster, ClusterConfig};
+use fasda::core::config::{ChipConfig, DesignVariant};
+use fasda::core::functional::FunctionalChip;
+use fasda::core::geometry::{ChipCoord, ChipGeometry};
+use fasda::md::element::Element;
+use fasda::md::space::{CellCoord, SimulationSpace};
+use fasda::md::units::UnitSystem;
+use fasda::md::workload::{Placement, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_partition() -> impl Strategy<Value = (SimulationSpace, (u32, u32, u32))> {
+    // spaces that divide into at-most-64-cell blocks with ≥ 2 chips
+    prop_oneof![
+        Just((SimulationSpace::cubic(6), (3u32, 3u32, 3u32))),
+        Just((SimulationSpace::new(6, 3, 3), (3, 3, 3))),
+        Just((SimulationSpace::new(6, 6, 3), (3, 3, 3))),
+        Just((SimulationSpace::cubic(4), (2, 2, 2))),
+        Just((SimulationSpace::new(4, 4, 8), (2, 2, 2))),
+        Just((SimulationSpace::new(8, 4, 4), (4, 2, 2))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every partition's chips tile the space exactly: each global cell
+    /// is owned by exactly one chip, and all half-shell destinations
+    /// resolve.
+    #[test]
+    fn partitions_tile_the_space((space, block) in arb_partition()) {
+        let probe = ChipGeometry::new(space, block, ChipCoord::new(0, 0, 0));
+        let grid = probe.grid();
+        let mut owners = vec![0u32; space.num_cells()];
+        for x in 0..grid.0 {
+            for y in 0..grid.1 {
+                for z in 0..grid.2 {
+                    let geo = ChipGeometry::new(space, block, ChipCoord::new(x, y, z));
+                    for cbb in 0..geo.num_cbbs() as u16 {
+                        let g = geo.cbb_gcell(cbb);
+                        owners[space.cell_id(g) as usize] += 1;
+                        // destinations resolve on their owner chips
+                        for d in geo.halfshell_dests(cbb) {
+                            let peer = ChipGeometry::new(space, block, d.chip);
+                            prop_assert_eq!(peer.cbb_of_gcell(d.gcell), Some(d.cbb));
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(owners.iter().all(|&c| c == 1), "cells not tiled exactly once");
+    }
+
+    /// A cluster step equals a functional step on random partitions and
+    /// seeds (distribution must not change the physics).
+    #[test]
+    fn cluster_step_equals_functional((space, block) in arb_partition(), seed in 0u64..100) {
+        let sys = WorkloadSpec {
+            space,
+            per_cell: 2,
+            placement: Placement::JitteredLattice { jitter: 0.08 },
+            temperature_k: 120.0,
+            seed,
+            element: Element::Na,
+        }
+        .generate();
+        let mut func = FunctionalChip::load(&sys, TableConfig::PAPER, 2.0);
+        func.step();
+        let want = func.snapshot();
+
+        let cfg = ClusterConfig::paper(ChipConfig::baseline(), block);
+        let mut cluster = Cluster::new(cfg, &sys);
+        cluster.run(1);
+        let mut got = sys.clone();
+        cluster.store_into(&mut got);
+
+        prop_assert_eq!(cluster.num_particles(), sys.len());
+        for i in 0..sys.len() {
+            let d = space.min_image(got.pos[i], want.pos[i]).max_abs();
+            prop_assert!(d < 1e-5, "particle {} off by {} cells", i, d);
+        }
+    }
+
+    /// RCID conversion is consistent with the functional pairing: for
+    /// any two neighbouring cells, converting src→dst and dst→src gives
+    /// mirrored RCIDs.
+    #[test]
+    fn rcid_mirror_symmetry(
+        (space, block) in arb_partition(),
+        sx in 0i32..8, sy in 0i32..8, sz in 0i32..8,
+        ox in -1i32..2, oy in -1i32..2, oz in -1i32..2,
+    ) {
+        let geo = ChipGeometry::new(space, block, ChipCoord::new(0, 0, 0));
+        let src = space.wrap_coord(CellCoord::new(sx, sy, sz));
+        let dst = space.wrap_coord(src.offset((ox, oy, oz)));
+        let ab = geo.rcid(src, dst);
+        let ba = geo.rcid(dst, src);
+        prop_assert_eq!(ab.0 + ba.0, 4);
+        prop_assert_eq!(ab.1 + ba.1, 4);
+        prop_assert_eq!(ab.2 + ba.2, 4);
+    }
+}
+
+/// Variant choice changes timing, never physics — checked at the
+/// cluster level (subsumes the single-chip version).
+#[test]
+fn variants_cluster_physics_identical() {
+    let sys = WorkloadSpec {
+        space: SimulationSpace::cubic(4),
+        per_cell: 4,
+        placement: Placement::JitteredLattice { jitter: 0.06 },
+        temperature_k: 120.0,
+        seed: 77,
+        element: Element::Na,
+    }
+    .generate();
+    let run = |v: DesignVariant| {
+        let cfg = ClusterConfig::paper(ChipConfig::variant(v), (2, 2, 2));
+        let mut cl = Cluster::new(cfg, &sys);
+        cl.run(1);
+        let mut out = sys.clone();
+        cl.store_into(&mut out);
+        out
+    };
+    let a = run(DesignVariant::A);
+    let c = run(DesignVariant::C);
+    for i in 0..sys.len() {
+        let d = sys.space.min_image(a.pos[i], c.pos[i]).max_abs();
+        assert!(d < 1e-6, "variant changed physics at {i}: {d}");
+    }
+    let _ = UnitSystem::PAPER;
+}

@@ -1,0 +1,150 @@
+//! Tests of the real-space PME electrostatic path (paper §2.1) through
+//! every layer: reference engines, the functional datapath, and the
+//! cycle-level chip.
+
+use fasda::arith::interp::TableConfig;
+use fasda::cluster::{Cluster, ClusterConfig};
+use fasda::core::config::ChipConfig;
+use fasda::core::functional::FunctionalChip;
+use fasda::core::geometry::ChipGeometry;
+use fasda::core::timed::TimedChip;
+use fasda::md::element::{Element, PairTable};
+use fasda::md::engine::{CellListEngine, DirectEngine, ForceEngine};
+use fasda::md::ewald::EwaldParams;
+use fasda::md::space::SimulationSpace;
+use fasda::md::system::ParticleSystem;
+use fasda::md::units::UnitSystem;
+use fasda::md::workload::{Placement, WorkloadSpec};
+
+fn salt_system(space: SimulationSpace, per_cell: u32, seed: u64) -> ParticleSystem {
+    let mut sys = WorkloadSpec {
+        space,
+        per_cell,
+        placement: Placement::JitteredLattice { jitter: 0.05 },
+        temperature_k: 400.0,
+        seed,
+        element: Element::NaPlus,
+    }
+    .generate();
+    for i in 0..sys.len() {
+        if i % 2 == 1 {
+            sys.element[i] = Element::ClMinus;
+        }
+    }
+    sys
+}
+
+#[test]
+fn reference_engines_agree_with_charges() {
+    let params = EwaldParams::standard(UnitSystem::PAPER);
+    let table = PairTable::new(UnitSystem::PAPER);
+    let mut a = salt_system(SimulationSpace::cubic(3), 8, 51);
+    let mut b = a.clone();
+    let pe1 = DirectEngine::new(table.clone())
+        .with_electrostatics(params)
+        .compute_forces(&mut a);
+    let pe2 = CellListEngine::new(table)
+        .with_electrostatics(params)
+        .compute_forces(&mut b);
+    assert!((pe1 - pe2).abs() < 1e-9 * pe1.abs().max(1.0));
+    for i in 0..a.len() {
+        assert!((a.force[i] - b.force[i]).max_abs() < 1e-9);
+    }
+    // the real-space-only term omits the (negative) reciprocal and self
+    // contributions, so its sign is configuration-dependent; just check
+    // the charges changed the energy relative to the neutral LJ system.
+    let mut neutral = a.clone();
+    for e in &mut neutral.element {
+        *e = Element::Na;
+    }
+    let pe_neutral = DirectEngine::new(PairTable::new(UnitSystem::PAPER))
+        .compute_forces(&mut neutral);
+    assert!((pe1 - pe_neutral).abs() > 1.0, "charges must shift the energy");
+}
+
+#[test]
+fn functional_chip_matches_reference_with_charges() {
+    let params = EwaldParams::standard(UnitSystem::PAPER);
+    let table = PairTable::new(UnitSystem::PAPER);
+    let mut sys = salt_system(SimulationSpace::cubic(3), 8, 52);
+    let mut chip = FunctionalChip::load_with(&sys, TableConfig::PAPER, 2.0, Some(params));
+    chip.evaluate_forces();
+    let snap = chip.snapshot();
+    CellListEngine::new(table)
+        .with_electrostatics(params)
+        .compute_forces(&mut sys);
+    for i in 0..sys.len() {
+        let want = sys.force[i];
+        let got = snap.force[i];
+        let tol = want.max_abs().max(0.5) * 1e-2;
+        assert!(
+            (got - want).max_abs() < tol,
+            "ion {i}: got {got:?}, want {want:?}"
+        );
+    }
+}
+
+#[test]
+fn timed_chip_carries_electrostatics() {
+    let params = EwaldParams::standard(UnitSystem::PAPER);
+    let sys = salt_system(SimulationSpace::cubic(3), 6, 53);
+    let mut cfg = ChipConfig::baseline();
+    cfg.electrostatics = Some(params);
+    let mut chip = TimedChip::new(
+        cfg,
+        ChipGeometry::single_chip(sys.space),
+        UnitSystem::PAPER,
+        2.0,
+    );
+    assert!(chip.datapath().has_electrostatics());
+    chip.load(&sys);
+    chip.run_timestep();
+    let mut got = sys.clone();
+    chip.store_into(&mut got);
+
+    // one functional step is the oracle
+    let mut func = FunctionalChip::load_with(&sys, TableConfig::PAPER, 2.0, Some(params));
+    func.step();
+    let want = func.snapshot();
+    for i in 0..sys.len() {
+        let d = sys.space.min_image(got.pos[i], want.pos[i]).max_abs();
+        assert!(d < 1e-6, "ion {i} off by {d} cells");
+    }
+}
+
+#[test]
+fn cluster_carries_electrostatics() {
+    let params = EwaldParams::standard(UnitSystem::PAPER);
+    let sys = salt_system(SimulationSpace::cubic(6), 2, 54);
+    let mut chip_cfg = ChipConfig::baseline();
+    chip_cfg.electrostatics = Some(params);
+    let cfg = ClusterConfig::paper(chip_cfg, (3, 3, 3));
+    let mut cluster = Cluster::new(cfg, &sys);
+    cluster.run(1);
+    let mut got = sys.clone();
+    cluster.store_into(&mut got);
+
+    let mut func = FunctionalChip::load_with(&sys, TableConfig::PAPER, 2.0, Some(params));
+    func.step();
+    let want = func.snapshot();
+    for i in 0..sys.len() {
+        let d = sys.space.min_image(got.pos[i], want.pos[i]).max_abs();
+        assert!(d < 1e-5, "ion {i} off by {d} cells across the cluster");
+    }
+}
+
+#[test]
+fn neutral_system_unaffected_by_electrostatic_path() {
+    // enabling the path must not perturb the paper's neutral dataset
+    let params = EwaldParams::standard(UnitSystem::PAPER);
+    let sys = WorkloadSpec::paper(SimulationSpace::cubic(3), 55).generate();
+    let mut with = FunctionalChip::load_with(&sys, TableConfig::PAPER, 2.0, Some(params));
+    let mut without = FunctionalChip::load(&sys, TableConfig::PAPER, 2.0);
+    with.evaluate_forces();
+    without.evaluate_forces();
+    let a = with.snapshot();
+    let b = without.snapshot();
+    for i in 0..sys.len() {
+        assert_eq!(a.force[i], b.force[i], "neutral forces must be identical");
+    }
+}
