@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks for the hot components: datapath
-//! arithmetic, reference engines, packet framing, and whole-chip /
-//! cluster timesteps.
+//! Micro-benchmarks for the hot components: datapath arithmetic,
+//! reference engines, packet framing, and whole-chip / cluster
+//! timesteps.
+//!
+//! Self-contained harness (no external bench framework): each case is
+//! warmed up, then timed over enough iterations to exceed a minimum
+//! measurement window, reporting ns/iter. Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use fasda_arith::fixed::FixVec3;
 use fasda_arith::interp::{InterpTable, TableConfig};
 use fasda_baseline::ThreadedCpuEngine;
@@ -21,6 +24,32 @@ use fasda_md::units::UnitSystem;
 use fasda_md::workload::{Placement, WorkloadSpec};
 use fasda_net::encap::Packetizer;
 use fasda_net::packet::PacketKind;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Time `f` (which runs one iteration on a fresh input from `setup`)
+/// and print ns/iter, criterion-style.
+fn bench_with_setup<I, R>(group: &str, name: &str, min: Duration, mut setup: impl FnMut() -> I, mut f: impl FnMut(I) -> R) {
+    // warmup + calibration
+    let t = Instant::now();
+    let mut iters = 0u64;
+    while t.elapsed() < min / 4 {
+        black_box(f(setup()));
+        iters += 1;
+    }
+    let target = iters.max(1) * 4;
+    let inputs: Vec<I> = (0..target).map(|_| setup()).collect();
+    let t = Instant::now();
+    for input in inputs {
+        black_box(f(input));
+    }
+    let per = t.elapsed().as_nanos() as f64 / target as f64;
+    println!("{group}/{name:<28} {per:>14.1} ns/iter ({target} iters)");
+}
+
+fn bench(group: &str, name: &str, min: Duration, mut f: impl FnMut() -> ()) {
+    bench_with_setup(group, name, min, || (), |()| f());
+}
 
 fn workload(d: u32, per_cell: u32) -> ParticleSystem {
     WorkloadSpec {
@@ -34,169 +63,135 @@ fn workload(d: u32, per_cell: u32) -> ParticleSystem {
     .generate()
 }
 
-fn bench_datapath(c: &mut Criterion) {
+const FAST: Duration = Duration::from_millis(200);
+const SLOW: Duration = Duration::from_millis(400);
+
+fn bench_datapath() {
     let dp = ForceDatapath::new(&PairTable::new(UnitSystem::PAPER), TableConfig::PAPER);
     let home = ForceDatapath::concat((2, 2, 2), FixVec3::from_f64(0.21, 0.47, 0.63));
     let nbr = ForceDatapath::concat((1, 2, 3), FixVec3::from_f64(0.85, 0.52, 0.11));
     let pair = dp.filter(home, nbr).expect("in range");
 
-    let mut g = c.benchmark_group("datapath");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("filter", |b| {
-        b.iter(|| std::hint::black_box(dp.filter(home, nbr)))
+    bench("datapath", "filter", FAST, || {
+        black_box(dp.filter(black_box(home), black_box(nbr)));
     });
-    g.bench_function("force", |b| {
-        b.iter(|| std::hint::black_box(dp.force(Element::Na, Element::Na, pair)))
+    bench("datapath", "force", FAST, || {
+        black_box(dp.force(Element::Na, Element::Na, black_box(pair)));
     });
     let table = InterpTable::build_r_pow(TableConfig::PAPER, 14);
-    g.bench_function("interp_lookup", |b| {
-        b.iter(|| std::hint::black_box(table.eval(0.517f32)))
+    bench("datapath", "interp_lookup", FAST, || {
+        black_box(table.eval(black_box(0.517f32)));
     });
-    g.finish();
 }
 
-fn bench_engines(c: &mut Criterion) {
+fn bench_engines() {
     let sys = workload(3, 16);
     let table = PairTable::new(UnitSystem::PAPER);
-    let mut g = c.benchmark_group("reference-engines");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(sys.len() as u64));
-    g.bench_function("direct_o_n2", |b| {
-        let mut eng = DirectEngine::new(table.clone());
-        b.iter_batched(
-            || sys.clone(),
-            |mut s| eng.compute_forces(&mut s),
-            BatchSize::SmallInput,
-        )
+    let mut direct = DirectEngine::new(table.clone());
+    bench_with_setup("reference-engines", "direct_o_n2", SLOW, || sys.clone(), |mut s| {
+        direct.compute_forces(&mut s)
     });
-    g.bench_function("celllist_halfshell", |b| {
-        let mut eng = CellListEngine::new(table.clone());
-        b.iter_batched(
-            || sys.clone(),
-            |mut s| eng.compute_forces(&mut s),
-            BatchSize::SmallInput,
-        )
+    let mut cell = CellListEngine::new(table.clone());
+    bench_with_setup("reference-engines", "celllist_halfshell", SLOW, || sys.clone(), |mut s| {
+        cell.compute_forces(&mut s)
     });
-    g.bench_function("threaded_cpu_1t", |b| {
-        let eng = ThreadedCpuEngine::new(table.clone(), 1);
-        b.iter_batched(
-            || sys.clone(),
-            |mut s| eng.compute_forces(&mut s),
-            BatchSize::SmallInput,
-        )
+    let cpu = ThreadedCpuEngine::new(table, 1);
+    bench_with_setup("reference-engines", "threaded_cpu_1t", SLOW, || sys.clone(), |mut s| {
+        cpu.compute_forces(&mut s)
     });
-    g.finish();
 }
 
-fn bench_packets(c: &mut Criterion) {
-    let mut g = c.benchmark_group("network");
-    g.bench_function("packetizer_offer_tick", |b| {
-        b.iter_batched(
-            || Packetizer::<u8, u64>::new(PacketKind::Position, vec![0, 1, 2], 2),
-            |mut pz| {
-                for i in 0..64u64 {
-                    pz.offer(&((i % 3) as u8), i, 0);
+fn bench_packets() {
+    bench_with_setup(
+        "network",
+        "packetizer_offer_tick",
+        FAST,
+        || Packetizer::<u8, u64>::new(PacketKind::Position, vec![0, 1, 2], 2),
+        |mut pz| {
+            for i in 0..64u64 {
+                pz.offer(&((i % 3) as u8), i, 0);
+            }
+            let mut out = 0;
+            for cyc in 0..128 {
+                if pz.tick(cyc).is_some() {
+                    out += 1;
                 }
-                let mut out = 0;
-                for cyc in 0..128 {
-                    if pz.tick(cyc).is_some() {
-                        out += 1;
-                    }
-                }
-                out
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+            }
+            out
+        },
+    );
 }
 
-fn bench_chip(c: &mut Criterion) {
-    let mut g = c.benchmark_group("chip");
-    g.sample_size(10);
-
+fn bench_chip() {
     let sys = workload(3, 16);
-    g.bench_function("functional_step_3cube_16", |b| {
-        b.iter_batched(
-            || FunctionalChip::load(&sys, TableConfig::PAPER, 2.0),
-            |mut chip| {
-                chip.step();
-                chip.num_particles()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("timed_step_3cube_16", |b| {
-        b.iter_batched(
-            || {
-                let mut chip = TimedChip::new(
-                    ChipConfig::baseline(),
-                    ChipGeometry::single_chip(sys.space),
-                    UnitSystem::PAPER,
-                    2.0,
-                );
-                chip.load(&sys);
-                chip
-            },
-            |mut chip| chip.run_timestep().total_cycles(),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench_with_setup(
+        "chip",
+        "functional_step_3cube_16",
+        SLOW,
+        || FunctionalChip::load(&sys, TableConfig::PAPER, 2.0),
+        |mut chip| {
+            chip.step();
+            chip.num_particles()
+        },
+    );
+    bench_with_setup(
+        "chip",
+        "timed_step_3cube_16",
+        SLOW,
+        || {
+            let mut chip = TimedChip::new(
+                ChipConfig::baseline(),
+                ChipGeometry::single_chip(sys.space),
+                UnitSystem::PAPER,
+                2.0,
+            );
+            chip.load(&sys);
+            chip
+        },
+        |mut chip| chip.run_timestep().total_cycles(),
+    );
 }
 
-fn bench_cluster(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cluster");
-    g.sample_size(10);
+fn bench_cluster() {
     let sys = workload(6, 4);
-    g.bench_function("8_chips_one_step", |b| {
-        b.iter_batched(
-            || Cluster::new(ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3)), &sys),
-            |mut cl| cl.run(1).total_cycles,
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench_with_setup(
+        "cluster",
+        "8_chips_one_step",
+        SLOW,
+        || Cluster::new(ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3)), &sys),
+        |mut cl| cl.run(1).total_cycles,
+    );
 }
 
-fn bench_longrange(c: &mut Criterion) {
+fn bench_longrange() {
     use fasda_md::ewald::EwaldParams;
     use fasda_md::ewald_recip::{EwaldRecip, RecipParams};
     use fasda_md::fft::{fft_1d, Complex, Grid3};
     use fasda_md::pme::Pme;
 
-    let mut g = c.benchmark_group("long-range");
-    g.sample_size(10);
-
-    g.bench_function("fft_1d_1024", |b| {
-        let sig: Vec<Complex> = (0..1024)
-            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
-            .collect();
-        b.iter_batched(
-            || sig.clone(),
-            |mut d| {
-                fft_1d(&mut d, false);
-                d[0]
-            },
-            BatchSize::SmallInput,
-        )
+    let sig: Vec<Complex> = (0..1024)
+        .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+        .collect();
+    bench_with_setup("long-range", "fft_1d_1024", SLOW, || sig.clone(), |mut d| {
+        fft_1d(&mut d, false);
+        d[0]
     });
-    g.bench_function("fft_3d_32cube", |b| {
-        b.iter_batched(
-            || {
-                let mut grid = Grid3::new(32, 32, 32);
-                for (i, v) in grid.data.iter_mut().enumerate() {
-                    v.re = (i as f64).sin();
-                }
-                grid
-            },
-            |mut grid| {
-                grid.fft(false);
-                grid.at(0, 0, 0)
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    bench_with_setup(
+        "long-range",
+        "fft_3d_32cube",
+        SLOW,
+        || {
+            let mut grid = Grid3::new(32, 32, 32);
+            for (i, v) in grid.data.iter_mut().enumerate() {
+                v.re = (i as f64).sin();
+            }
+            grid
+        },
+        |mut grid| {
+            grid.fft(false);
+            grid.at(0, 0, 0)
+        },
+    );
 
     // charged salt for the solvers
     let mut salt = workload(3, 8);
@@ -208,42 +203,31 @@ fn bench_longrange(c: &mut Criterion) {
         };
     }
     let real = EwaldParams::standard(UnitSystem::PAPER);
-    g.bench_function("ewald_recip_exact", |b| {
-        let recip = EwaldRecip::new(RecipParams::matching(real, 3.0), &salt);
-        b.iter(|| recip.energy(&salt))
+    let recip = EwaldRecip::new(RecipParams::matching(real, 3.0), &salt);
+    bench("long-range", "ewald_recip_exact", SLOW, || {
+        black_box(recip.energy(&salt));
     });
-    g.bench_function("pme_energy_16cube", |b| {
-        let mut pme = Pme::new(real, &salt, (16, 16, 16));
-        b.iter(|| pme.energy(&salt))
+    let mut pme = Pme::new(real, &salt, (16, 16, 16));
+    bench("long-range", "pme_energy_16cube", SLOW, || {
+        black_box(pme.energy(&salt));
     });
-    g.finish();
 }
 
-fn bench_integrator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("integrator");
+fn bench_integrator() {
     let sys = workload(3, 64);
-    g.throughput(Throughput::Elements(sys.len() as u64));
-    g.bench_function("leapfrog_step", |b| {
-        b.iter_batched(
-            || sys.clone(),
-            |mut s| {
-                Integrator::PAPER.leapfrog_step(&mut s);
-                s.pos[0]
-            },
-            BatchSize::SmallInput,
-        )
+    bench_with_setup("integrator", "leapfrog_step", FAST, || sys.clone(), |mut s| {
+        Integrator::PAPER.leapfrog_step(&mut s);
+        s.pos[0]
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_datapath,
-    bench_engines,
-    bench_packets,
-    bench_chip,
-    bench_cluster,
-    bench_longrange,
-    bench_integrator
-);
-criterion_main!(benches);
+fn main() {
+    println!("fasda microbench (hand-rolled harness, ns/iter)");
+    bench_datapath();
+    bench_engines();
+    bench_packets();
+    bench_chip();
+    bench_cluster();
+    bench_longrange();
+    bench_integrator();
+}

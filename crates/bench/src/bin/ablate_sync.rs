@@ -9,20 +9,20 @@
 //!
 //! Usage: `ablate_sync [--steps N] [--space D]`
 
-use fasda_bench::{rule, Args};
-use fasda_cluster::{Cluster, ClusterConfig};
+use fasda_bench::{engine_from_args, rule, Args};
+use fasda_cluster::{Cluster, ClusterConfig, EngineConfig};
 use fasda_core::config::ChipConfig;
 use fasda_md::space::SimulationSpace;
 use fasda_md::workload::WorkloadSpec;
 use fasda_net::sync::SyncMode;
 
-fn run(space: SimulationSpace, sync: SyncMode, straggler: Option<(usize, u64)>, steps: u64) -> (f64, f64) {
+fn run(space: SimulationSpace, sync: SyncMode, straggler: Option<(usize, u64)>, steps: u64, engine: &EngineConfig) -> (f64, f64) {
     let sys = WorkloadSpec::paper(space, 0xFA5DA).generate();
     let mut cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
     cfg.sync = sync;
     cfg.straggler = straggler;
     let mut cluster = Cluster::new(cfg, &sys);
-    let report = cluster.run(steps);
+    let report = cluster.run_with(steps, engine);
     (report.cycles_per_step(), report.avg_completion_spread())
 }
 
@@ -30,6 +30,7 @@ fn main() {
     let args = Args::parse();
     let steps: u64 = args.get("steps", 4);
     let d: u32 = args.get("space", 6);
+    let engine = engine_from_args(&args);
     let space = SimulationSpace::cubic(d);
 
     println!("FASDA reproduction — ablation: chained vs bulk synchronization");
@@ -49,7 +50,7 @@ fn main() {
     for (label, mode) in modes {
         for stall in [0u64, 5_000, 20_000] {
             let straggler = if stall == 0 { None } else { Some((0usize, stall)) };
-            let (cps, spread) = run(space, mode, straggler, steps);
+            let (cps, spread) = run(space, mode, straggler, steps, &engine);
             println!("{label:<32}{stall:>12}{cps:>14.0}{spread:>14.0}");
         }
     }

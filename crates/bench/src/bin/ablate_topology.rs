@@ -11,25 +11,26 @@
 //!
 //! Usage: `ablate_topology [--steps N]`
 
-use fasda_bench::{rule, Args};
-use fasda_cluster::{Cluster, ClusterConfig};
+use fasda_bench::{engine_from_args, rule, Args};
+use fasda_cluster::{Cluster, ClusterConfig, EngineConfig};
 use fasda_core::config::ChipConfig;
 use fasda_md::space::SimulationSpace;
 use fasda_md::workload::WorkloadSpec;
 use fasda_net::topology::Topology;
 
-fn run(topology: Topology, steps: u64) -> (f64, f64) {
+fn run(topology: Topology, steps: u64, engine: &EngineConfig) -> (f64, f64) {
     let sys = WorkloadSpec::paper(SimulationSpace::cubic(6), 0xFA5DA).generate();
     let mut cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
     cfg.topology = topology;
     let mut cluster = Cluster::new(cfg, &sys);
-    let r = cluster.run(steps);
+    let r = cluster.run_with(steps, engine);
     (r.cycles_per_step(), r.us_per_day())
 }
 
 fn main() {
     let args = Args::parse();
     let steps: u64 = args.get("steps", 2);
+    let engine = engine_from_args(&args);
 
     println!("FASDA reproduction — ablation: inter-node topology (§4.1)");
     println!("6x6x6 cells on 8 FPGAs, variant A\n");
@@ -67,7 +68,7 @@ fn main() {
         ),
     ];
     for (label, topo) in cases {
-        let (cps, rate) = run(topo, steps);
+        let (cps, rate) = run(topo, steps, &engine);
         println!("{label:<44}{cps:>14.0}{rate:>10.2}");
     }
 

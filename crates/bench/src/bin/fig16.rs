@@ -6,11 +6,12 @@
 //! Right of the figure: simulated FPGA results for 8³ (64 FPGAs) and 10³
 //! (125 FPGAs) with GPU model curves.
 //!
-//! Usage: `fig16 [--steps N] [--cpu-steps N] [--skip-cpu] [--skip-large]`
+//! Usage: `fig16 [--steps N] [--cpu-steps N] [--skip-cpu] [--skip-large]
+//!               [--threads N] [--serial]`
 
-use fasda_bench::{rule, Args};
+use fasda_bench::{engine_from_args, rule, Args};
 use fasda_baseline::{GpuKind, GpuModel, ThreadedCpuEngine};
-use fasda_cluster::{Cluster, ClusterConfig};
+use fasda_cluster::{Cluster, ClusterConfig, EngineConfig};
 use fasda_core::config::{ChipConfig, DesignVariant};
 use fasda_core::geometry::ChipGeometry;
 use fasda_core::timed::TimedChip;
@@ -46,12 +47,13 @@ fn fpga_cluster(
     block: (u32, u32, u32),
     variant: DesignVariant,
     steps: u64,
+    engine: &EngineConfig,
 ) -> (f64, usize) {
     let sys = workload(space);
     let cfg = ClusterConfig::paper(ChipConfig::variant(variant), block);
     let mut cluster = Cluster::new(cfg, &sys);
     let nodes = cluster.num_nodes();
-    let report = cluster.run(steps);
+    let report = cluster.run_with(steps, engine);
     (report.us_per_day(), nodes)
 }
 
@@ -69,6 +71,7 @@ fn main() {
     let cpu_steps: usize = args.get("cpu-steps", 3);
     let skip_cpu = args.flag("skip-cpu");
     let skip_large = args.flag("skip-large");
+    let engine = engine_from_args(&args);
 
     println!("FASDA reproduction — Figure 16: scalability comparison (µs/day)");
     println!("FPGA results: cycle-level simulation at 200 MHz, dt = 2 fs, 64 Na/cell");
@@ -83,7 +86,7 @@ fn main() {
         ("6x6x3", SimulationSpace::new(6, 6, 3), (3, 3, 3), 4),
         ("6x6x6", SimulationSpace::cubic(6), (3, 3, 3), 8),
     ] {
-        let (r, nodes) = fpga_cluster(space, block, DesignVariant::A, steps);
+        let (r, nodes) = fpga_cluster(space, block, DesignVariant::A, steps, &engine);
         assert_eq!(nodes, fpgas);
         println!("{:<12}{:>8}{:>14.2}{:>16}", label, fpgas, r, "~2");
     }
@@ -94,7 +97,7 @@ fn main() {
     let mut rate_a = 0.0;
     let mut rate_c = 0.0;
     for v in [DesignVariant::A, DesignVariant::B, DesignVariant::C] {
-        let (r, _) = fpga_cluster(SimulationSpace::cubic(4), (2, 2, 2), v, steps);
+        let (r, _) = fpga_cluster(SimulationSpace::cubic(4), (2, 2, 2), v, steps, &engine);
         println!("{:<12}{:>16}{:>14.2}", format!("4x4x4-{v:?}"), v.label(), r);
         if v == DesignVariant::A {
             rate_a = r;
@@ -180,7 +183,7 @@ fn main() {
             ("8x8x8", SimulationSpace::cubic(8), 64),
             ("10x10x10", SimulationSpace::cubic(10), 125),
         ] {
-            let (r, nodes) = fpga_cluster(space, (2, 2, 2), DesignVariant::C, steps.min(2));
+            let (r, nodes) = fpga_cluster(space, (2, 2, 2), DesignVariant::C, steps.min(2), &engine);
             assert_eq!(nodes, fpgas);
             println!("{:<12}{:>8}{:>14.2}", label, fpgas, r);
         }

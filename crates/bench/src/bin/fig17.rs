@@ -3,8 +3,8 @@
 //!
 //! Usage: `fig17 [--steps N]`
 
-use fasda_bench::{rule, Args};
-use fasda_cluster::{Cluster, ClusterConfig};
+use fasda_bench::{engine_from_args, rule, Args};
+use fasda_cluster::{Cluster, ClusterConfig, EngineConfig};
 use fasda_core::config::{ChipConfig, DesignVariant};
 use fasda_core::geometry::ChipGeometry;
 use fasda_core::timed::TimedChip;
@@ -54,17 +54,19 @@ fn cluster(
     block: (u32, u32, u32),
     variant: DesignVariant,
     steps: u64,
+    engine: &EngineConfig,
 ) -> (StatSet, u64) {
     let sys = WorkloadSpec::paper(space, 0xFA5DA).generate();
     let cfg = ClusterConfig::paper(ChipConfig::variant(variant), block);
     let mut cl = Cluster::new(cfg, &sys);
-    let report = cl.run(steps);
+    let report = cl.run_with(steps, engine);
     (report.stats, report.total_cycles)
 }
 
 fn main() {
     let args = Args::parse();
     let steps: u64 = args.get("steps", 2);
+    let engine = engine_from_args(&args);
 
     println!("FASDA reproduction — Figure 17: component utilization");
     println!("cells: hardware-util% / time-util% per component");
@@ -82,11 +84,11 @@ fn main() {
         ("6x6x3", SimulationSpace::new(6, 6, 3), 4),
         ("6x6x6", SimulationSpace::cubic(6), 8),
     ] {
-        let (s, w) = cluster(space, (3, 3, 3), DesignVariant::A, steps);
+        let (s, w) = cluster(space, (3, 3, 3), DesignVariant::A, steps, &engine);
         print_row(&format!("{label} ({fpgas}F)"), &s, w);
     }
     for v in [DesignVariant::A, DesignVariant::B, DesignVariant::C] {
-        let (s, w) = cluster(SimulationSpace::cubic(4), (2, 2, 2), v, steps);
+        let (s, w) = cluster(SimulationSpace::cubic(4), (2, 2, 2), v, steps, &engine);
         print_row(&format!("4x4x4-{v:?}"), &s, w);
     }
     println!("\nnote: cluster windows are wall-clock cycles over {steps} step(s), so");

@@ -9,8 +9,8 @@
 //!
 //! Usage: `fig18 [--steps N]`
 
-use fasda_bench::{rule, Args};
-use fasda_cluster::{Cluster, ClusterConfig};
+use fasda_bench::{engine_from_args, rule, Args};
+use fasda_cluster::{Cluster, ClusterConfig, EngineConfig};
 use fasda_core::config::{ChipConfig, DesignVariant};
 use fasda_md::space::SimulationSpace;
 use fasda_md::workload::WorkloadSpec;
@@ -21,11 +21,12 @@ fn run(
     block: (u32, u32, u32),
     variant: DesignVariant,
     steps: u64,
+    engine: &EngineConfig,
 ) {
     let sys = WorkloadSpec::paper(space, 0xFA5DA).generate();
     let cfg = ClusterConfig::paper(ChipConfig::variant(variant), block);
     let mut cl = Cluster::new(cfg, &sys);
-    let report = cl.run(steps);
+    let report = cl.run_with(steps, engine);
     println!(
         "{:<14}{:>7}{:>12.2}{:>12.2}{:>14}{:>14}",
         label,
@@ -43,11 +44,12 @@ fn breakdown(
     block: (u32, u32, u32),
     variant: DesignVariant,
     steps: u64,
+    engine: &EngineConfig,
 ) {
     let sys = WorkloadSpec::paper(space, 0xFA5DA).generate();
     let cfg = ClusterConfig::paper(ChipConfig::variant(variant), block);
     let mut cl = Cluster::new(cfg, &sys);
-    let report = cl.run(steps);
+    let report = cl.run_with(steps, engine);
     let t = &report.per_node_traffic[0];
     let pos_total: u64 = t.pos_sent.values().sum();
     let frc_total: u64 = t.frc_sent.values().sum();
@@ -77,6 +79,7 @@ fn breakdown(
 fn main() {
     let args = Args::parse();
     let steps: u64 = args.get("steps", 2);
+    let engine = engine_from_args(&args);
 
     println!("FASDA reproduction — Figure 18: communication intensity");
     rule("(A) average per-FPGA bandwidth demand (paper: < 25 Gbps)");
@@ -84,12 +87,12 @@ fn main() {
         "{:<14}{:>7}{:>12}{:>12}{:>14}{:>14}",
         "design", "FPGAs", "pos Gbps", "frc Gbps", "pos pkts", "frc pkts"
     );
-    run("6x3x3", SimulationSpace::new(6, 3, 3), (3, 3, 3), DesignVariant::A, steps);
-    run("6x6x3", SimulationSpace::new(6, 6, 3), (3, 3, 3), DesignVariant::A, steps);
-    run("6x6x6", SimulationSpace::cubic(6), (3, 3, 3), DesignVariant::A, steps);
-    run("4x4x4-A", SimulationSpace::cubic(4), (2, 2, 2), DesignVariant::A, steps);
-    run("4x4x4-B", SimulationSpace::cubic(4), (2, 2, 2), DesignVariant::B, steps);
-    run("4x4x4-C", SimulationSpace::cubic(4), (2, 2, 2), DesignVariant::C, steps);
+    run("6x3x3", SimulationSpace::new(6, 3, 3), (3, 3, 3), DesignVariant::A, steps, &engine);
+    run("6x6x3", SimulationSpace::new(6, 6, 3), (3, 3, 3), DesignVariant::A, steps, &engine);
+    run("6x6x6", SimulationSpace::cubic(6), (3, 3, 3), DesignVariant::A, steps, &engine);
+    run("4x4x4-A", SimulationSpace::cubic(4), (2, 2, 2), DesignVariant::A, steps, &engine);
+    run("4x4x4-B", SimulationSpace::cubic(4), (2, 2, 2), DesignVariant::B, steps, &engine);
+    run("4x4x4-C", SimulationSpace::cubic(4), (2, 2, 2), DesignVariant::C, steps, &engine);
 
     rule("(B) traffic breakdown by peer (paper: force traffic to corner peers ≈ 0)");
     breakdown(
@@ -98,6 +101,7 @@ fn main() {
         (3, 3, 3),
         DesignVariant::A,
         steps,
+        &engine,
     );
     breakdown(
         "4x4x4-C (8F)",
@@ -105,6 +109,7 @@ fn main() {
         (2, 2, 2),
         DesignVariant::C,
         steps,
+        &engine,
     );
     println!("\ndone.");
 }

@@ -16,6 +16,7 @@
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
+use fasda_cluster::EngineConfig;
 use std::collections::HashMap;
 
 /// Tiny `--key value` / `--flag` argument parser (no external deps).
@@ -60,6 +61,21 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+}
+
+/// `--serial` / `--threads N` → cycle-engine configuration shared by the
+/// cluster-driving harnesses. Every choice produces bit-identical
+/// reports; only wall-clock time differs.
+pub fn engine_from_args(args: &Args) -> EngineConfig {
+    if args.flag("serial") {
+        return EngineConfig::serial();
+    }
+    let mut e = EngineConfig::parallel();
+    let threads = args.get("threads", 0usize);
+    if threads > 0 {
+        e = e.with_threads(threads);
+    }
+    e
 }
 
 /// Print a separator line for harness output.

@@ -12,7 +12,7 @@
 //! fasda info --per-fpga 222 --total 444 [--variant C]
 //! ```
 
-use fasda_cluster::{Cluster, ClusterConfig, HostController};
+use fasda_cluster::{Cluster, ClusterConfig, EngineConfig, HostController};
 use fasda_core::config::{ChipConfig, DesignVariant};
 use fasda_core::geometry::{ChipCoord, ChipGeometry};
 use fasda_core::resources::{estimate, ALVEO_U280};
@@ -52,12 +52,31 @@ impl Opts {
     fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
         self.get(key).unwrap_or(default)
     }
+
+    fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+}
+
+/// `--serial` / `--threads N` → engine configuration. The default is the
+/// full engine (idle fast-forward plus all cores); every choice yields a
+/// bit-identical run, only wall-clock time differs.
+fn engine(opts: &Opts) -> Result<EngineConfig, String> {
+    if opts.has("--serial") {
+        return Ok(EngineConfig::serial());
+    }
+    let mut e = EngineConfig::parallel();
+    if let Some(t) = opts.get("--threads") {
+        e = e.with_threads(t.parse().map_err(|_| "bad --threads")?);
+    }
+    Ok(e)
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  fasda run --per-fpga 222 --total 444 [--steps N] [--variant A|B|C]\n\
          \x20           [--sync chained|bulk] [--dump-group N] [--per-cell 64] [--seed S]\n\
+         \x20           [--threads N] [--serial]\n\
          \x20 fasda generate --total 444 --out system.pdb [--per-cell 64] [--seed S]\n\
          \x20 fasda info --per-fpga 222 --total 444 [--variant A|B|C]"
     );
@@ -118,11 +137,12 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         steps
     );
 
+    let eng = engine(opts)?;
     let cluster = Cluster::new(cfg, &sys);
     println!("{} FPGA node(s) configured; running...", cluster.num_nodes());
     let mut host = HostController::new(cluster);
     let run = host
-        .run_iterations(steps)
+        .run_iterations_with(steps, &eng)
         .map_err(|e| format!("cluster stalled: {e}"))?;
 
     println!("\nAXI-Lite result registers (per node):");

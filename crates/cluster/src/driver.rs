@@ -15,10 +15,78 @@ use fasda_net::switch::SwitchFabric;
 use fasda_net::sync::{BulkBarrier, ChainedSync, SyncMode};
 use fasda_net::topology::Topology;
 use fasda_sim::{MessageQueue, StatSet};
-use std::collections::HashMap;
+use rayon::{ThreadPool, ThreadPoolBuilder};
 
 /// Safety cap on the global cycle loop.
 const MAX_RUN_CYCLES: u64 = 2_000_000_000;
+
+/// How the cluster's cycle loop is executed. The serial reference path
+/// ([`Cluster::try_run`]) and every engine configuration produce
+/// bit-identical [`ClusterRunReport`]s; the engine only changes how fast
+/// wall-clock time passes (see `DESIGN.md`, "Parallel deterministic cycle
+/// engine").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for the compute phase. `1` keeps the compute phase
+    /// on the caller's thread (no pool is built).
+    pub threads: usize,
+    /// Skip cycles in which provably nothing can happen (all nodes
+    /// quiescent, only in-flight packets / timers remain) by jumping the
+    /// global clock to the next scheduled event.
+    pub fast_forward: bool,
+    /// Enable the chips' fast-path execution: provably bit-identical
+    /// shortcuts inside the cycle model (idle-SPE skipping, precomputed
+    /// filter-station scans). The serial reference keeps this off so it
+    /// stays the plain per-cycle interpretation the optimized engine is
+    /// validated against.
+    pub fast_path: bool,
+}
+
+impl EngineConfig {
+    /// The serial reference engine: one thread, every cycle simulated,
+    /// plain per-cycle interpretation.
+    pub const fn serial() -> Self {
+        EngineConfig {
+            threads: 1,
+            fast_forward: false,
+            fast_path: false,
+        }
+    }
+
+    /// The optimized engine: parallel compute phase over all available
+    /// cores, idle fast-forward, and the chips' fast-path execution.
+    pub fn parallel() -> Self {
+        EngineConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            fast_forward: true,
+            fast_path: true,
+        }
+    }
+
+    /// Enable or disable the chips' fast-path execution.
+    pub fn with_fast_path(mut self, on: bool) -> Self {
+        self.fast_path = on;
+        self
+    }
+
+    /// Override the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable idle fast-forward.
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
 
 /// Configuration of a multi-FPGA run.
 #[derive(Clone, Copy, Debug)]
@@ -100,6 +168,17 @@ enum NodePhase {
     Done,
 }
 
+/// Outcome of the fast-forward scan (see [`Cluster::try_run_with`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NextEvent {
+    /// Some chip still has local work: every cycle matters.
+    Busy,
+    /// All nodes quiescent; the next state change is at this cycle.
+    At(u64),
+    /// All nodes quiescent and nothing scheduled: deadlock.
+    Never,
+}
+
 #[derive(Clone, Debug)]
 struct NodeState {
     step: u64,
@@ -119,7 +198,10 @@ pub struct Cluster {
     /// grid.
     pub chips: Vec<TimedChip>,
     node_coord: Vec<ChipCoord>,
-    coord_to_node: HashMap<ChipCoord, usize>,
+    /// Node grid dimensions; node ids are dense in Eq.-7 order, so the
+    /// coordinate → node mapping is pure arithmetic (no hash lookup on
+    /// the per-cycle path).
+    grid: (u32, u32, u32),
     sync: Vec<ChainedSync<usize>>,
     pos_pz: Vec<Packetizer<usize, PosFlit>>,
     frc_pz: Vec<Packetizer<usize, FrcFlit>>,
@@ -135,6 +217,17 @@ pub struct Cluster {
     barrier_force: BulkBarrier,
     /// Global wall-clock cycle.
     pub cycle: u64,
+    /// Cycles the fast-forward engine jumped over instead of simulating
+    /// (always 0 for `fast_forward: false`; cycle counts are unaffected).
+    pub skipped_cycles: u64,
+    /// Per-node quiescence cache (optimized engines only): `quiet[n]`
+    /// means node `n`'s chip was observed locally idle and nothing has
+    /// been injected into it since, so its O(CBBs) idle predicates need
+    /// not be re-evaluated every cycle. Invalidated on every phase
+    /// transition and every fabric delivery into the node.
+    quiet: Vec<bool>,
+    /// Whether the current run maintains (and may trust) `quiet`.
+    use_quiet: bool,
     records: Vec<NodeStepReport>,
 }
 
@@ -157,12 +250,10 @@ impl Cluster {
             }
         }
         // Match Eq. 7: z fastest — the triple loop above already does
-        // x-major / z-fastest ordering.
-        let coord_to_node: HashMap<ChipCoord, usize> = node_coord
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (*c, i))
-            .collect();
+        // x-major / z-fastest ordering, so the node id of a coordinate is
+        // dense arithmetic.
+        let node_of = |c: &ChipCoord| ((c.x * grid.1 + c.y) * grid.2 + c.z) as usize;
+        debug_assert!(node_coord.iter().enumerate().all(|(i, c)| node_of(c) == i));
 
         let mut chips = Vec::with_capacity(n);
         let mut sync = Vec::with_capacity(n);
@@ -173,8 +264,8 @@ impl Cluster {
             let geo = ChipGeometry::new(global, cfg.block, *coord);
             let mut chip = TimedChip::new(cfg.chip, geo, sys.units, cfg.dt_fs);
             chip.load(sys);
-            let send: Vec<usize> = chip.send_chips.iter().map(|c| coord_to_node[c]).collect();
-            let recv: Vec<usize> = chip.recv_chips.iter().map(|c| coord_to_node[c]).collect();
+            let send: Vec<usize> = chip.send_chips.iter().map(node_of).collect();
+            let recv: Vec<usize> = chip.recv_chips.iter().map(node_of).collect();
             let s = ChainedSync::new(send, recv);
             pos_pz.push(Packetizer::new(
                 PacketKind::Position,
@@ -208,7 +299,7 @@ impl Cluster {
             global,
             chips,
             node_coord,
-            coord_to_node,
+            grid,
             sync,
             pos_pz,
             frc_pz,
@@ -241,6 +332,9 @@ impl Cluster {
             barrier_mu: BulkBarrier::new(n, bulk_latency),
             barrier_force: BulkBarrier::new(n, bulk_latency),
             cycle: 0,
+            skipped_cycles: 0,
+            quiet: vec![false; n],
+            use_quiet: false,
             records: Vec::new(),
         }
     }
@@ -255,13 +349,25 @@ impl Cluster {
         self.node_coord[node]
     }
 
+    /// Node id of a chip coordinate (dense Eq.-7 index, inverse of
+    /// [`Cluster::node_coord`]).
+    #[inline]
+    fn node_of(&self, c: ChipCoord) -> usize {
+        ((c.x * self.grid.1 + c.y) * self.grid.2 + c.z) as usize
+    }
+
     /// Run `steps` timesteps; returns the run report.
     ///
     /// # Panics
     /// If the cluster fails to converge (see [`Cluster::try_run`] for the
     /// non-panicking variant used in failure-injection studies).
     pub fn run(&mut self, steps: u64) -> ClusterRunReport {
-        match self.try_run(steps, MAX_RUN_CYCLES) {
+        self.run_with(steps, &EngineConfig::serial())
+    }
+
+    /// [`Cluster::run`] under an explicit engine configuration.
+    pub fn run_with(&mut self, steps: u64, engine: &EngineConfig) -> ClusterRunReport {
+        match self.try_run_with(steps, MAX_RUN_CYCLES, engine) {
             Ok(r) => r,
             Err(e) => panic!("{e}"),
         }
@@ -272,11 +378,43 @@ impl Cluster {
     /// the observable consequence of, e.g., injected packet loss starving
     /// the chained synchronization.
     pub fn try_run(&mut self, steps: u64, cycle_budget: u64) -> Result<ClusterRunReport, ClusterStalled> {
+        self.try_run_with(steps, cycle_budget, &EngineConfig::serial())
+    }
+
+    /// [`Cluster::try_run`] under an explicit engine configuration.
+    ///
+    /// Every global cycle is split into a *compute phase* — each
+    /// non-stalled node's chip ticks one cycle against state frozen at the
+    /// cycle start, touching only that chip, so the chips may tick on a
+    /// rayon pool in any order — and a serial *exchange phase* that runs
+    /// in node order: egress drains, packetizer offers and marker flushes,
+    /// sync bookkeeping, barrier arrivals and phase transitions, then the
+    /// fabric and delivery sweeps. Because no compute-phase tick observes
+    /// another node's same-cycle exchange, the interleaving is equivalent
+    /// to the serial reference and results are bit-identical for any
+    /// thread count. With `fast_forward`, cycles in which every node is
+    /// quiescent are skipped by jumping the clock to the next scheduled
+    /// event (delivery, packet departure, barrier release or stall
+    /// expiry); cycle counts still include the skipped span.
+    pub fn try_run_with(
+        &mut self,
+        steps: u64,
+        cycle_budget: u64,
+        engine: &EngineConfig,
+    ) -> Result<ClusterRunReport, ClusterStalled> {
         assert!(steps > 0);
         let run_start = self.cycle;
+        let pool = if engine.threads > 1 {
+            ThreadPoolBuilder::new().num_threads(engine.threads).build().ok()
+        } else {
+            None
+        };
         for chip in &mut self.chips {
             chip.reset_stats();
+            chip.set_fast_path(engine.fast_path);
         }
+        self.use_quiet = engine.fast_forward || engine.fast_path;
+        self.quiet.iter_mut().for_each(|q| *q = false);
         self.records.clear();
         // arm step 0
         for node in 0..self.num_nodes() {
@@ -293,14 +431,15 @@ impl Cluster {
         }
 
         while !self.all_done(steps) {
+            let stepped = self.compute_phase(pool.as_ref());
             for node in 0..self.num_nodes() {
                 if self.stalls[node] > 0 {
                     self.stalls[node] -= 1;
                     continue;
                 }
                 match self.state[node].phase {
-                    NodePhase::Force => self.force_cycle(node, steps),
-                    NodePhase::Mu => self.mu_cycle(node, steps),
+                    NodePhase::Force => self.force_exchange(node),
+                    NodePhase::Mu => self.mu_exchange(node, steps),
                     NodePhase::BarrierBeforeMu => {
                         if self.state[node].barrier_release.is_some_and(|r| self.cycle >= r) {
                             self.enter_mu(node);
@@ -315,22 +454,45 @@ impl Cluster {
                 }
             }
             self.network_cycle();
-            self.deliver_due();
+            let delivered = self.deliver_due();
             self.cycle += 1;
             if self.cycle - run_start >= cycle_budget {
-                return Err(ClusterStalled {
-                    at_cycle: self.cycle,
-                    node_states: self
-                        .state
-                        .iter()
-                        .map(|s| (s.step, format!("{:?}", s.phase)))
-                        .collect(),
-                    packets_lost: self.pos_fabric.packets_lost + self.frc_fabric.packets_lost,
-                });
+                return Err(self.stalled());
+            }
+            // Scan for a jump only on cycles that ticked no chip and
+            // delivered nothing: a ticked chip is almost certainly still
+            // busy next cycle, and a delivery can enable an exchange
+            // action one cycle later. Skipping the scan is always safe —
+            // it just declines a jump over cycles that would have been
+            // no-ops.
+            if engine.fast_forward && !stepped && !delivered && !self.all_done(steps) {
+                let cap = run_start + cycle_budget;
+                match self.next_event_cycle() {
+                    NextEvent::Busy => {}
+                    NextEvent::At(t) => self.jump_to(t.min(cap)),
+                    // Nothing scheduled and nodes still waiting: a true
+                    // deadlock (e.g. a lost packet) — spin out the budget.
+                    NextEvent::Never => self.jump_to(cap),
+                }
+                if self.cycle >= cap {
+                    return Err(self.stalled());
+                }
             }
         }
 
         Ok(self.assemble_report(steps, self.cycle - run_start))
+    }
+
+    fn stalled(&self) -> ClusterStalled {
+        ClusterStalled {
+            at_cycle: self.cycle,
+            node_states: self
+                .state
+                .iter()
+                .map(|s| (s.step, format!("{:?}", s.phase)))
+                .collect(),
+            packets_lost: self.pos_fabric.packets_lost + self.frc_fabric.packets_lost,
+        }
     }
 
     fn all_done(&self, steps: u64) -> bool {
@@ -339,26 +501,103 @@ impl Cluster {
 
     // ------------------------------------------------------------------
 
-    fn force_cycle(&mut self, node: usize, _steps: u64) {
-        let step = self.state[node].step;
-        if !self.chips[node].force_phase_local_idle() {
-            self.chips[node].step_force_cycle();
+    /// Compute phase: tick every chip that has local work, each against
+    /// its own state only. Fans out over the pool when one is configured;
+    /// chip independence makes the result order-invariant. Returns whether
+    /// any chip ticked this cycle.
+    fn compute_phase(&mut self, pool: Option<&ThreadPool>) -> bool {
+        match pool {
+            None => {
+                let mut stepped = false;
+                for node in 0..self.num_nodes() {
+                    if self.stalls[node] > 0 || (self.use_quiet && self.quiet[node]) {
+                        continue;
+                    }
+                    match self.state[node].phase {
+                        NodePhase::Force => {
+                            if !self.chips[node].force_phase_local_idle() {
+                                self.chips[node].step_force_cycle();
+                                stepped = true;
+                            } else if self.use_quiet {
+                                self.quiet[node] = true;
+                            }
+                        }
+                        NodePhase::Mu => {
+                            if !self.chips[node].mu_phase_local_idle()
+                                || !self.state[node].mig_flushed
+                            {
+                                self.chips[node].step_mu_cycle();
+                                stepped = true;
+                            } else if self.use_quiet {
+                                self.quiet[node] = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                stepped
+            }
+            Some(pool) => {
+                use rayon::prelude::*;
+                let Cluster { chips, state, stalls, quiet, use_quiet, .. } = self;
+                let mut jobs: Vec<(&mut TimedChip, bool)> = Vec::with_capacity(chips.len());
+                for (node, chip) in chips.iter_mut().enumerate() {
+                    if stalls[node] > 0 || (*use_quiet && quiet[node]) {
+                        continue;
+                    }
+                    match state[node].phase {
+                        NodePhase::Force => {
+                            if !chip.force_phase_local_idle() {
+                                jobs.push((chip, true));
+                            } else if *use_quiet {
+                                quiet[node] = true;
+                            }
+                        }
+                        NodePhase::Mu => {
+                            if !chip.mu_phase_local_idle() || !state[node].mig_flushed {
+                                jobs.push((chip, false));
+                            } else if *use_quiet {
+                                quiet[node] = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if !jobs.is_empty() {
+                    pool.install(|| {
+                        jobs.par_iter_mut().for_each(|(chip, force)| {
+                            if *force {
+                                chip.step_force_cycle();
+                            } else {
+                                chip.step_mu_cycle();
+                            }
+                        });
+                    });
+                }
+                !jobs.is_empty()
+            }
         }
+    }
+
+    /// Force-phase exchange for one node (everything except the chip
+    /// tick, which the compute phase already performed).
+    fn force_exchange(&mut self, node: usize) {
+        let step = self.state[node].step;
 
         // Drain EX egress into the encapsulation chains.
         for (peer_coord, flit) in self.chips[node].drain_pos_egress() {
-            let peer = self.coord_to_node[&peer_coord];
+            let peer = self.node_of(peer_coord);
             self.pos_pz[node].offer(&peer, flit, step);
         }
         for (peer_coord, flit) in self.chips[node].drain_frc_egress() {
-            let peer = self.coord_to_node[&peer_coord];
+            let peer = self.node_of(peer_coord);
             self.frc_pz[node].offer(&peer, flit, step);
         }
 
         // Last-position markers: all local positions routed and departed.
         if !self.state[node].last_pos_flushed && self.chips[node].all_positions_departed() {
-            let peers = self.sync[node].send_peers.clone();
-            for p in peers {
+            for i in 0..self.sync[node].send_peers.len() {
+                let p = self.sync[node].send_peers[i];
                 self.pos_pz[node].flush_last(&p, step);
                 self.sync[node].mark_last_pos_sent(p);
             }
@@ -367,8 +606,8 @@ impl Cluster {
 
         // Last-force markers, per §4.4: answered only once every position
         // from that peer has been processed and the forces have departed.
-        let recv_peers = self.sync[node].recv_peers.clone();
-        for p in recv_peers {
+        for i in 0..self.sync[node].recv_peers.len() {
+            let p = self.sync[node].recv_peers[i];
             if self.sync[node].owes_last_frc(&p) {
                 let pc = self.node_coord[p];
                 if self.chips[node].outstanding_from(pc) == 0
@@ -381,8 +620,12 @@ impl Cluster {
             }
         }
 
-        // Phase transition.
-        if self.sync[node].force_phase_complete() && self.chips[node].force_phase_local_idle() {
+        // Phase transition. A `quiet` node was already observed locally
+        // idle by the compute phase this cycle, so skip the re-check.
+        if self.sync[node].force_phase_complete()
+            && ((self.use_quiet && self.quiet[node])
+                || self.chips[node].force_phase_local_idle())
+        {
             self.state[node].force_cycles = self.cycle - self.state[node].phase_start;
             match self.cfg.sync {
                 SyncMode::Chained => self.enter_mu(node),
@@ -402,6 +645,7 @@ impl Cluster {
     }
 
     fn enter_mu(&mut self, node: usize) {
+        self.quiet[node] = false;
         self.chips[node].begin_mu_phase();
         self.state[node].phase = NodePhase::Mu;
         self.state[node].phase_start = self.cycle;
@@ -409,20 +653,19 @@ impl Cluster {
         self.state[node].barrier_release = None;
     }
 
-    fn mu_cycle(&mut self, node: usize, steps: u64) {
+    /// Motion-update exchange for one node (chip tick already done in the
+    /// compute phase).
+    fn mu_exchange(&mut self, node: usize, steps: u64) {
         let step = self.state[node].step;
-        if !self.chips[node].mu_phase_local_idle() || !self.state[node].mig_flushed {
-            self.chips[node].step_mu_cycle();
-        }
 
         for (peer_coord, flit) in self.chips[node].drain_mig_egress() {
-            let peer = self.coord_to_node[&peer_coord];
+            let peer = self.node_of(peer_coord);
             self.mig_pz[node].offer(&peer, flit, step);
         }
 
         if !self.state[node].mig_flushed && self.chips[node].all_migrants_departed() {
-            let peers = self.sync[node].mig_peers.clone();
-            for p in peers {
+            for i in 0..self.sync[node].mig_peers.len() {
+                let p = self.sync[node].mig_peers[i];
                 self.mig_pz[node].flush_last(&p, step);
                 self.sync[node].mark_last_mig_sent(p);
             }
@@ -431,7 +674,8 @@ impl Cluster {
 
         if self.state[node].mig_flushed
             && self.sync[node].mu_phase_complete()
-            && self.chips[node].mu_phase_local_idle()
+            && ((self.use_quiet && self.quiet[node])
+                || self.chips[node].mu_phase_local_idle())
         {
             let mu_cycles = self.cycle - self.state[node].phase_start;
             self.chips[node].end_mu_phase();
@@ -466,6 +710,7 @@ impl Cluster {
 
     fn enter_next_force(&mut self, node: usize) {
         let step = self.state[node].step;
+        self.quiet[node] = false;
         self.sync[node].begin_step(step);
         self.chips[node].begin_force_phase();
         self.state[node].phase = NodePhase::Force;
@@ -477,6 +722,84 @@ impl Cluster {
                 self.stalls[node] = d;
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Idle fast-forward.
+
+    /// Decide whether the cluster can fast-forward past `self.cycle`.
+    ///
+    /// A node blocks the jump (`Busy`) when its chip would tick in the
+    /// next compute phase. Otherwise nothing in the cluster changes until
+    /// one of the scheduled events fires: an inbox delivery, a packetizer
+    /// departure, a barrier release, or a stall expiring. Exchange
+    /// actions need no events of their own — they are functions of chip
+    /// and sync state, which only change through chip ticks (busy) or
+    /// deliveries — and the caller never invokes this scan on a cycle
+    /// that delivered something, so every delivery-enabled exchange
+    /// action gets its follow-up cycle before any jump is considered.
+    fn next_event_cycle(&self) -> NextEvent {
+        let mut next: Option<u64> = None;
+        let mut note = |c: u64| next = Some(next.map_or(c, |n: u64| n.min(c)));
+        for node in 0..self.num_nodes() {
+            if self.stalls[node] > 0 {
+                note(self.cycle + self.stalls[node]);
+            } else {
+                match self.state[node].phase {
+                    NodePhase::Force => {
+                        let quiet = self.use_quiet && self.quiet[node];
+                        if !quiet && !self.chips[node].force_phase_local_idle() {
+                            return NextEvent::Busy;
+                        }
+                    }
+                    NodePhase::Mu => {
+                        let quiet = self.use_quiet && self.quiet[node];
+                        if !quiet
+                            && (!self.chips[node].mu_phase_local_idle()
+                                || !self.state[node].mig_flushed)
+                        {
+                            return NextEvent::Busy;
+                        }
+                    }
+                    NodePhase::BarrierBeforeMu | NodePhase::BarrierBeforeForce => {
+                        if let Some(r) = self.state[node].barrier_release {
+                            note(r);
+                        }
+                    }
+                    NodePhase::Done => {}
+                }
+            }
+            if let Some(d) = self.inbox[node].next_due() {
+                note(d);
+            }
+            if let Some(d) = self.pos_pz[node].next_departure(self.cycle) {
+                note(d);
+            }
+            if let Some(d) = self.frc_pz[node].next_departure(self.cycle) {
+                note(d);
+            }
+            if let Some(d) = self.mig_pz[node].next_departure(self.cycle) {
+                note(d);
+            }
+        }
+        match next {
+            Some(t) => NextEvent::At(t.max(self.cycle)),
+            None => NextEvent::Never,
+        }
+    }
+
+    /// Jump the global clock to `target`, emulating the only side effect
+    /// the skipped cycles would have had: one stall decrement per cycle.
+    fn jump_to(&mut self, target: u64) {
+        if target <= self.cycle {
+            return;
+        }
+        let delta = target - self.cycle;
+        for s in &mut self.stalls {
+            *s = s.saturating_sub(delta);
+        }
+        self.skipped_cycles += delta;
+        self.cycle = target;
     }
 
     // ------------------------------------------------------------------
@@ -525,9 +848,17 @@ impl Cluster {
         }
     }
 
-    fn deliver_due(&mut self) {
+    /// Drain every due delivery into its chip; returns whether anything
+    /// was delivered. A delivery can enable an exchange action (a marker
+    /// completing a sync phase, a flit re-awakening a chip) that only
+    /// executes on the *next* cycle's exchange phase, so the fast-forward
+    /// scan must never jump over the cycle that follows a delivery.
+    fn deliver_due(&mut self) -> bool {
+        let mut delivered = false;
         for node in 0..self.num_nodes() {
             while let Some(d) = self.inbox[node].pop_due(self.cycle) {
+                delivered = true;
+                self.quiet[node] = false;
                 let kind = d.cargo.kind();
                 match d.cargo {
                     Cargo::Pos(flits) => {
@@ -551,6 +882,7 @@ impl Cluster {
                 }
             }
         }
+        delivered
     }
 
     // ------------------------------------------------------------------

@@ -10,7 +10,7 @@
 //! [`AxiLiteRegs`], and dump the particle contents of a chosen cell
 //! group.
 
-use crate::driver::{Cluster, ClusterStalled};
+use crate::driver::{Cluster, ClusterStalled, EngineConfig};
 use crate::report::ClusterRunReport;
 use fasda_core::timed::axi::AxiLiteRegs;
 use fasda_md::system::ParticleSystem;
@@ -57,9 +57,19 @@ impl HostController {
     /// `run.py <num_iterations>`: execute iterations and read back every
     /// node's result registers.
     pub fn run_iterations(&mut self, num_iterations: u64) -> Result<HostRun, ClusterStalled> {
+        self.run_iterations_with(num_iterations, &EngineConfig::serial())
+    }
+
+    /// [`HostController::run_iterations`] under an explicit engine
+    /// configuration; results are bit-identical across engines.
+    pub fn run_iterations_with(
+        &mut self,
+        num_iterations: u64,
+        engine: &EngineConfig,
+    ) -> Result<HostRun, ClusterStalled> {
         let report = self
             .cluster
-            .try_run(num_iterations, 2_000_000_000)?;
+            .try_run_with(num_iterations, 2_000_000_000, engine)?;
         let regs = (0..self.cluster.num_nodes())
             .map(|n| AxiLiteRegs::read(&self.cluster.chips[n], report.total_cycles))
             .collect();

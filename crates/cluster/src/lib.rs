@@ -18,6 +18,6 @@ pub mod host;
 pub mod report;
 pub mod wire;
 
-pub use driver::{Cluster, ClusterConfig, ClusterStalled};
+pub use driver::{Cluster, ClusterConfig, ClusterStalled, EngineConfig};
 pub use host::{HostController, HostRun};
 pub use report::{ClusterRunReport, NodeStepReport};

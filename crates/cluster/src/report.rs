@@ -6,7 +6,7 @@ use fasda_md::units::UnitSystem;
 use fasda_sim::StatSet;
 
 /// One node's record for one completed timestep.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeStepReport {
     /// Node index.
     pub node: usize,
@@ -22,7 +22,7 @@ pub struct NodeStepReport {
 }
 
 /// Aggregate report for a multi-step cluster run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClusterRunReport {
     /// Steps executed.
     pub steps: u64,

@@ -144,12 +144,29 @@ impl ForceDatapath {
         }
     }
 
+    /// Convert a filtered fixed-point `r²` to the force pipeline's `f32`.
+    /// The filter guarantees `r² < Rc²` on the `Q5.26` grid, but `f32` has
+    /// only a 24-bit mantissa, so a passing value within `2⁻²⁶` of the
+    /// cutoff can round *up* to exactly `Rc²` — outside the table domain.
+    /// Clamp such pairs into the last interpolation bin, as the hardware's
+    /// table addressing does.
+    #[inline]
+    fn r2_to_f32(&self, r2: Fix) -> f32 {
+        const BELOW_ONE: f32 = 0.999_999_94; // largest f32 < 1.0
+        let v = r2.to_f32();
+        if v >= 1.0 {
+            BELOW_ONE
+        } else {
+            v
+        }
+    }
+
     /// Force-pipeline body: force **on the home particle** of the pair,
     /// in kcal/mol/cell as `f32`. The neighbour receives the negation
     /// (Newton's third law, applied by the caller).
     #[inline]
     pub fn force(&self, home_elem: Element, nbr_elem: Element, pair: FilteredPair) -> [f32; 3] {
-        let r2 = pair.r2.to_f32();
+        let r2 = self.r2_to_f32(pair.r2);
         let (r14, r8) = self.force_table.eval(r2);
         let (c14, c8) = self.force_coeff[home_elem.index()][nbr_elem.index()];
         let mut scale = c14 * r14 - c8 * r8;
@@ -167,7 +184,7 @@ impl ForceDatapath {
     /// kcal/mol as `f32` (validation/diagnostic path).
     #[inline]
     pub fn potential(&self, a: Element, b: Element, pair: FilteredPair) -> f32 {
-        let r2 = pair.r2.to_f32();
+        let r2 = self.r2_to_f32(pair.r2);
         let (r12, r6) = self.pot_table.eval(r2);
         let (c12, c6) = self.pot_coeff[a.index()][b.index()];
         let mut v = c12 * r12 - c6 * r6;

@@ -78,7 +78,7 @@ pub enum Phase {
 }
 
 /// Per-peer traffic counters (flits; `fasda-net` packs them 4-per-packet).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TrafficCounters {
     /// Position flits sent, per destination chip.
     pub pos_sent: HashMap<ChipCoord, u64>,
@@ -147,7 +147,16 @@ pub struct TimedChip {
     /// Traffic counters since the last stats reset.
     pub traffic: TrafficCounters,
     completed_buf: Vec<(ChipCoord, u32, u32)>,
+    /// Fan CBB force cycles out over the installed rayon pool. CBBs only
+    /// touch their own state during [`TimedCbb::step_force_collect`];
+    /// per-CBB completion records are merged in CBB index order, so the
+    /// result is bit-identical to the serial walk.
+    par_cbbs: bool,
+    /// Per-CBB completion scratch for the parallel walk (reused across
+    /// cycles — no steady-state allocation).
+    cbb_scratch: Vec<Vec<(ChipCoord, u32, u32)>>,
 }
+
 
 impl TimedChip {
     /// Build a chip for a block of the simulation space.
@@ -231,6 +240,8 @@ impl TimedChip {
             bcast_cooldown: 0,
             traffic: TrafficCounters::default(),
             completed_buf: Vec::new(),
+            par_cbbs: false,
+            cbb_scratch: vec![Vec::new(); n],
             cfg,
             geo,
         }
@@ -285,6 +296,23 @@ impl TimedChip {
                 crate::functional::quantize_offset(off),
                 [v.x as f32, v.y as f32, v.z as f32],
             );
+        }
+    }
+
+    /// Fan CBB force cycles out over the installed rayon pool (call from
+    /// inside `ThreadPool::install` to engage). Results are bit-identical
+    /// to the serial walk for any thread count.
+    pub fn set_parallel_cbbs(&mut self, on: bool) {
+        self.par_cbbs = on;
+    }
+
+    /// Enable/disable the CBBs' fast-path execution (idle-SPE skipping,
+    /// precomputed station scans). Bit-identical to the reference
+    /// per-cycle walk; off by default so the plain interpretation stays
+    /// the oracle the fast path is validated against.
+    pub fn set_fast_path(&mut self, on: bool) {
+        for cbb in &mut self.cbbs {
+            cbb.set_fast_path(on);
         }
     }
 
@@ -463,11 +491,29 @@ impl TimedChip {
             }
         }
 
-        // 3. CBB internals.
+        // 3. CBB internals. Each CBB tick only touches its own state, so
+        // the walk may fan out over a rayon pool; completion records are
+        // merged in CBB index order either way.
         self.completed_buf.clear();
         let mut buf = std::mem::take(&mut self.completed_buf);
-        for cbb in &mut self.cbbs {
-            cbb.step_force_collect(self.cycle, &self.dp, &mut buf);
+        if self.par_cbbs {
+            use rayon::prelude::*;
+            let cycle = self.cycle;
+            let dp = &self.dp;
+            type CbbJob<'a> = (&'a mut TimedCbb, &'a mut Vec<(ChipCoord, u32, u32)>);
+            let mut jobs: Vec<CbbJob<'_>> =
+                self.cbbs.iter_mut().zip(self.cbb_scratch.iter_mut()).collect();
+            jobs.par_iter_mut().for_each(|(cbb, out)| {
+                out.clear();
+                cbb.step_force_collect(cycle, dp, out);
+            });
+            for out in &mut self.cbb_scratch {
+                buf.append(out);
+            }
+        } else {
+            for cbb in &mut self.cbbs {
+                cbb.step_force_collect(self.cycle, &self.dp, &mut buf);
+            }
         }
         for &(origin, completed, issued) in &buf {
             *self.remote_pos_outstanding.entry(origin).or_default() -= completed as i64;

@@ -140,3 +140,45 @@ fn particle_count_and_momentum_conserved_over_steps() {
     // momentum conserved to f32 accumulation error
     assert!(out.momentum().max_abs() < 1e-2);
 }
+
+#[test]
+fn parallel_cbbs_bit_identical_to_serial() {
+    // CBB fan-out must not change a single bit: same positions,
+    // velocities, and cycle counts for any thread count.
+    let sys = workload(8, 17);
+    let geo = ChipGeometry::single_chip(sys.space);
+
+    let run = |threads: usize| {
+        let mut chip = TimedChip::new(ChipConfig::baseline(), geo, UnitSystem::PAPER, 2.0);
+        chip.load(&sys);
+        chip.set_parallel_cbbs(threads > 1);
+        let mut cycles = Vec::new();
+        let mut step = || {
+            for _ in 0..3 {
+                cycles.push(chip.run_timestep().total_cycles());
+            }
+        };
+        if threads > 1 {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(step);
+        } else {
+            step();
+        }
+        let mut out = sys.clone();
+        chip.store_into(&mut out);
+        (out, cycles)
+    };
+
+    let (serial, serial_cycles) = run(1);
+    for threads in [2, 4] {
+        let (par, par_cycles) = run(threads);
+        assert_eq!(serial_cycles, par_cycles, "{threads} threads: cycle drift");
+        for i in 0..serial.len() {
+            assert_eq!(serial.pos[i], par.pos[i], "{threads} threads: pos[{i}]");
+            assert_eq!(serial.vel[i], par.vel[i], "{threads} threads: vel[{i}]");
+        }
+    }
+}

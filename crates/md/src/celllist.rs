@@ -149,10 +149,18 @@ impl CellList {
     /// The neighbour cell IDs a home cell's particles must be broadcast
     /// to (its half-shell destinations), in ring-travel order.
     pub fn halfshell_destinations(&self, home: CellCoord) -> Vec<CellId> {
-        HALF_SHELL_OFFSETS
-            .iter()
-            .map(|&off| self.space.cell_id(self.space.wrap_coord(home.offset(off))))
-            .collect()
+        let mut out = [0 as CellId; 13];
+        self.halfshell_destinations_into(home, &mut out);
+        out.to_vec()
+    }
+
+    /// Allocation-free variant of [`CellList::halfshell_destinations`]:
+    /// writes the 13 destination cell IDs into `out` in ring-travel
+    /// order.
+    pub fn halfshell_destinations_into(&self, home: CellCoord, out: &mut [CellId; 13]) {
+        for (slot, &off) in out.iter_mut().zip(HALF_SHELL_OFFSETS.iter()) {
+            *slot = self.space.cell_id(self.space.wrap_coord(home.offset(off)));
+        }
     }
 }
 
@@ -229,6 +237,9 @@ mod tests {
         for c in sys.space.iter_cells() {
             let d = cl.halfshell_destinations(c);
             assert_eq!(d.len(), 13);
+            let mut fixed = [0; 13];
+            cl.halfshell_destinations_into(c, &mut fixed);
+            assert_eq!(d, fixed.to_vec(), "into-variant must agree");
             let set: HashSet<_> = d.iter().collect();
             assert_eq!(set.len(), 13, "duplicate destination for {c:?}");
             assert!(!set.contains(&sys.space.cell_id(c)));

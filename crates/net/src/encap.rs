@@ -103,6 +103,18 @@ impl<P: PartialEq + Clone, T> Packetizer<P, T> {
         self.ready.is_empty() && self.staging.iter().all(Vec::is_empty)
     }
 
+    /// Earliest cycle `>= now` at which [`Packetizer::tick`] can release a
+    /// packet, or `None` when nothing is queued for departure. Staged
+    /// payloads that have not yet formed a packet do not count: they only
+    /// become releasable through a further `offer`/`flush` call.
+    pub fn next_departure(&self, now: Cycle) -> Option<Cycle> {
+        if self.ready.is_empty() {
+            None
+        } else {
+            Some(now.max(self.next_allowed))
+        }
+    }
+
     /// Packets queued for departure.
     pub fn pending(&self) -> usize {
         self.ready.len()
@@ -191,5 +203,22 @@ mod tests {
     #[should_panic(expected = "unknown peer")]
     fn unknown_peer_panics() {
         pz().offer(&99, 0, 0);
+    }
+
+    #[test]
+    fn next_departure_tracks_cooldown() {
+        let mut p = pz();
+        assert_eq!(p.next_departure(0), None, "nothing queued");
+        for i in 0..3 {
+            p.offer(&10, i, 0);
+        }
+        assert_eq!(p.next_departure(0), None, "staged only, no packet yet");
+        p.offer(&10, 3, 0);
+        assert_eq!(p.next_departure(7), Some(7), "ready and past cooldown");
+        p.offer(&20, 0, 0);
+        p.flush(&20, 0);
+        assert!(p.tick(10).is_some());
+        assert_eq!(p.next_departure(11), Some(14), "cooldown gates the next one");
+        assert_eq!(p.next_departure(20), Some(20));
     }
 }

@@ -86,7 +86,7 @@ impl Activity {
 /// For merged time utilization, `busy_cycles` of replicas add and the
 /// caller divides by `replicas × window` — [`StatSet::time_util`] handles
 /// that by tracking replica counts.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatSet {
     entries: BTreeMap<String, (Activity, u64)>,
 }

@@ -1,0 +1,183 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides `BytesMut` (a thin `Vec<u8>` wrapper), `BufMut` (big-endian
+//! writers) and `Buf` (big-endian readers over `&[u8]`) — the exact
+//! subset the wire codecs in `fasda-net` and `fasda-cluster` use.
+//! Semantics match the real crate for this subset: all multi-byte
+//! accessors are big-endian, and `Buf` readers advance the slice.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer (stand-in for `bytes::BytesMut`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.inner.resize(new_len, value);
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+macro_rules! put_impl {
+    ($($name:ident: $t:ty),* $(,)?) => {$(
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_be_bytes());
+        }
+    )*};
+}
+
+/// Big-endian writer (stand-in for `bytes::BufMut`).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    put_impl! {
+        put_u8: u8, put_i8: i8,
+        put_u16: u16, put_i16: i16,
+        put_u32: u32, put_i32: i32,
+        put_u64: u64, put_i64: i64,
+        put_f32: f32, put_f64: f64,
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+macro_rules! get_impl {
+    ($($name:ident: $t:ty),* $(,)?) => {$(
+        fn $name(&mut self) -> $t {
+            let mut raw = [0u8; std::mem::size_of::<$t>()];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_be_bytes(raw)
+        }
+    )*};
+}
+
+/// Big-endian reader (stand-in for `bytes::Buf`).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    /// Copy `dst.len()` bytes out, advancing the cursor. Panics if
+    /// fewer than `dst.len()` bytes remain (as the real crate does).
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    get_impl! {
+        get_u8: u8, get_i8: i8,
+        get_u16: u16, get_i16: i16,
+        get_u32: u32, get_i32: i32,
+        get_u64: u64, get_i64: i64,
+        get_f32: f32, get_f64: f64,
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(0xAB);
+        buf.put_i8(-5);
+        buf.put_u16(0xBEEF);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_i32(-123_456);
+        buf.put_u64(0x0123_4567_89AB_CDEF);
+        buf.put_f32(3.5);
+        buf.put_f64(-2.25);
+        let mut rd: &[u8] = &buf;
+        assert_eq!(rd.get_u8(), 0xAB);
+        assert_eq!(rd.get_i8(), -5);
+        assert_eq!(rd.get_u16(), 0xBEEF);
+        assert_eq!(rd.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(rd.get_i32(), -123_456);
+        assert_eq!(rd.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(rd.get_f32(), 3.5);
+        assert_eq!(rd.get_f64(), -2.25);
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(0x0102);
+        assert_eq!(&buf[..], &[0x01, 0x02]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Deterministic chunked parallel iterators (the subset of rayon's
+//! iterator zoo the workspace uses).
+
+use crate::pool::{self, ScopedJob};
+use std::ops::Range;
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        match pool::parallelism(self.range.len()) {
+            None => self.range.for_each(f),
+            Some(reg) => {
+                let f = &f;
+                let jobs: Vec<ScopedJob<'_>> = pool::chunk_ranges(self.range, reg.threads)
+                    .into_iter()
+                    .map(|r| Box::new(move || r.for_each(f)) as ScopedJob<'_>)
+                    .collect();
+                reg.scope(jobs);
+            }
+        }
+    }
+}
+
+/// `map` stage over a parallel range.
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Collect mapped items **in index order** (bit-identical to the
+    /// serial result, independent of thread count).
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        C: FromParallelIterator<R>,
+    {
+        let n = self.range.len();
+        let items = match pool::parallelism(n) {
+            None => self.range.map(&self.f).collect(),
+            Some(reg) => {
+                let f = &self.f;
+                let ranges = pool::chunk_ranges(self.range, reg.threads);
+                let mut slots: Vec<Option<Vec<R>>> = ranges.iter().map(|_| None).collect();
+                let jobs: Vec<ScopedJob<'_>> = slots
+                    .iter_mut()
+                    .zip(ranges)
+                    .map(|(slot, r)| {
+                        Box::new(move || *slot = Some(r.map(f).collect())) as ScopedJob<'_>
+                    })
+                    .collect();
+                reg.scope(jobs);
+                let mut out = Vec::with_capacity(n);
+                for slot in slots {
+                    out.extend(slot.expect("pool chunk completed"));
+                }
+                out
+            }
+        };
+        C::from_ordered_vec(items)
+    }
+}
+
+/// Sink for ordered parallel collection (`rayon::iter::FromParallelIterator`).
+pub trait FromParallelIterator<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// `par_iter_mut` (`rayon::iter::IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = ParSliceMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> ParSliceMut<'data, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = ParSliceMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> ParSliceMut<'data, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParSliceMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParSliceMut<'data, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let n = self.slice.len();
+        match pool::parallelism(n) {
+            None => self.slice.iter_mut().for_each(&f),
+            Some(reg) => {
+                let f = &f;
+                let chunk = n.div_ceil((reg.threads * 2).clamp(1, n));
+                let jobs: Vec<ScopedJob<'_>> = self
+                    .slice
+                    .chunks_mut(chunk)
+                    .map(|ch| Box::new(move || ch.iter_mut().for_each(f)) as ScopedJob<'_>)
+                    .collect();
+                reg.scope(jobs);
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile without registry access.
+//! No code in the workspace relies on actual serde (de)serialization —
+//! all wire formats are hand-rolled.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! forward-compatibility marker — nothing in the tree serializes through
+//! serde (wire formats are hand-rolled in `fasda-net`/`fasda-cluster`).
+//! The build environment has no registry access, so these derives expand
+//! to an empty token stream instead of pulling in the real crate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
