@@ -146,6 +146,16 @@ impl InterpTable {
         self.cfg
     }
 
+    /// The raw `(a, b)` coefficient words, flat `[section * bins + bin]`
+    /// order — the exact BRAM contents. Exposed so downstream models can
+    /// re-pack tables that share one index (e.g. interleave the `r⁻¹⁴`
+    /// and `r⁻⁸` words into a single fetch) without changing a bit of
+    /// the arithmetic.
+    #[inline]
+    pub fn coeffs(&self) -> &[(f32, f32)] {
+        &self.coeffs
+    }
+
     /// Evaluate at `r²`, reporting out-of-domain inputs.
     #[inline]
     pub fn eval(&self, r2: f32) -> Result<f32, InterpError> {

@@ -1,0 +1,116 @@
+//! Datapath kernel micro-benchmarks: the scalar per-comparison
+//! `filter()`/`force()` walk vs the SoA batch kernels
+//! (`ForceDatapath::filter_scan_into` + `force_batch`) that the timed
+//! model's stations dispatch through.
+//!
+//! Same hand-rolled harness as `microbench` (no external bench
+//! framework). Run with `cargo bench --bench datapathbench`.
+
+use fasda_arith::fixed::FixVec3;
+use fasda_arith::interp::TableConfig;
+use fasda_core::datapath::{FilteredPair, ForceDatapath, HomeSoa};
+use fasda_md::element::{Element, PairTable};
+use fasda_md::units::UnitSystem;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Time `f` and print ns/iter, criterion-style.
+fn bench<R>(group: &str, name: &str, min: Duration, mut f: impl FnMut() -> R) {
+    let t = Instant::now();
+    let mut iters = 0u64;
+    while t.elapsed() < min / 4 {
+        black_box(f());
+        iters += 1;
+    }
+    let target = iters.max(1) * 4;
+    let t = Instant::now();
+    for _ in 0..target {
+        black_box(f());
+    }
+    let per = t.elapsed().as_nanos() as f64 / target as f64;
+    println!("{group}/{name:<28} {per:>14.1} ns/iter ({target} iters)");
+}
+
+/// Deterministic jittered home cell of `n` particles (fig16 density is
+/// 64/cell) concatenated at the home RCID.
+fn home(n: usize) -> (Vec<Element>, Vec<FixVec3>) {
+    let mut state = 0x5DA_F00Du64;
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let elems = (0..n)
+        .map(|i| Element::ALL[i % Element::ALL.len()])
+        .collect();
+    let concat = (0..n)
+        .map(|_| ForceDatapath::concat((2, 2, 2), FixVec3::from_f64(rnd(), rnd(), rnd())))
+        .collect();
+    (elems, concat)
+}
+
+const MIN: Duration = Duration::from_millis(300);
+
+fn main() {
+    println!("fasda datapathbench (hand-rolled harness, ns/iter)");
+    let dp = ForceDatapath::new(&PairTable::new(UnitSystem::PAPER), TableConfig::PAPER);
+    let (elems, concat) = home(64);
+    let mut soa = HomeSoa::new();
+    soa.rebuild(&elems, &concat);
+    // An adjacent-cell neighbour: a realistic mix of hits and misses.
+    let nbr = ForceDatapath::concat((3, 2, 2), FixVec3::from_f64(0.12, 0.43, 0.77));
+    let nbr_elem = Element::Na;
+
+    // Scalar reference: one virtual filter() per slot, force() per hit —
+    // the work one station performs over a 64-particle scan.
+    bench("datapath", "scan64_scalar", MIN, || {
+        let mut acc = [0.0f32; 3];
+        for i in 0..concat.len() {
+            if let Some(pair) = dp.filter(concat[i], nbr) {
+                let f = dp.force(elems[i], nbr_elem, pair);
+                for k in 0..3 {
+                    acc[k] += f[k];
+                }
+            }
+        }
+        acc
+    });
+
+    // SoA batch kernels: the same scan through filter_scan_into +
+    // force_batch (what Pe::dispatch_planned runs at dispatch time).
+    let mut hits: Vec<(u16, FilteredPair)> = Vec::with_capacity(64);
+    let mut forces: Vec<[f32; 3]> = Vec::with_capacity(64);
+    bench("datapath", "scan64_soa_batch", MIN, || {
+        hits.clear();
+        forces.clear();
+        dp.filter_scan_into(&soa, nbr, 0, &mut hits);
+        dp.force_batch(&soa.elem, nbr_elem, &hits, &mut forces);
+        let mut acc = [0.0f32; 3];
+        for f in &forces {
+            for k in 0..3 {
+                acc[k] += f[k];
+            }
+        }
+        acc
+    });
+
+    // Filter-only variants isolate the scan loop from the force table.
+    bench("datapath", "filter64_scalar", MIN, || {
+        let mut n = 0u32;
+        for &c in &concat {
+            n += u32::from(dp.filter(c, nbr).is_some());
+        }
+        n
+    });
+    bench("datapath", "filter64_soa", MIN, || {
+        hits.clear();
+        dp.filter_scan_into(&soa, nbr, 0, &mut hits);
+        hits.len()
+    });
+
+    // Phase-start transposition cost (amortized over the whole phase).
+    let mut rebuilt = HomeSoa::new();
+    bench("datapath", "soa_rebuild64", MIN, || {
+        rebuilt.rebuild(&elems, &concat);
+        rebuilt.len()
+    });
+}

@@ -1,31 +1,48 @@
-//! Engine benchmark — wall-clock cost of simulating fig16-style 8-FPGA
-//! workloads under the serial reference engine vs the parallel + idle
-//! fast-forward cycle engine.
+//! Engine benchmark — cost of simulating fig16-style 8-FPGA workloads
+//! under the cycle engines:
+//!
+//! * `serial` — the reference loop, every optimization off (the oracle).
+//! * `engine` — the parallel + idle fast-forward + gated fast-path
+//!   engine, burst stepping and SoA kernels **off** (the previous
+//!   engine generation's feature set).
+//! * `engine+burst` — the default `EngineConfig::parallel()`: force-phase
+//!   burst stepping on top of the above.
+//! * `engine+burst+soa` — the opt-in SoA batch-kernel scan as well
+//!   (`with_soa(true)`), reported so the cost/benefit of dispatch-time
+//!   planning stays visible in the record.
 //!
 //! Two scenarios, both on the fig16 particle workload (6x6x6 cells,
 //! 64 Na/cell, 8 nodes of 3x3x3 cells):
 //!
 //! * `dense` — every node computes flat out. Almost no cycle is globally
-//!   quiescent, so the win on a single-core host comes only from the
-//!   gated fast path (precomputed match scans, idle-SPE skip). The rayon
-//!   compute phase is the lever on a multi-core host.
+//!   quiescent, so neither fast-forward nor burst windows fire; this
+//!   scenario measures the raw per-cycle datapath cost.
 //! * `straggler` — node 0 stalls for `--stall` cycles at the start of
 //!   each force phase (OS jitter / checkpoint pause on one host). Once
 //!   the other seven nodes drain, the whole cluster is quiescent and the
-//!   engine fast-forwards straight to the stall expiry.
+//!   engine fast-forwards straight to the stall expiry. This scenario
+//!   exercises the idle-dominated path where burst windows can open.
 //!
-//! Every run pair is asserted bit-identical (`ClusterRunReport ==`); the
-//! engine only changes how fast host wall-clock time passes. Results are
+//! Every run is asserted bit-identical to the serial oracle
+//! (`ClusterRunReport ==`); the engines only change how fast host
+//! time passes. Both wall-clock and user-CPU seconds are recorded: the
+//! reference host is a 1-core VM whose wall clock absorbs hypervisor
+//! steal, so CPU seconds are the stabler basis for ratios. Results are
 //! written to `BENCH_engine.json` in the current directory.
 //!
-//! Usage: `enginebench [--steps N] [--reps N] [--threads N] [--stall N] [--out FILE]`
+//! Usage: `enginebench [--steps N] [--reps N] [--threads N] [--stall N]
+//!                     [--out FILE] [--smoke]`
+//!
+//! `--smoke` runs a single rep of one step on a tiny workload — a CI
+//! gate for the bit-identity asserts, not a measurement.
 
 use fasda_bench::{rule, Args};
 use fasda_cluster::{Cluster, ClusterConfig, ClusterRunReport, EngineConfig};
 use fasda_core::config::ChipConfig;
+use fasda_md::element::Element;
 use fasda_md::space::SimulationSpace;
 use fasda_md::system::ParticleSystem;
-use fasda_md::workload::WorkloadSpec;
+use fasda_md::workload::{Placement, WorkloadSpec};
 use std::time::Instant;
 
 struct Scenario {
@@ -33,74 +50,204 @@ struct Scenario {
     cfg: ClusterConfig,
 }
 
-struct Outcome {
-    name: &'static str,
-    serial_s: f64,
-    engine_s: f64,
-    cycles: u64,
-    skipped: u64,
+/// User CPU seconds consumed by this process so far (`/proc/self/stat`
+/// field 14). Unlike wall clock, this is not inflated when the
+/// hypervisor steals the core mid-run. Falls back to NaN off-Linux.
+fn cpu_seconds() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return f64::NAN;
+    };
+    // utime is the 14th field overall; skip past the parenthesised comm,
+    // which may itself contain spaces.
+    stat.split(')')
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().nth(11))
+        .and_then(|f| f.parse::<f64>().ok())
+        .map_or(f64::NAN, |ticks| ticks / 100.0)
 }
 
-impl Outcome {
-    fn speedup(&self) -> f64 {
-        self.serial_s / self.engine_s
+/// Wall + CPU seconds of one engine's best rep.
+#[derive(Clone, Copy)]
+struct Timing {
+    wall: f64,
+    cpu: f64,
+}
+
+impl Timing {
+    const WORST: Timing = Timing {
+        wall: f64::INFINITY,
+        cpu: f64::INFINITY,
+    };
+
+    fn fold_best(&mut self, other: Timing) {
+        self.wall = self.wall.min(other.wall);
+        self.cpu = self.cpu.min(other.cpu);
+    }
+
+    /// CPU-seconds ratio when both sides have one, wall otherwise.
+    fn ratio_over(&self, num: Timing) -> f64 {
+        if self.cpu.is_finite() && num.cpu.is_finite() {
+            num.cpu / self.cpu
+        } else {
+            num.wall / self.wall
+        }
     }
 }
 
-/// One fresh run under `engine`: wall-clock seconds, skipped cycles, report.
+struct Outcome {
+    name: &'static str,
+    serial: Timing,
+    engine: Timing,
+    full: Timing,
+    soa: Timing,
+    cycles: u64,
+    skipped: u64,
+    burst_cycles: u64,
+    burst_count: u64,
+    burst_refused: u64,
+}
+
+impl Outcome {
+    /// Default engine vs serial oracle.
+    fn speedup(&self) -> f64 {
+        self.full.ratio_over(self.serial)
+    }
+
+    /// Previous-generation engine mode (no burst) vs serial oracle.
+    fn speedup_engine(&self) -> f64 {
+        self.engine.ratio_over(self.serial)
+    }
+
+    /// What burst stepping adds on top of the previous engine mode.
+    fn burst_gain(&self) -> f64 {
+        self.full.ratio_over(self.engine)
+    }
+
+    /// The opt-in SoA scan relative to the default engine (< 1 means the
+    /// batch path costs more than it saves on this host).
+    fn soa_gain(&self) -> f64 {
+        self.soa.ratio_over(self.full)
+    }
+}
+
+/// The three optimized engine configurations a scenario is measured
+/// under (the serial oracle is implicit).
+struct Engines {
+    /// Previous generation's feature set: no burst, no SoA.
+    engine: EngineConfig,
+    /// The `EngineConfig::parallel()` default (burst on).
+    full: EngineConfig,
+    /// Default plus the opt-in SoA batch-kernel scan.
+    soa: EngineConfig,
+}
+
+struct RunStats {
+    skipped: u64,
+    burst_cycles: u64,
+    burst_count: u64,
+    burst_refused: u64,
+}
+
+/// One fresh run under `engine`: timing, engine statistics, report.
 fn run_once(
     sys: &ParticleSystem,
     cfg: ClusterConfig,
     steps: u64,
     engine: &EngineConfig,
-) -> (f64, u64, ClusterRunReport) {
+) -> (Timing, RunStats, ClusterRunReport) {
     let mut cluster = Cluster::new(cfg, sys);
     let t0 = Instant::now();
+    let c0 = cpu_seconds();
     let r = cluster.run_with(steps, engine);
-    (t0.elapsed().as_secs_f64(), cluster.skipped_cycles, r)
+    let timing = Timing {
+        wall: t0.elapsed().as_secs_f64(),
+        cpu: cpu_seconds() - c0,
+    };
+    let stats = RunStats {
+        skipped: cluster.skipped_cycles,
+        burst_cycles: cluster.burst_cycles,
+        burst_count: cluster.burst_count,
+        burst_refused: cluster.burst_refused,
+    };
+    (timing, stats, r)
 }
 
-/// Best-of-`reps` for both engines, reps interleaved (serial, engine,
-/// serial, engine, ...) so slow host-load windows hit both sides alike.
-fn measure_pair(
+/// Best-of-`reps` for all four engines, reps interleaved (serial,
+/// engine, full, soa, serial, ...) so slow host-load windows hit every
+/// side alike. Asserts each optimized report equal to the serial
+/// oracle's.
+fn measure(
     sys: &ParticleSystem,
     cfg: ClusterConfig,
     steps: u64,
     reps: u32,
-    engine: &EngineConfig,
-) -> (f64, f64, u64, ClusterRunReport, ClusterRunReport) {
-    let mut serial_best = f64::INFINITY;
-    let mut engine_best = f64::INFINITY;
-    let mut skipped = 0;
-    let mut reports = None;
+    name: &'static str,
+    engines: &Engines,
+) -> Outcome {
+    let mut o = Outcome {
+        name,
+        serial: Timing::WORST,
+        engine: Timing::WORST,
+        full: Timing::WORST,
+        soa: Timing::WORST,
+        cycles: 0,
+        skipped: 0,
+        burst_cycles: 0,
+        burst_count: 0,
+        burst_refused: 0,
+    };
     for _ in 0..reps {
         let (ts, _, rs) = run_once(sys, cfg, steps, &EngineConfig::serial());
-        let (te, sk, re) = run_once(sys, cfg, steps, engine);
-        serial_best = serial_best.min(ts);
-        engine_best = engine_best.min(te);
-        skipped = sk;
-        reports = Some((rs, re));
+        let (te, _, re) = run_once(sys, cfg, steps, &engines.engine);
+        let (tf, sf, rf) = run_once(sys, cfg, steps, &engines.full);
+        let (ta, _, ra) = run_once(sys, cfg, steps, &engines.soa);
+        assert_eq!(re, rs, "{name}: engine must stay bit-identical");
+        assert_eq!(rf, rs, "{name}: burst engine must stay bit-identical");
+        assert_eq!(ra, rs, "{name}: soa engine must stay bit-identical");
+        o.serial.fold_best(ts);
+        o.engine.fold_best(te);
+        o.full.fold_best(tf);
+        o.soa.fold_best(ta);
+        o.cycles = rs.total_cycles;
+        o.skipped = sf.skipped;
+        o.burst_cycles = sf.burst_cycles;
+        o.burst_count = sf.burst_count;
+        o.burst_refused = sf.burst_refused;
     }
-    let (rs, re) = reports.expect("reps >= 1");
-    (serial_best, engine_best, skipped, rs, re)
+    o
 }
 
 fn main() {
     let args = Args::parse();
-    let steps: u64 = args.get("steps", 3);
-    let reps: u32 = args.get("reps", 2);
-    let stall: u64 = args.get("stall", 200_000);
+    let smoke = args.flag("smoke");
+    let steps: u64 = args.get("steps", if smoke { 1 } else { 3 });
+    let reps: u32 = args.get("reps", if smoke { 1 } else { 2 });
+    let stall: u64 = args.get("stall", if smoke { 5_000 } else { 200_000 });
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads: usize = args.get("threads", host_cores);
     let out: String = args.get("out", "BENCH_engine.json".to_string());
 
     println!("FASDA — cycle-engine benchmark (fig16 8-FPGA workload)");
+    let per_cell = if smoke { 4 } else { 64 };
     println!(
-        "6x6x6 cells, 64 Na/cell, 8 nodes (3x3x3 cells each), {steps} steps, best of {reps}, \
-         {host_cores}-core host"
+        "6x6x6 cells, {per_cell} Na/cell, 8 nodes (3x3x3 cells each), {steps} steps, \
+         best of {reps}, {host_cores}-core host{}",
+        if smoke { " [smoke]" } else { "" }
     );
 
-    let sys = WorkloadSpec::paper(SimulationSpace::cubic(6), 0xFA5DA).generate();
+    let sys = if smoke {
+        WorkloadSpec {
+            space: SimulationSpace::cubic(6),
+            per_cell,
+            placement: Placement::JitteredLattice { jitter: 0.05 },
+            temperature_k: 150.0,
+            seed: 0xFA5DA,
+            element: Element::Na,
+        }
+        .generate()
+    } else {
+        WorkloadSpec::paper(SimulationSpace::cubic(6), 0xFA5DA).generate()
+    };
     let dense = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
     let mut straggler = dense;
     straggler.straggler = Some((0, stall));
@@ -109,61 +256,115 @@ fn main() {
         Scenario { name: "straggler", cfg: straggler },
     ];
 
-    let engine = EngineConfig::parallel().with_threads(threads);
+    // Previous engine generation's feature set: threads + fast-forward +
+    // fast path, burst stepping and SoA scan kernels disabled; the
+    // default engine (burst on); and the default plus the opt-in SoA
+    // batch-kernel scan.
+    let full = EngineConfig::parallel().with_threads(threads);
+    let engines = Engines {
+        engine: full.with_soa(false).with_burst(false),
+        full,
+        soa: full.with_soa(true),
+    };
+
     let mut outcomes = Vec::new();
     for sc in &scenarios {
         rule(sc.name);
-        let (serial_s, engine_s, skipped, r_serial, r_engine) =
-            measure_pair(&sys, sc.cfg, steps, reps, &engine);
-        println!("{:<22}{serial_s:>10.3} s", "serial reference");
+        let o = measure(&sys, sc.cfg, steps, reps, sc.name, &engines);
         println!(
-            "{:<22}{engine_s:>10.3} s   ({} threads, fast path + fast-forward)",
-            "parallel engine", engine.threads
+            "{:<22}{:>10.3} s wall {:>8.2} s cpu",
+            "serial reference", o.serial.wall, o.serial.cpu
         );
-        assert_eq!(r_engine, r_serial, "engines must stay bit-identical");
-        let o = Outcome {
-            name: sc.name,
-            serial_s,
-            engine_s,
-            cycles: r_serial.total_cycles,
-            skipped,
-        };
         println!(
-            "{:<22}{:>9.2}x   ({} cycles simulated, {} fast-forwarded)",
+            "{:<22}{:>10.3} s wall {:>8.2} s cpu   ({} threads, fast path + fast-forward)",
+            "engine", o.engine.wall, o.engine.cpu, engines.engine.threads
+        );
+        println!(
+            "{:<22}{:>10.3} s wall {:>8.2} s cpu   (+ burst stepping: {} bursts / {} cycles, {} refused)",
+            "engine+burst", o.full.wall, o.full.cpu, o.burst_count, o.burst_cycles, o.burst_refused
+        );
+        println!(
+            "{:<22}{:>10.3} s wall {:>8.2} s cpu   (+ opt-in SoA scan kernels)",
+            "engine+burst+soa", o.soa.wall, o.soa.cpu
+        );
+        println!(
+            "{:<22}{:>9.2}x   vs serial ({:.2}x vs engine; {} cycles, {} fast-forwarded)",
             "speedup",
             o.speedup(),
+            o.burst_gain(),
             o.cycles,
             o.skipped
         );
         outcomes.push(o);
     }
 
-    // Headline: the straggler run — the fast-forward lever is the one a
-    // single-core host can actually realise; the dense run documents the
-    // fast-path floor (rayon needs real cores to move it).
-    let headline = outcomes.last().expect("scenarios is non-empty").speedup();
-    println!("\nheadline speedup (straggler fig16 run): {headline:.2}x");
+    // Headline: the default engine vs the serial oracle on the dense run
+    // (no idle cycles to fast-forward — the per-cycle datapath cost
+    // itself). The straggler run documents the fast-forward/burst lever.
+    let dense_o = &outcomes[0];
+    let headline = dense_o.speedup();
+    println!("\nheadline: dense default-engine speedup vs serial: {headline:.2}x");
+    println!(
+        "          dense burst gain over previous engine mode: {:.2}x, opt-in soa: {:.2}x",
+        dense_o.burst_gain(),
+        dense_o.soa_gain()
+    );
+    println!(
+        "          straggler default-engine speedup vs serial: {:.2}x",
+        outcomes[1].speedup()
+    );
 
     // Hand-rolled JSON — the workspace deliberately has no serde_json.
     let mut json = String::from("{\n");
     json.push_str("  \"workload\": \"fig16-6x6x6-8fpga\",\n");
-    json.push_str(&format!("  \"steps\": {steps},\n  \"reps\": {reps},\n"));
+    if smoke {
+        json.push_str("  \"smoke\": true,\n");
+    }
+    json.push_str(&format!(
+        "  \"per_cell\": {per_cell},\n  \"steps\": {steps},\n  \"reps\": {reps},\n"
+    ));
     json.push_str(&format!(
         "  \"host_cores\": {host_cores},\n  \"threads\": {},\n  \"straggler_stall\": {stall},\n",
-        engine.threads
+        engines.engine.threads
     ));
     json.push_str(&format!("  \"speedup\": {headline:.3},\n"));
+    json.push_str(
+        "  \"metric\": \"user-cpu seconds (wall clock absorbs hypervisor steal on the 1-core reference host)\",\n",
+    );
     json.push_str("  \"bit_identical\": true,\n  \"scenarios\": {\n");
     for (i, o) in outcomes.iter().enumerate() {
         json.push_str(&format!(
             "    \"{}\": {{\n      \"serial_seconds\": {:.6},\n      \"engine_seconds\": {:.6},\n      \
              \"speedup\": {:.3},\n      \"simulated_cycles\": {},\n      \"skipped_cycles\": {}\n    }}{}\n",
             o.name,
-            o.serial_s,
-            o.engine_s,
+            o.serial.wall,
+            o.full.wall,
             o.speedup(),
             o.cycles,
             o.skipped,
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n  \"datapath\": {\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\n      \"serial_cpu_seconds\": {:.6},\n      \"engine_cpu_seconds\": {:.6},\n      \
+             \"engine_burst_cpu_seconds\": {:.6},\n      \"engine_burst_soa_cpu_seconds\": {:.6},\n      \
+             \"speedup_engine\": {:.3},\n      \"speedup_burst\": {:.3},\n      \
+             \"burst_vs_engine\": {:.3},\n      \"soa_vs_default\": {:.3},\n      \
+             \"burst_cycles\": {},\n      \"burst_count\": {},\n      \"burst_refused\": {}\n    }}{}\n",
+            o.name,
+            o.serial.cpu,
+            o.engine.cpu,
+            o.full.cpu,
+            o.soa.cpu,
+            o.speedup_engine(),
+            o.speedup(),
+            o.burst_gain(),
+            o.soa_gain(),
+            o.burst_cycles,
+            o.burst_count,
+            o.burst_refused,
             if i + 1 < outcomes.len() { "," } else { "" }
         ));
     }

@@ -20,6 +20,22 @@ use rayon::{ThreadPool, ThreadPoolBuilder};
 /// Safety cap on the global cycle loop.
 const MAX_RUN_CYCLES: u64 = 2_000_000_000;
 
+/// Smallest force-phase burst worth taking: below this the burst's
+/// eligibility scan costs more than the per-cycle loop it skips.
+const MIN_BURST: u64 = 4;
+
+/// Cycles to wait before re-attempting a burst after the first refused
+/// window. Doubles on every consecutive refusal (up to
+/// [`BURST_RETRY_COOLDOWN_MAX`]) and resets on a successful burst: in
+/// dense phases some station is always within a few cycles of ejecting,
+/// so windows essentially never open and the eligibility scan would
+/// otherwise burn a few percent of the run re-proving that every few
+/// cycles.
+const BURST_RETRY_COOLDOWN: u64 = 8;
+
+/// Upper bound for the exponential refusal backoff.
+const BURST_RETRY_COOLDOWN_MAX: u64 = 1024;
+
 /// How the cluster's cycle loop is executed. The serial reference path
 /// ([`Cluster::try_run`]) and every engine configuration produce
 /// bit-identical [`ClusterRunReport`]s; the engine only changes how fast
@@ -40,6 +56,25 @@ pub struct EngineConfig {
     /// stays the plain per-cycle interpretation the optimized engine is
     /// validated against.
     pub fast_path: bool,
+    /// Evaluate filter-station scans through the chips' SoA batch kernels
+    /// (`HomeSoa` banks + `ForceDatapath::filter_scan_into`/`force_batch`)
+    /// instead of one virtual comparison per cycle. Bit-identical: the
+    /// per-cycle `Pe` state machine still consumes one comparison per
+    /// architectural cycle. Off by default even in the optimized engine:
+    /// with the fused interpolation fetch the scalar per-comparison cost
+    /// is small enough that the batch path's hit materialization costs
+    /// more than it saves (~10% on dense workloads; see `DESIGN.md`).
+    /// Kept as an opt-in because the kernels are the validated substrate
+    /// for wider (SIMD / accelerator) backends.
+    pub soa: bool,
+    /// Burst-step the force phase: when every node's external interfaces
+    /// are provably quiet for the next W cycles (no deliveries, packet
+    /// departures, barrier releases, marker flushes or phase transitions
+    /// possible), advance each busy chip W force cycles in one inner loop
+    /// without returning to the cluster tick layer — the busy-path
+    /// analogue of idle fast-forward. Bit-identical by the window proof
+    /// (see `DESIGN.md`).
+    pub burst: bool,
 }
 
 impl EngineConfig {
@@ -50,22 +85,40 @@ impl EngineConfig {
             threads: 1,
             fast_forward: false,
             fast_path: false,
+            soa: false,
+            burst: false,
         }
     }
 
     /// The optimized engine: parallel compute phase over all available
-    /// cores, idle fast-forward, and the chips' fast-path execution.
+    /// cores, idle fast-forward, the chips' fast-path execution, and
+    /// force-phase burst stepping. The SoA batch-kernel scan stays
+    /// opt-in ([`EngineConfig::with_soa`]) — see the `soa` field docs.
     pub fn parallel() -> Self {
         EngineConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             fast_forward: true,
             fast_path: true,
+            soa: false,
+            burst: true,
         }
     }
 
     /// Enable or disable the chips' fast-path execution.
     pub fn with_fast_path(mut self, on: bool) -> Self {
         self.fast_path = on;
+        self
+    }
+
+    /// Enable or disable the SoA batch-kernel scan path.
+    pub fn with_soa(mut self, on: bool) -> Self {
+        self.soa = on;
+        self
+    }
+
+    /// Enable or disable force-phase burst stepping.
+    pub fn with_burst(mut self, on: bool) -> Self {
+        self.burst = on;
         self
     }
 
@@ -220,6 +273,14 @@ pub struct Cluster {
     /// Cycles the fast-forward engine jumped over instead of simulating
     /// (always 0 for `fast_forward: false`; cycle counts are unaffected).
     pub skipped_cycles: u64,
+    /// Cycles simulated inside force-phase bursts (a subset of the total
+    /// — burst cycles are real simulated cycles, just run without the
+    /// per-cycle exchange/network walk).
+    pub burst_cycles: u64,
+    /// Number of bursts that ran.
+    pub burst_count: u64,
+    /// Burst attempts refused (window below [`MIN_BURST`]).
+    pub burst_refused: u64,
     /// Per-node quiescence cache (optimized engines only): `quiet[n]`
     /// means node `n`'s chip was observed locally idle and nothing has
     /// been injected into it since, so its O(CBBs) idle predicates need
@@ -333,6 +394,9 @@ impl Cluster {
             barrier_force: BulkBarrier::new(n, bulk_latency),
             cycle: 0,
             skipped_cycles: 0,
+            burst_cycles: 0,
+            burst_count: 0,
+            burst_refused: 0,
             quiet: vec![false; n],
             use_quiet: false,
             records: Vec::new(),
@@ -412,8 +476,9 @@ impl Cluster {
         for chip in &mut self.chips {
             chip.reset_stats();
             chip.set_fast_path(engine.fast_path);
+            chip.set_soa_scan(engine.soa);
         }
-        self.use_quiet = engine.fast_forward || engine.fast_path;
+        self.use_quiet = engine.fast_forward || engine.fast_path || engine.burst;
         self.quiet.iter_mut().for_each(|q| *q = false);
         self.records.clear();
         // arm step 0
@@ -429,6 +494,14 @@ impl Cluster {
                 }
             }
         }
+
+        // Retry throttle for burst attempts: after a failed window scan
+        // (W below the worthwhile threshold) the blocking condition — a
+        // filling FIFO, a packet in flight, an imminent barrier — rarely
+        // clears within a cycle or two, so don't pay the O(nodes · PEs)
+        // scan again immediately.
+        let mut burst_cooldown = 0u64;
+        let mut burst_backoff = BURST_RETRY_COOLDOWN;
 
         while !self.all_done(steps) {
             let stepped = self.compute_phase(pool.as_ref());
@@ -458,6 +531,28 @@ impl Cluster {
             self.cycle += 1;
             if self.cycle - run_start >= cycle_budget {
                 return Err(self.stalled());
+            }
+            // Burst stepping: when every node's external interfaces are
+            // provably quiet for the next W cycles, advance all busy
+            // force-phase chips W cycles in one inner loop. Skipped on
+            // delivery cycles (a delivery can enable an exchange action
+            // the following cycle) — the same rule the fast-forward scan
+            // uses below.
+            if engine.burst && !delivered && stepped {
+                if burst_cooldown > 0 {
+                    burst_cooldown -= 1;
+                } else {
+                    let cap = run_start + cycle_budget;
+                    if self.try_burst(pool.as_ref(), cap) {
+                        burst_backoff = BURST_RETRY_COOLDOWN;
+                    } else {
+                        burst_cooldown = burst_backoff;
+                        burst_backoff = (burst_backoff * 2).min(BURST_RETRY_COOLDOWN_MAX);
+                    }
+                    if self.cycle >= cap {
+                        return Err(self.stalled());
+                    }
+                }
             }
             // Scan for a jump only on cycles that ticked no chip and
             // delivered nothing: a ticked chip is almost certainly still
@@ -800,6 +895,159 @@ impl Cluster {
         }
         self.skipped_cycles += delta;
         self.cycle = target;
+    }
+
+    // ------------------------------------------------------------------
+    // Force-phase burst stepping.
+
+    /// Conservative window W such that the next W global cycles consist
+    /// exclusively of busy force-phase chips ticking their CBB internals:
+    /// no inbox delivery, packetizer departure, barrier release, stall
+    /// expiry, marker flush, or phase transition can fire before cycle
+    /// `self.cycle + W`. `busy` collects the nodes whose chips actually
+    /// tick during the window. Returns 0 whenever any node's upcoming
+    /// exchange cannot be proven frozen.
+    fn burst_window(&self, busy: &mut Vec<usize>) -> u64 {
+        let mut w = u64::MAX;
+        let bound = |w: &mut u64, c: u64| *w = (*w).min(c);
+        for node in 0..self.num_nodes() {
+            // Scheduled network events bound every node alike.
+            if let Some(d) = self.inbox[node].next_due() {
+                if d <= self.cycle {
+                    return 0;
+                }
+                bound(&mut w, d - self.cycle);
+            }
+            for d in [
+                self.pos_pz[node].next_departure(self.cycle),
+                self.frc_pz[node].next_departure(self.cycle),
+                self.mig_pz[node].next_departure(self.cycle),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                if d <= self.cycle {
+                    return 0;
+                }
+                bound(&mut w, d - self.cycle);
+            }
+            // A stalled node skips both compute and exchange until its
+            // stall expires; `stalls -= W` afterwards reproduces the
+            // reference decrement-per-cycle exactly.
+            if self.stalls[node] > 0 {
+                bound(&mut w, self.stalls[node]);
+                continue;
+            }
+            match self.state[node].phase {
+                NodePhase::Done => {}
+                NodePhase::BarrierBeforeMu | NodePhase::BarrierBeforeForce => {
+                    // An unreleased barrier only changes through another
+                    // node's transition (none during the window); a
+                    // released one fires at its release cycle.
+                    if let Some(r) = self.state[node].barrier_release {
+                        if r <= self.cycle {
+                            return 0;
+                        }
+                        bound(&mut w, r - self.cycle);
+                    }
+                }
+                NodePhase::Mu => {
+                    // Bursting never advances MU work, so an active MU
+                    // chip would fall behind: require the node quiescent
+                    // and its phase completion still blocked on a marker.
+                    if !self.quiet[node] || self.sync[node].mu_phase_complete() {
+                        return 0;
+                    }
+                }
+                NodePhase::Force => {
+                    if self.use_quiet && self.quiet[node] {
+                        // Idle chip: no tick; its exchange is frozen
+                        // unless the sync already completed (transition
+                        // pending next cycle).
+                        if self.sync[node].force_phase_complete() {
+                            return 0;
+                        }
+                        continue;
+                    }
+                    let cw = self.chips[node].force_burst_window();
+                    if cw == 0 {
+                        return 0;
+                    }
+                    // Marker flushes that could fire on an upcoming
+                    // exchange (reachable when this node's stall expired
+                    // this very cycle, before its exchange ran).
+                    if !self.state[node].last_pos_flushed
+                        && self.chips[node].all_positions_departed()
+                    {
+                        return 0;
+                    }
+                    for i in 0..self.sync[node].recv_peers.len() {
+                        let p = self.sync[node].recv_peers[i];
+                        if self.sync[node].owes_last_frc(&p) {
+                            let pc = self.node_coord[p];
+                            if self.chips[node].outstanding_from(pc) == 0
+                                && self.chips[node].frc_drained_to(pc)
+                                && self.chips[node].frc_egress_empty()
+                            {
+                                return 0;
+                            }
+                        }
+                    }
+                    if self.sync[node].force_phase_complete()
+                        && self.chips[node].force_phase_local_idle()
+                    {
+                        return 0;
+                    }
+                    bound(&mut w, cw);
+                    busy.push(node);
+                }
+            }
+        }
+        if busy.is_empty() || w == u64::MAX {
+            // Nothing computing: idle spans belong to fast-forward.
+            return 0;
+        }
+        w
+    }
+
+    /// Attempt one burst. Returns whether a burst (of at least
+    /// [`MIN_BURST`] cycles) ran; the caller throttles re-attempts after
+    /// a refusal.
+    fn try_burst(&mut self, pool: Option<&ThreadPool>, cap: u64) -> bool {
+        let mut busy = Vec::new();
+        let w = self.burst_window(&mut busy).min(cap - self.cycle);
+        if w < MIN_BURST {
+            self.burst_refused += 1;
+            return false;
+        }
+        self.burst_cycles += w;
+        self.burst_count += 1;
+        match pool {
+            Some(pool) if busy.len() > 1 => {
+                use rayon::prelude::*;
+                let mut jobs: Vec<&mut TimedChip> = Vec::with_capacity(busy.len());
+                let mut it = self.chips.iter_mut();
+                let mut prev = 0;
+                for &node in &busy {
+                    let chip = it.nth(node - prev).expect("busy node index");
+                    prev = node + 1;
+                    jobs.push(chip);
+                }
+                pool.install(|| {
+                    jobs.par_iter_mut().for_each(|chip| chip.run_force_burst(w));
+                });
+            }
+            _ => {
+                for &node in &busy {
+                    self.chips[node].run_force_burst(w);
+                }
+            }
+        }
+        for s in &mut self.stalls {
+            *s = s.saturating_sub(w);
+        }
+        self.cycle += w;
+        true
     }
 
     // ------------------------------------------------------------------

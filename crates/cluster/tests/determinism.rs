@@ -1,7 +1,8 @@
-//! Engine determinism regression: the two-phase engine — serial, with
-//! idle fast-forward, and with a rayon compute phase — must produce
-//! reports and particle state bit-identical to the serial reference
-//! loop, for both synchronization modes.
+//! Engine determinism regression: every engine configuration — idle
+//! fast-forward, rayon compute phase, SoA batch kernels, force-phase
+//! burst stepping, and their combination — must produce reports and
+//! particle state bit-identical to the serial reference loop, for both
+//! synchronization modes.
 
 use fasda_cluster::{Cluster, ClusterConfig, ClusterRunReport, EngineConfig};
 use fasda_core::config::ChipConfig;
@@ -50,6 +51,17 @@ fn assert_identical(sync: SyncMode) {
     let engines = [
         ("fast-forward", EngineConfig::serial().with_fast_forward(true)),
         ("parallel", EngineConfig::serial().with_threads(4)),
+        ("soa", EngineConfig::serial().with_soa(true)),
+        (
+            "soa+burst",
+            EngineConfig::serial()
+                .with_soa(true)
+                .with_burst(true)
+                .with_fast_path(true),
+        ),
+        ("burst-only", EngineConfig::serial().with_burst(true)),
+        // The full optimized engine: threads + fast-forward + fast path +
+        // SoA kernels + burst stepping, all on by default.
         ("parallel+ff", EngineConfig::parallel().with_threads(4)),
     ];
     for (name, engine) in engines {
@@ -85,6 +97,14 @@ fn fast_forward_preserves_straggler_stalls() {
     let got = ff.try_run_with(2, 2_000_000_000, &engine).expect("ff run");
 
     assert_eq!(got, want, "fast-forward drifted under a straggler");
+
+    // Burst stepping interacts with stall expiry (`stalls -= W`): the
+    // full optimized engine must agree too.
+    let mut full = Cluster::new(c, &sys);
+    let got = full
+        .try_run_with(2, 2_000_000_000, &EngineConfig::parallel())
+        .expect("optimized run");
+    assert_eq!(got, want, "optimized engine drifted under a straggler");
 }
 
 #[test]

@@ -16,7 +16,8 @@
 //! Forces accumulate in `f32` (the Force Cache stores "32-bit floating
 //! point forces", §3.1).
 
-use fasda_arith::fixed::{Fix, FixVec3};
+use fasda_arith::fixed::{Fix, FixVec3, FRAC_BITS};
+use fasda_arith::float_bits::{section_bin, SectionBin};
 use fasda_arith::interp::{InterpTable, LjForceTable, LjPotentialTable, TableConfig};
 use fasda_md::element::{Element, PairTable};
 use fasda_md::ewald::EwaldParams;
@@ -29,6 +30,55 @@ pub struct FilteredPair {
     pub delta: FixVec3,
     /// `|delta|²` in fixed point, guaranteed inside the table domain.
     pub r2: Fix,
+}
+
+/// Structure-of-arrays snapshot of one cell's home particles: the
+/// RCID-concatenated coordinates split into per-axis `Q5.26` bit banks
+/// plus a dense element array. This is the memory layout the batch filter
+/// kernel ([`ForceDatapath::filter_scan_into`]) streams through — three
+/// contiguous `i32` lanes instead of an array of `FixVec3` structs — so
+/// one station's whole scan runs as a tight, auto-vectorizable loop.
+#[derive(Clone, Debug, Default)]
+pub struct HomeSoa {
+    /// `x` coordinates as raw `Q5.26` bits.
+    pub x: Vec<i32>,
+    /// `y` coordinates as raw `Q5.26` bits.
+    pub y: Vec<i32>,
+    /// `z` coordinates as raw `Q5.26` bits.
+    pub z: Vec<i32>,
+    /// Element of each slot (coefficient-BRAM index source).
+    pub elem: Vec<Element>,
+}
+
+impl HomeSoa {
+    /// Empty banks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild the banks from a cell's concatenated snapshot (reuses the
+    /// existing allocations; called once per force phase).
+    pub fn rebuild(&mut self, elems: &[Element], concat: &[FixVec3]) {
+        debug_assert_eq!(elems.len(), concat.len());
+        self.x.clear();
+        self.y.clear();
+        self.z.clear();
+        self.elem.clear();
+        self.x.extend(concat.iter().map(|c| c.x.to_bits()));
+        self.y.extend(concat.iter().map(|c| c.y.to_bits()));
+        self.z.extend(concat.iter().map(|c| c.z.to_bits()));
+        self.elem.extend_from_slice(elems);
+    }
+
+    /// Slots stored.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when no slots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
 }
 
 /// The electrostatic extension of the datapath: the real-space PME
@@ -46,6 +96,12 @@ struct CoulombPath {
 #[derive(Clone, Debug)]
 pub struct ForceDatapath {
     force_table: LjForceTable,
+    /// The `r⁻¹⁴` and `r⁻⁸` coefficient words of `force_table`
+    /// interleaved as `[a14, b14, a8, b8]` per `(section, bin)`: both
+    /// terms share one index, so the hot path fetches one 16-byte record
+    /// instead of touching two separate tables. Same words, same
+    /// arithmetic — a pure memory-layout change.
+    fused_force: Vec<[f32; 4]>,
     pot_table: LjPotentialTable,
     coulomb: Option<CoulombPath>,
     /// `[a][b] → (c14, c8)` force coefficients as the `f32` words the
@@ -72,8 +128,17 @@ impl ForceDatapath {
                 pot_coeff[a.index()][b.index()] = (c.c12 as f32, c.c6 as f32);
             }
         }
+        let force_table = LjForceTable::new(table);
+        let fused_force = force_table
+            .r14
+            .coeffs()
+            .iter()
+            .zip(force_table.r8.coeffs())
+            .map(|(&(a14, b14), &(a8, b8))| [a14, b14, a8, b8])
+            .collect();
         ForceDatapath {
-            force_table: LjForceTable::new(table),
+            force_table,
+            fused_force,
             pot_table: LjPotentialTable::new(table),
             coulomb: None,
             force_coeff,
@@ -144,6 +209,86 @@ impl ForceDatapath {
         }
     }
 
+    /// Batch form of [`ForceDatapath::filter`]: scan home slots
+    /// `scan_from..` of the SoA banks against one neighbour position and
+    /// append every passing `(slot, pair)` to `hits`. Returns the number
+    /// of comparisons performed (`len − scan_from`).
+    ///
+    /// Bit-identical to calling `filter` per slot: the kernel performs the
+    /// same `Q5.26` wrapping subtract, DSP-truncating square (`(a·a) >>
+    /// FRAC_BITS`) and wrapping sum on the raw bits, and the same
+    /// inclusive/exclusive threshold compares — just on contiguous `i32`
+    /// lanes with the per-call dispatch hoisted out of the loop.
+    pub fn filter_scan_into(
+        &self,
+        home: &HomeSoa,
+        nbr: FixVec3,
+        scan_from: u16,
+        hits: &mut Vec<(u16, FilteredPair)>,
+    ) -> u64 {
+        // Two passes per chunk: the r² reduction runs branchless over a
+        // stack buffer (no data-dependent push in the loop, so it unrolls
+        // and vectorizes), then a sparse predicate scan re-derives the
+        // deltas for the few slots that pass. Same subtractions, same
+        // wrapping squares — bit-identical hits in the same order.
+        const CHUNK: usize = 64;
+        let n = home.len();
+        let from = (scan_from as usize).min(n);
+        let (nx, ny, nz) = (nbr.x.to_bits(), nbr.y.to_bits(), nbr.z.to_bits());
+        let lo = self.min_r2.to_bits();
+        let hi = self.cutoff_r2.to_bits();
+        let sq = |d: i32| (((d as i64) * (d as i64)) >> FRAC_BITS) as i32;
+        let mut r2s = [0i32; CHUNK];
+        let mut base = from;
+        while base < n {
+            let len = (n - base).min(CHUNK);
+            let xs = &home.x[base..base + len];
+            let ys = &home.y[base..base + len];
+            let zs = &home.z[base..base + len];
+            for i in 0..len {
+                r2s[i] = sq(xs[i].wrapping_sub(nx))
+                    .wrapping_add(sq(ys[i].wrapping_sub(ny)))
+                    .wrapping_add(sq(zs[i].wrapping_sub(nz)));
+            }
+            for i in 0..len {
+                let r2 = r2s[i];
+                if r2 >= lo && r2 < hi {
+                    hits.push((
+                        (base + i) as u16,
+                        FilteredPair {
+                            delta: FixVec3::new(
+                                Fix::from_bits(xs[i].wrapping_sub(nx)),
+                                Fix::from_bits(ys[i].wrapping_sub(ny)),
+                                Fix::from_bits(zs[i].wrapping_sub(nz)),
+                            ),
+                            r2: Fix::from_bits(r2),
+                        },
+                    ));
+                }
+            }
+            base += len;
+        }
+        (n - from) as u64
+    }
+
+    /// Batch form of [`ForceDatapath::force`]: evaluate the force on the
+    /// home particle for every filtered hit of one station's scan (the
+    /// neighbour element is fixed for the whole batch) and append the
+    /// results to `out` in hit order. Each entry is bit-identical to the
+    /// scalar `force` call for the same pair.
+    pub fn force_batch(
+        &self,
+        home_elem: &[Element],
+        nbr_elem: Element,
+        hits: &[(u16, FilteredPair)],
+        out: &mut Vec<[f32; 3]>,
+    ) {
+        out.reserve(hits.len());
+        for &(slot, pair) in hits {
+            out.push(self.force(home_elem[slot as usize], nbr_elem, pair));
+        }
+    }
+
     /// Convert a filtered fixed-point `r²` to the force pipeline's `f32`.
     /// The filter guarantees `r² < Rc²` on the `Q5.26` grid, but `f32` has
     /// only a 24-bit mantissa, so a passing value within `2⁻²⁶` of the
@@ -167,7 +312,17 @@ impl ForceDatapath {
     #[inline]
     pub fn force(&self, home_elem: Element, nbr_elem: Element, pair: FilteredPair) -> [f32; 3] {
         let r2 = self.r2_to_f32(pair.r2);
-        let (r14, r8) = self.force_table.eval(r2);
+        let cfg = self.force_table.config();
+        let (r14, r8) = match section_bin(r2, cfg.n_sections, cfg.log2_bins) {
+            SectionBin::In { section, bin } => {
+                let c = self.fused_force[(section << cfg.log2_bins | bin) as usize];
+                (c[0] * r2 + c[1], c[2] * r2 + c[3])
+            }
+            out => {
+                debug_assert!(false, "unfiltered r²={r2} reached force pipeline: {out:?}");
+                (0.0, 0.0)
+            }
+        };
         let (c14, c8) = self.force_coeff[home_elem.index()][nbr_elem.index()];
         let mut scale = c14 * r14 - c8 * r8;
         if let Some(c) = &self.coulomb {

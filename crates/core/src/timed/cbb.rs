@@ -17,7 +17,7 @@
 // Componentwise `for k in 0..3` loops mirror the per-lane datapath.
 #![allow(clippy::needless_range_loop)]
 use crate::config::ChipConfig;
-use crate::datapath::ForceDatapath;
+use crate::datapath::{ForceDatapath, HomeSoa};
 use fasda_arith::fixed::{Fix, FixVec3};
 use fasda_md::element::Element;
 use fasda_md::space::CellCoord;
@@ -117,6 +117,11 @@ pub struct TimedCbb {
     pub mu_stats: Activity,
     /// Fast-path execution (see [`TimedCbb::set_fast_path`]).
     fast_path: bool,
+    /// SoA-scan execution (see [`TimedCbb::set_soa_scan`]).
+    soa_scan: bool,
+    /// Home-cell snapshot as structure-of-arrays fixed-point banks,
+    /// rebuilt each force phase; feeds the SoA batch kernels.
+    soa: HomeSoa,
     /// Scratch buffers reused across force cycles (avoid per-cycle
     /// allocation on the hot path).
     scratch_ej: Vec<Ejection>,
@@ -142,6 +147,8 @@ impl TimedCbb {
             mig_out: VecDeque::new(),
             mu_stats: Activity::with_capacity(1),
             fast_path: false,
+            soa_scan: false,
+            soa: HomeSoa::new(),
             scratch_ej: Vec::new(),
             scratch_ret: Vec::new(),
         }
@@ -154,6 +161,16 @@ impl TimedCbb {
     /// against.
     pub fn set_fast_path(&mut self, on: bool) {
         self.fast_path = on;
+    }
+
+    /// Enable/disable the SoA scan path: neighbour entries are dispatched
+    /// through [`Pe::dispatch_planned`], evaluating the whole scan against
+    /// the [`HomeSoa`] banks up front while the per-cycle state machine
+    /// consumes one comparison per cycle as before. Bit-identical to the
+    /// scalar path; off by default so the plain interpretation stays the
+    /// reference.
+    pub fn set_soa_scan(&mut self, on: bool) {
+        self.soa_scan = on;
     }
 
     /// Load one particle (initialization).
@@ -185,6 +202,9 @@ impl TimedCbb {
         self.home_concat.clear();
         self.home_concat
             .extend(self.offset.iter().map(|&o| ForceDatapath::concat((2, 2, 2), o)));
+        if self.soa_scan {
+            self.soa.rebuild(&self.elem, &self.home_concat);
+        }
         for f in &mut self.force {
             *f = [0.0; 3];
         }
@@ -246,11 +266,18 @@ impl TimedCbb {
             {
                 continue;
             }
-            // dispatch one entry to a free station
+            // dispatch one entry to a free station (skip the free-station
+            // probe when there is nothing to dispatch — the common state
+            // once the queues drain and the PEs grind through their scans)
             let pe_count = spe.pes.len();
-            if let Some(pe_idx) = (0..pe_count)
-                .map(|k| (spe.rr_pe + k) % pe_count)
-                .find(|&i| spe.pes[i].has_free_station())
+            let have_work = !spe.pos_in.is_empty() || !spe.home_src.is_empty();
+            if let Some(pe_idx) = have_work
+                .then(|| {
+                    (0..pe_count)
+                        .map(|k| (spe.rr_pe + k) % pe_count)
+                        .find(|&i| spe.pes[i].has_free_station())
+                })
+                .flatten()
             {
                 let entry = if let Some(e) = spe.pos_in.pop() {
                     Some(e)
@@ -263,7 +290,11 @@ impl TimedCbb {
                     })
                 };
                 if let Some(e) = entry {
-                    spe.pes[pe_idx].dispatch(e);
+                    if self.soa_scan {
+                        spe.pes[pe_idx].dispatch_planned(e, dp, &self.soa);
+                    } else {
+                        spe.pes[pe_idx].dispatch(e);
+                    }
                     spe.rr_pe = (pe_idx + 1) % pe_count;
                 }
             }
@@ -313,6 +344,39 @@ impl TimedCbb {
                 }
             }
         }
+    }
+
+    /// Conservative lower bound W on the number of force-phase cycles this
+    /// CBB can run before producing any station ejection (and therefore
+    /// before any `frc_out` push, completion record, or force-phase
+    /// completion). Valid only while the CBB's external interfaces are
+    /// quiet (`bcast`/`frc_out` empty, no ring deliveries pending) so no
+    /// new work can arrive besides what the bound already accounts for:
+    ///
+    /// * an occupied station is bounded by [`Pe::burst_bound`];
+    /// * a pending `pos_in` entry may dispatch next cycle and scan from 0,
+    ///   so it can eject no sooner than `home_len − 1` cycles out;
+    /// * the front home-internal entry (slot `s`) scans `s+1..home_len`,
+    ///   so it can eject no sooner than `home_len − s − 2` cycles out
+    ///   (later queue entries dispatch at least one cycle later each and
+    ///   never undercut the front's bound).
+    ///
+    /// `u64::MAX` when the CBB holds no force-phase work at all.
+    pub fn force_burst_bound(&self) -> u64 {
+        let hl = self.home_concat.len() as u64;
+        let mut w = u64::MAX;
+        for spe in &self.spes {
+            for pe in &spe.pes {
+                w = w.min(pe.burst_bound(hl as u16));
+            }
+            if !spe.pos_in.is_empty() {
+                w = w.min(hl.saturating_sub(1));
+            }
+            if let Some(&s) = spe.home_src.front() {
+                w = w.min(hl.saturating_sub(s as u64 + 2));
+            }
+        }
+        w
     }
 
     /// Accumulate an arriving neighbour force from the force ring into

@@ -316,6 +316,81 @@ impl TimedChip {
         }
     }
 
+    /// Enable/disable the SoA scan path on every CBB (see
+    /// [`TimedCbb::set_soa_scan`]). Bit-identical to the scalar path.
+    pub fn set_soa_scan(&mut self, on: bool) {
+        for cbb in &mut self.cbbs {
+            cbb.set_soa_scan(on);
+        }
+    }
+
+    /// Burst window W for the force phase: the number of upcoming cycles
+    /// provably free of chip-boundary events, during which
+    /// [`TimedChip::step_force_cycle`] reduces to the CBB-internal walk
+    /// alone. Returns 0 unless the chip's external interfaces are quiet
+    /// (precondition *P*): every position/force ring empty, EX
+    /// ingress/egress queues empty, and every SPE's `bcast`/`frc_out`
+    /// queue empty. Under *P*, ring rotation records zero occupancy
+    /// (`Activity::record(0, false)` is a no-op), no deliveries or
+    /// captures can trigger, and the injection stage has nothing to
+    /// inject — so the only live work is [`TimedCbb::step_force_collect`],
+    /// and each CBB's [`TimedCbb::force_burst_bound`] guarantees no
+    /// `frc_out` push, completion record, or phase completion for W
+    /// cycles, keeping *P* invariant across the whole window.
+    pub fn force_burst_window(&self) -> u64 {
+        let quiet = self.pos_rings.iter().all(Ring::is_empty)
+            && self.frc_rings.iter().all(Ring::is_empty)
+            && self.pos_ingress.is_empty()
+            && self.frc_ingress.is_empty()
+            && self.pos_egress.is_empty()
+            && self.frc_egress.is_empty()
+            && self
+                .cbbs
+                .iter()
+                .flat_map(|c| c.spes.iter())
+                .all(|s| s.bcast.is_empty() && s.frc_out.is_empty());
+        if !quiet {
+            return 0;
+        }
+        self.cbbs
+            .iter()
+            .map(TimedCbb::force_burst_bound)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Advance the force phase `w` cycles in one burst, `w ≤`
+    /// [`TimedChip::force_burst_window`]. Equivalent to `w` calls of
+    /// [`TimedChip::step_force_cycle`] by the window proof; the walk runs
+    /// CBB-major (each CBB's `w` cycles in one tight inner loop) because
+    /// CBBs don't interact below the (quiet) ring layer, which is the
+    /// cache-friendly order the per-cycle interpreter can't use.
+    pub fn run_force_burst(&mut self, w: u64) {
+        debug_assert_eq!(self.phase, Phase::Force);
+        debug_assert!(w <= self.force_burst_window());
+        let start = self.cycle;
+        let dp = &self.dp;
+        let run = |cbb: &mut TimedCbb, out: &mut Vec<(ChipCoord, u32, u32)>| {
+            out.clear();
+            for c in 0..w {
+                cbb.step_force_collect(start + c, dp, out);
+            }
+            debug_assert!(out.is_empty(), "burst window must be event-free");
+        };
+        if self.par_cbbs {
+            use rayon::prelude::*;
+            type CbbJob<'a> = (&'a mut TimedCbb, &'a mut Vec<(ChipCoord, u32, u32)>);
+            let mut jobs: Vec<CbbJob<'_>> =
+                self.cbbs.iter_mut().zip(self.cbb_scratch.iter_mut()).collect();
+            jobs.par_iter_mut().for_each(|(cbb, out)| run(cbb, out));
+        } else {
+            for (cbb, out) in self.cbbs.iter_mut().zip(self.cbb_scratch.iter_mut()) {
+                run(cbb, out);
+            }
+        }
+        self.cycle += w;
+    }
+
     /// Total particles on this chip.
     pub fn num_particles(&self) -> usize {
         self.cbbs.iter().map(TimedCbb::len).sum()

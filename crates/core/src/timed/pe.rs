@@ -16,7 +16,7 @@
 
 // Componentwise `for k in 0..3` loops mirror the per-lane datapath.
 #![allow(clippy::needless_range_loop)]
-use crate::datapath::{FilteredPair, ForceDatapath};
+use crate::datapath::{FilteredPair, ForceDatapath, HomeSoa};
 use fasda_arith::fixed::FixVec3;
 use fasda_md::element::Element;
 use fasda_sim::{Activity, Cycle, Fifo, Pipeline};
@@ -56,61 +56,61 @@ pub struct NbrEntry {
     pub kind: NbrKind,
 }
 
-/// A filtered pair in flight toward / inside the force pipeline.
+/// A filtered pair in flight toward / inside the force pipeline. The
+/// force-pipeline arithmetic is a pure function of the pair, so the model
+/// evaluates it when the pair passes the filter and lets the job carry
+/// the finished words through the latency pipe — retiring is then a pure
+/// accumulation, on both the scalar and the batch-kernel path.
 #[derive(Clone, Copy, Debug)]
 pub struct PipeJob {
     /// Station that produced the pair (for neighbour-force accumulation).
     pub station: u8,
     /// Home slot of the pair.
     pub home_slot: u16,
-    /// Home element.
-    pub home_elem: Element,
-    /// Neighbour element.
-    pub nbr_elem: Element,
-    /// Filter output.
-    pub pair: FilteredPair,
+    /// Force on the home particle (the neighbour gets the negation).
+    pub force: [f32; 3],
 }
 
-/// One filter station.
+/// One precomputed hit of a station's scan (SoA fast path): the slot the
+/// comparison lands on and the already-evaluated force words.
+#[derive(Clone, Copy, Debug)]
+struct PlannedHit {
+    slot: u16,
+    force: [f32; 3],
+}
+
+/// One filter station — the wide, *cold* half of its state.
+///
+/// The scan-control fields the per-cycle loops touch every cycle
+/// (cursor, occupancy, FIFO fullness, next planned hit) live in the
+/// [`Pe`]'s packed parallel arrays and bitmasks instead; this struct is
+/// only loaded on the rarer events: a passing pair, a retire, an
+/// ejection, a dispatch.
 #[derive(Clone, Debug)]
 struct Station {
     entry: Option<NbrEntry>,
-    cursor: u16,
     in_flight: u32,
     had_pairs: bool,
     acc: [f32; 3],
     pair_fifo: Fifo<PipeJob>,
+    /// Precomputed scan results (ascending slot) when the entry was
+    /// dispatched through the SoA batch kernels; the scalar per-cycle
+    /// filter path leaves it empty.
+    plan: Vec<PlannedHit>,
+    plan_next: usize,
 }
 
 impl Station {
     fn new(fifo_depth: usize) -> Self {
         Station {
             entry: None,
-            cursor: 0,
             in_flight: 0,
             had_pairs: false,
             acc: [0.0; 3],
             pair_fifo: Fifo::new(fifo_depth),
+            plan: Vec::new(),
+            plan_next: 0,
         }
-    }
-
-    fn scan_done(&self, home_len: u16) -> bool {
-        self.cursor >= home_len
-    }
-
-    fn drained(&self, home_len: u16) -> bool {
-        self.entry.is_some()
-            && self.scan_done(home_len)
-            && self.in_flight == 0
-            && self.pair_fifo.is_empty()
-    }
-
-    fn load(&mut self, entry: NbrEntry) {
-        self.cursor = entry.scan_from;
-        self.in_flight = 0;
-        self.had_pairs = false;
-        self.acc = [0.0; 3];
-        self.entry = Some(entry);
     }
 }
 
@@ -128,11 +128,38 @@ pub enum Ejection {
 }
 
 /// A Processing Element: `filters_per_pe` stations + one force pipeline.
+///
+/// The per-cycle scan control lives in packed parallel arrays and `u32`
+/// occupancy bitmasks rather than inside the [`Station`] structs: the
+/// cycle loop is memory-bound when it chases six wide station structs per
+/// PE per cycle, so the every-cycle state (cursors, next planned hit,
+/// occupied / scan-done / FIFO masks) is kept inside a couple of cache
+/// lines and the wide structs are touched only on hits, retires and
+/// ejections.
 #[derive(Clone, Debug)]
 pub struct Pe {
     stations: Vec<Station>,
     pipe: Pipeline<PipeJob>,
     rr: usize,
+    /// Scratch for the dispatch-time batch scan (reused; no steady-state
+    /// allocation).
+    scan_buf: Vec<(u16, FilteredPair)>,
+    /// Per-station scan cursor: next home slot to compare.
+    cursors: Vec<u16>,
+    /// Per-station slot of the next planned hit (`u16::MAX`: none
+    /// pending, or the station was dispatched on the scalar path).
+    next_hit: Vec<u16>,
+    /// Stations holding a neighbour entry.
+    occupied: u32,
+    /// Stations dispatched through the SoA batch kernels.
+    planned: u32,
+    /// Occupied stations whose scan has finished (maintained lazily by
+    /// the filter stage, which is the only place `home_len` is known).
+    done: u32,
+    /// Stations whose pair FIFO is full (filter stage stalls on these).
+    fifo_full: u32,
+    /// Stations whose pair FIFO holds at least one job (arbiter input).
+    fifo_nonempty: u32,
     /// Filter activity (capacity = stations).
     pub filter_stats: Activity,
     /// Force-pipeline activity (capacity = 1/cycle).
@@ -142,10 +169,19 @@ pub struct Pe {
 impl Pe {
     /// Build a PE.
     pub fn new(filters: u32, pipe_latency: u32, pair_fifo_depth: usize) -> Self {
+        assert!(filters <= 32, "station state is tracked in u32 bitmasks");
         Pe {
             stations: (0..filters).map(|_| Station::new(pair_fifo_depth)).collect(),
             pipe: Pipeline::new(pipe_latency as u64),
             rr: 0,
+            scan_buf: Vec::new(),
+            cursors: vec![0; filters as usize],
+            next_hit: vec![u16::MAX; filters as usize],
+            occupied: 0,
+            planned: 0,
+            done: 0,
+            fifo_full: 0,
+            fifo_nonempty: 0,
             filter_stats: Activity::with_capacity(filters as u64),
             pe_stats: Activity::with_capacity(1),
         }
@@ -153,23 +189,96 @@ impl Pe {
 
     /// True if some station is free to accept a neighbour entry.
     pub fn has_free_station(&self) -> bool {
-        self.stations.iter().any(|s| s.entry.is_none())
+        (self.occupied.count_ones() as usize) < self.stations.len()
+    }
+
+    /// Index of the lowest free station, mirroring the original
+    /// first-free linear scan.
+    fn free_station(&self) -> Option<usize> {
+        let free = !self.occupied & ((1u32 << self.stations.len()) - 1);
+        (free != 0).then(|| free.trailing_zeros() as usize)
+    }
+
+    /// Reset station `si` around a fresh entry and raise its mask bits.
+    fn load_station(&mut self, si: usize, entry: NbrEntry) {
+        let bit = 1u32 << si;
+        let st = &mut self.stations[si];
+        debug_assert!(
+            st.entry.is_none() && st.in_flight == 0 && st.pair_fifo.is_empty(),
+            "station must be drained before reload"
+        );
+        st.entry = Some(entry);
+        st.had_pairs = false;
+        st.acc = [0.0; 3];
+        st.plan.clear();
+        st.plan_next = 0;
+        self.cursors[si] = entry.scan_from;
+        self.next_hit[si] = u16::MAX;
+        self.occupied |= bit;
+        self.planned &= !bit;
+        self.done &= !bit;
+        self.fifo_full &= !bit;
+        self.fifo_nonempty &= !bit;
     }
 
     /// Load a neighbour entry into a free station. Panics if none free —
     /// guard with [`Pe::has_free_station`].
     pub fn dispatch(&mut self, entry: NbrEntry) {
-        let s = self
-            .stations
-            .iter_mut()
-            .find(|s| s.entry.is_none())
-            .expect("dispatch requires a free station");
-        s.load(entry);
+        let si = self.free_station().expect("dispatch requires a free station");
+        self.load_station(si, entry);
+    }
+
+    /// [`Pe::dispatch`] through the SoA batch kernels: run the station's
+    /// whole scan against the home banks now ([`ForceDatapath::
+    /// filter_scan_into`] + [`ForceDatapath::force_batch`]) and store the
+    /// hits as a plan the per-cycle state machine consumes one comparison
+    /// at a time. Cycle-for-cycle and bit-for-bit identical to the scalar
+    /// path: the station still advances one home slot per cycle, stalls on
+    /// a full pair FIFO, and pushes the same jobs on the same cycles —
+    /// only the arithmetic is hoisted out of the cycle loop.
+    pub fn dispatch_planned(&mut self, entry: NbrEntry, dp: &ForceDatapath, home: &HomeSoa) {
+        let si = self.free_station().expect("dispatch requires a free station");
+        self.load_station(si, entry);
+        self.scan_buf.clear();
+        dp.filter_scan_into(home, entry.concat, entry.scan_from, &mut self.scan_buf);
+        let st = &mut self.stations[si];
+        st.plan.reserve(self.scan_buf.len());
+        for &(slot, pair) in &self.scan_buf {
+            let force = dp.force(home.elem[slot as usize], entry.elem, pair);
+            st.plan.push(PlannedHit { slot, force });
+        }
+        self.next_hit[si] = st.plan.first().map_or(u16::MAX, |h| h.slot);
+        self.planned |= 1u32 << si;
+    }
+
+    /// Conservative lower bound on the number of cycles before this PE can
+    /// produce another station ejection (of any kind), used by the burst
+    /// window computation. A station whose scan is unfinished needs at
+    /// least `home_len − cursor` more comparison cycles before it can
+    /// drain (the ejection can land on the final comparison's cycle, hence
+    /// `− 1`); a finished station still needs its `in_flight` pairs to
+    /// retire at one per cycle. `u64::MAX` when no station is occupied.
+    pub fn burst_bound(&self, home_len: u16) -> u64 {
+        let hl = home_len as u64;
+        let mut w = u64::MAX;
+        let mut m = self.occupied;
+        while m != 0 {
+            let si = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let c = self.cursors[si] as u64;
+            let b = if c < hl {
+                hl - c - 1
+            } else {
+                (self.stations[si].in_flight as u64).saturating_sub(1)
+            };
+            w = w.min(b);
+        }
+        w
     }
 
     /// True when the PE holds no work at all.
     pub fn is_idle(&self) -> bool {
-        self.pipe.is_empty() && self.stations.iter().all(|s| s.entry.is_none())
+        self.pipe.is_empty() && self.occupied == 0
     }
 
     /// One cycle of PE operation against the home cell's snapshot.
@@ -198,7 +307,7 @@ impl Pe {
         //    the producing station's accumulator.
         let mut retired = None;
         if let Some(job) = self.pipe.pop_ready(cycle) {
-            let f = dp.force(job.home_elem, job.nbr_elem, job.pair);
+            let f = job.force;
             let st = &mut self.stations[job.station as usize];
             for k in 0..3 {
                 st.acc[k] -= f[k];
@@ -208,58 +317,112 @@ impl Pe {
         }
 
         // 2. Arbitrate one buffered pair into the pipeline (round-robin).
-        if self.pipe.can_issue(cycle) {
+        //    The non-empty mask makes the losing probes register tests
+        //    instead of FIFO loads.
+        if self.fifo_nonempty != 0 && self.pipe.can_issue(cycle) {
             let n = self.stations.len();
             for k in 0..n {
                 let idx = (self.rr + k) % n;
-                if let Some(job) = self.stations[idx].pair_fifo.pop() {
-                    self.pipe
-                        .issue(cycle, job).expect("can_issue checked");
-                    self.rr = (idx + 1) % n;
-                    break;
+                let bit = 1u32 << idx;
+                if self.fifo_nonempty & bit == 0 {
+                    continue;
                 }
+                let st = &mut self.stations[idx];
+                let job = st.pair_fifo.pop().expect("mask tracks non-empty FIFOs");
+                if st.pair_fifo.is_empty() {
+                    self.fifo_nonempty &= !bit;
+                }
+                self.fifo_full &= !bit;
+                self.pipe.issue(cycle, job).expect("can_issue checked");
+                self.rr = (idx + 1) % n;
+                break;
             }
         }
 
         // 3. Filters: each occupied, unfinished station compares one home
-        //    particle per cycle (stalling only on a full pair FIFO).
+        //    particle per cycle (stalling only on a full pair FIFO). The
+        //    mask walk touches only the packed cursor / next-hit arrays on
+        //    a miss; the wide station struct is loaded on hits alone.
         let mut comparisons = 0u64;
-        let mut any_station_active = false;
-        for (si, st) in self.stations.iter_mut().enumerate() {
-            let Some(entry) = st.entry else { continue };
-            any_station_active = true;
-            if st.scan_done(home_len) || st.pair_fifo.is_full() {
+        let mut m = self.occupied & !self.done & !self.fifo_full;
+        while m != 0 {
+            let si = m.trailing_zeros() as usize;
+            let bit = m & m.wrapping_neg();
+            m &= m - 1;
+            let cur = self.cursors[si];
+            if cur >= home_len {
+                // Scan finished (or dispatched past the end): record it
+                // and stop probing this station.
+                self.done |= bit;
                 continue;
             }
-            let hi = st.cursor as usize;
             comparisons += 1;
-            if let Some(pair) = dp.filter(home_concat[hi], entry.concat) {
+            let hit = if self.planned & bit != 0 {
+                // SoA fast path: the scan was evaluated at dispatch; the
+                // comparison this cycle hits iff the next planned slot is
+                // the cursor.
+                if self.next_hit[si] == cur {
+                    let st = &self.stations[si];
+                    Some(st.plan[st.plan_next].force)
+                } else {
+                    None
+                }
+            } else {
+                let entry = self.stations[si].entry.expect("occupied bit tracks entries");
+                let hi = cur as usize;
+                dp.filter(home_concat[hi], entry.concat)
+                    .map(|pair| dp.force(home_elem[hi], entry.elem, pair))
+            };
+            if let Some(force) = hit {
+                let st = &mut self.stations[si];
+                if self.planned & bit != 0 {
+                    st.plan_next += 1;
+                    self.next_hit[si] = st.plan.get(st.plan_next).map_or(u16::MAX, |h| h.slot);
+                }
                 let job = PipeJob {
                     station: si as u8,
-                    home_slot: st.cursor,
-                    home_elem: home_elem[hi],
-                    nbr_elem: entry.elem,
-                    pair,
+                    home_slot: cur,
+                    force,
                 };
                 st.pair_fifo.push(job).expect("fullness checked");
                 st.in_flight += 1;
                 st.had_pairs = true;
+                self.fifo_nonempty |= bit;
+                if st.pair_fifo.is_full() {
+                    self.fifo_full |= bit;
+                }
             }
-            st.cursor += 1;
+            let next = cur + 1;
+            self.cursors[si] = next;
+            if next >= home_len {
+                self.done |= bit;
+            }
         }
+        let any_station_active = self.occupied != 0;
 
         // 4. Eject at most one drained station per cycle. Ring ejections
-        //    additionally need the SPE's FRN injection budget.
-        for st in &mut self.stations {
-            if !st.drained(home_len) {
+        //    additionally need the SPE's FRN injection budget. Only
+        //    scan-done stations (the `done` mask) can be drained; the
+        //    walk preserves the original ascending-index order.
+        let mut dm = self.done;
+        while dm != 0 {
+            let si = dm.trailing_zeros() as usize;
+            let bit = dm & dm.wrapping_neg();
+            dm &= dm - 1;
+            let st = &mut self.stations[si];
+            if st.in_flight != 0 {
                 continue;
             }
-            let entry = st.entry.expect("drained implies occupied");
+            debug_assert!(st.pair_fifo.is_empty(), "in_flight counts FIFO jobs");
+            let entry = st.entry.expect("done implies occupied");
             let needs_ring = matches!(entry.kind, NbrKind::Ring { .. }) && st.had_pairs;
             if needs_ring && *ring_eject_budget == 0 {
                 continue; // retry next cycle
             }
             st.entry = None;
+            self.occupied &= !bit;
+            self.done &= !bit;
+            self.planned &= !bit;
             let ej = match entry.kind {
                 NbrKind::Internal { slot } => {
                     if st.had_pairs {
@@ -319,10 +482,6 @@ mod tests {
     use fasda_md::element::PairTable;
     use fasda_md::units::UnitSystem;
 
-    fn budget() -> u32 {
-        1
-    }
-
     fn dp() -> ForceDatapath {
         ForceDatapath::new(&PairTable::new(UnitSystem::PAPER), TableConfig::PAPER)
     }
@@ -364,7 +523,12 @@ mod tests {
         let mut ej = Vec::new();
         let mut retired = Vec::new();
         for c in 0..60u64 {
-            if let Some(r) = pe.step(c, &dp, &he, &hc, &mut ej, &mut budget()) {
+            // The SPE refreshes the FRN injection budget each cycle
+            // (mirrors the per-cycle recreation in `TimedCbb`); keep it a
+            // named binding so the &mut actually refers to this cycle's
+            // budget rather than a fresh temporary per call site.
+            let mut budget = 1u32;
+            if let Some(r) = pe.step(c, &dp, &he, &hc, &mut ej, &mut budget) {
                 retired.push(r);
             }
             if pe.is_idle() {
@@ -414,7 +578,8 @@ mod tests {
         });
         let mut ej = Vec::new();
         for c in 0..40u64 {
-            pe.step(c, &dp, &he, &hc, &mut ej, &mut budget());
+            let mut budget = 1u32;
+            pe.step(c, &dp, &he, &hc, &mut ej, &mut budget);
             if pe.is_idle() {
                 break;
             }
@@ -442,7 +607,8 @@ mod tests {
         let mut ej = Vec::new();
         let mut retired = Vec::new();
         for c in 0..40u64 {
-            if let Some(r) = pe.step(c, &dp, &he, &hc, &mut ej, &mut budget()) {
+            let mut budget = 1u32;
+            if let Some(r) = pe.step(c, &dp, &he, &hc, &mut ej, &mut budget) {
                 retired.push(r.0);
             }
             if pe.is_idle() {
@@ -466,23 +632,80 @@ mod tests {
         }
         let mut ej = Vec::new();
         let mut retired = 0;
-        let mut last_cycle_with_two = false;
-        let mut prev = false;
         for c in 0..400u64 {
-            let r = pe.step(c, &dp, &he, &hc, &mut ej, &mut budget());
-            if r.is_some() && prev {
-                last_cycle_with_two = true; // consecutive retires are fine; >1/cycle impossible by API
-            }
-            prev = r.is_some();
+            let mut budget = 1u32;
+            let r = pe.step(c, &dp, &he, &hc, &mut ej, &mut budget);
             retired += u64::from(r.is_some());
             if pe.is_idle() {
                 break;
             }
         }
-        let _ = last_cycle_with_two;
         assert!(retired > 0);
         assert_eq!(pe.pe_stats.work, retired);
         assert_eq!(ej.len(), 6);
+    }
+
+    #[test]
+    fn zero_budget_stalls_ring_ejection() {
+        let dp = dp();
+        let (he, hc) = home(4);
+        let mut pe = Pe::new(1, 3, 8);
+        pe.dispatch(nbr_at(0.45));
+        let mut ej = Vec::new();
+        // With a zero FRN budget every cycle, the drained station must
+        // retry forever and never eject its ring-bound force.
+        for c in 0..80u64 {
+            let mut budget = 0u32;
+            pe.step(c, &dp, &he, &hc, &mut ej, &mut budget);
+        }
+        assert!(ej.is_empty(), "ring ejection must stall at budget 0");
+        assert!(!pe.is_idle(), "station stays occupied while stalled");
+        // Restoring a budget of 1 releases it on the next cycle.
+        let mut budget = 1u32;
+        pe.step(80, &dp, &he, &hc, &mut ej, &mut budget);
+        assert_eq!(ej.len(), 1);
+        assert_eq!(budget, 0, "ring ejection consumes the budget");
+        assert!(matches!(ej[0], Ejection::Ring(..)));
+    }
+
+    #[test]
+    fn planned_dispatch_matches_scalar_bitwise() {
+        let dp = dp();
+        let (he, hc) = home(12);
+        let mut soa = HomeSoa::new();
+        soa.rebuild(&he, &hc);
+
+        let entries = [nbr_at(0.45), nbr_at(0.12), nbr_at(0.93)];
+        let mut scalar = Pe::new(3, 7, 4);
+        let mut planned = Pe::new(3, 7, 4);
+        for e in entries {
+            scalar.dispatch(e);
+            planned.dispatch_planned(e, &dp, &soa);
+        }
+        let (mut ej_s, mut ej_p) = (Vec::new(), Vec::new());
+        for c in 0..200u64 {
+            let mut bs = 1u32;
+            let mut bp = 1u32;
+            let rs = scalar.step(c, &dp, &he, &hc, &mut ej_s, &mut bs);
+            let rp = planned.step(c, &dp, &he, &hc, &mut ej_p, &mut bp);
+            assert_eq!(
+                rs.map(|(s, f)| (s, f.map(f32::to_bits))),
+                rp.map(|(s, f)| (s, f.map(f32::to_bits))),
+                "cycle {c}: retire mismatch"
+            );
+            assert_eq!(bs, bp, "cycle {c}: budget mismatch");
+            if scalar.is_idle() && planned.is_idle() {
+                break;
+            }
+        }
+        assert!(scalar.is_idle() && planned.is_idle());
+        assert_eq!(ej_s.len(), ej_p.len());
+        for (a, b) in ej_s.iter().zip(&ej_p) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(scalar.filter_stats.work, planned.filter_stats.work);
+        assert_eq!(scalar.filter_stats.busy_cycles, planned.filter_stats.busy_cycles);
+        assert_eq!(scalar.pe_stats.work, planned.pe_stats.work);
     }
 
     #[test]

@@ -39,10 +39,14 @@ impl Activity {
     /// Record one cycle: `work_done` units performed, `active` whether the
     /// component counts as busy this cycle (it may be active with zero
     /// completed work, e.g. a pipeline filling up).
+    ///
+    /// Branchless: this sits on the innermost per-cycle path of every
+    /// modelled component, where a data-dependent branch on `active` is
+    /// mispredicted often enough to show up in profiles.
     #[inline]
     pub fn record(&mut self, work_done: u64, active: bool) {
         self.work += work_done;
-        self.busy_cycles += u64::from(active || work_done > 0);
+        self.busy_cycles += u64::from(active) | u64::from(work_done > 0);
     }
 
     /// Hardware utilization over a window of `total_cycles`:
@@ -186,6 +190,20 @@ mod tests {
         a.record(0, true);
         assert_eq!(a.busy_cycles, 1);
         assert_eq!(a.work, 0);
+    }
+
+    #[test]
+    fn record_matches_boolean_reference() {
+        // The branchless busy increment must equal `active || work > 0`
+        // for every input combination.
+        for work in [0u64, 1, 7] {
+            for active in [false, true] {
+                let mut a = Activity::with_capacity(1);
+                a.record(work, active);
+                assert_eq!(a.work, work);
+                assert_eq!(a.busy_cycles, u64::from(active || work > 0));
+            }
+        }
     }
 
     #[test]
