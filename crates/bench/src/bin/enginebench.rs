@@ -38,6 +38,7 @@
 
 use fasda_bench::{rule, Args};
 use fasda_cluster::{Cluster, ClusterConfig, ClusterRunReport, EngineConfig};
+use fasda_trace::Json;
 use fasda_core::config::ChipConfig;
 use fasda_md::element::Element;
 use fasda_md::space::SimulationSpace;
@@ -314,61 +315,61 @@ fn main() {
         outcomes[1].speedup()
     );
 
-    // Hand-rolled JSON — the workspace deliberately has no serde_json.
-    let mut json = String::from("{\n");
-    json.push_str("  \"workload\": \"fig16-6x6x6-8fpga\",\n");
+    // JSON via the shared fasda-trace writer — the workspace
+    // deliberately has no serde_json. Same keys as the hand-rolled
+    // emitter this replaced.
+    let mut doc = Json::obj().field("workload", "fig16-6x6x6-8fpga");
     if smoke {
-        json.push_str("  \"smoke\": true,\n");
+        doc = doc.field("smoke", true);
     }
-    json.push_str(&format!(
-        "  \"per_cell\": {per_cell},\n  \"steps\": {steps},\n  \"reps\": {reps},\n"
-    ));
-    json.push_str(&format!(
-        "  \"host_cores\": {host_cores},\n  \"threads\": {},\n  \"straggler_stall\": {stall},\n",
-        engines.engine.threads
-    ));
-    json.push_str(&format!("  \"speedup\": {headline:.3},\n"));
-    json.push_str(
-        "  \"metric\": \"user-cpu seconds (wall clock absorbs hypervisor steal on the 1-core reference host)\",\n",
-    );
-    json.push_str("  \"bit_identical\": true,\n  \"scenarios\": {\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        json.push_str(&format!(
-            "    \"{}\": {{\n      \"serial_seconds\": {:.6},\n      \"engine_seconds\": {:.6},\n      \
-             \"speedup\": {:.3},\n      \"simulated_cycles\": {},\n      \"skipped_cycles\": {}\n    }}{}\n",
+    let mut scenarios = Json::obj();
+    for o in &outcomes {
+        scenarios = scenarios.field(
             o.name,
-            o.serial.wall,
-            o.full.wall,
-            o.speedup(),
-            o.cycles,
-            o.skipped,
-            if i + 1 < outcomes.len() { "," } else { "" }
-        ));
+            Json::obj()
+                .field("serial_seconds", Json::fixed(o.serial.wall, 6))
+                .field("engine_seconds", Json::fixed(o.full.wall, 6))
+                .field("speedup", Json::fixed(o.speedup(), 3))
+                .field("simulated_cycles", Json::uint(o.cycles))
+                .field("skipped_cycles", Json::uint(o.skipped))
+                .build(),
+        );
     }
-    json.push_str("  },\n  \"datapath\": {\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        json.push_str(&format!(
-            "    \"{}\": {{\n      \"serial_cpu_seconds\": {:.6},\n      \"engine_cpu_seconds\": {:.6},\n      \
-             \"engine_burst_cpu_seconds\": {:.6},\n      \"engine_burst_soa_cpu_seconds\": {:.6},\n      \
-             \"speedup_engine\": {:.3},\n      \"speedup_burst\": {:.3},\n      \
-             \"burst_vs_engine\": {:.3},\n      \"soa_vs_default\": {:.3},\n      \
-             \"burst_cycles\": {},\n      \"burst_count\": {},\n      \"burst_refused\": {}\n    }}{}\n",
+    let mut datapath = Json::obj();
+    for o in &outcomes {
+        datapath = datapath.field(
             o.name,
-            o.serial.cpu,
-            o.engine.cpu,
-            o.full.cpu,
-            o.soa.cpu,
-            o.speedup_engine(),
-            o.speedup(),
-            o.burst_gain(),
-            o.soa_gain(),
-            o.burst_cycles,
-            o.burst_count,
-            o.burst_refused,
-            if i + 1 < outcomes.len() { "," } else { "" }
-        ));
+            Json::obj()
+                .field("serial_cpu_seconds", Json::fixed(o.serial.cpu, 6))
+                .field("engine_cpu_seconds", Json::fixed(o.engine.cpu, 6))
+                .field("engine_burst_cpu_seconds", Json::fixed(o.full.cpu, 6))
+                .field("engine_burst_soa_cpu_seconds", Json::fixed(o.soa.cpu, 6))
+                .field("speedup_engine", Json::fixed(o.speedup_engine(), 3))
+                .field("speedup_burst", Json::fixed(o.speedup(), 3))
+                .field("burst_vs_engine", Json::fixed(o.burst_gain(), 3))
+                .field("soa_vs_default", Json::fixed(o.soa_gain(), 3))
+                .field("burst_cycles", Json::uint(o.burst_cycles))
+                .field("burst_count", Json::uint(o.burst_count))
+                .field("burst_refused", Json::uint(o.burst_refused))
+                .build(),
+        );
     }
-    json.push_str("  }\n}\n");
-    std::fs::write(&out, json).expect("write benchmark result");
+    let doc = doc
+        .field("per_cell", per_cell as i64)
+        .field("steps", Json::uint(steps))
+        .field("reps", reps as i64)
+        .field("host_cores", host_cores)
+        .field("threads", engines.engine.threads)
+        .field("straggler_stall", Json::uint(stall))
+        .field("speedup", Json::fixed(headline, 3))
+        .field(
+            "metric",
+            "user-cpu seconds (wall clock absorbs hypervisor steal on the 1-core reference host)",
+        )
+        .field("bit_identical", true)
+        .field("scenarios", scenarios.build())
+        .field("datapath", datapath.build())
+        .build();
+    std::fs::write(&out, doc.pretty()).expect("write benchmark result");
     println!("wrote {out}");
 }

@@ -1,0 +1,160 @@
+//! `tracecheck <run.trace.json> <run.metrics.json>` — CI validator for
+//! the flight-recorder exports.
+//!
+//! Checks, on files produced by `fasda-cli run --trace-out ...
+//! --metrics-out ...`:
+//!
+//! * both documents parse with the fasda-trace JSON reader and survive
+//!   a parse → render → parse round-trip unchanged;
+//! * every Chrome trace event carries the mandatory `ph`/`pid` fields
+//!   (and `ts` for everything but metadata), and every node opens at
+//!   least one `force` phase span;
+//! * in the metrics document, each (node, step) stall breakdown sums
+//!   exactly to that record's `force_cycles` — the attribution
+//!   invariant `productive + Σ causes == force_cycles`.
+//!
+//! Exits non-zero with a message on the first violation.
+
+use fasda_trace::Json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("tracecheck: {msg}");
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    let again =
+        Json::parse(&doc.pretty()).map_err(|e| format!("{path}: re-parse error: {e}"))?;
+    if again != doc {
+        return Err(format!("{path}: render/parse round-trip changed the document"));
+    }
+    Ok(doc)
+}
+
+fn check_chrome(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or("trace: no traceEvents array")?
+        .items();
+    if events.is_empty() {
+        return Err("trace: traceEvents is empty".into());
+    }
+    let mut force_spans: BTreeMap<i64, u64> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("trace: event {i} has no ph"))?;
+        let pid = e
+            .get("pid")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("trace: event {i} has no pid"))?;
+        if ph != "M" && e.get("ts").and_then(Json::as_f64).is_none() {
+            return Err(format!("trace: {ph} event {i} has no ts"));
+        }
+        if ph == "B" && e.get("name").and_then(Json::as_str) == Some("force") {
+            *force_spans.entry(pid).or_default() += 1;
+        }
+    }
+    let nodes = doc
+        .get("otherData")
+        .and_then(|o| o.get("nodes"))
+        .and_then(Json::as_i64)
+        .ok_or("trace: otherData.nodes missing")?;
+    for node in 0..nodes {
+        if !force_spans.contains_key(&node) {
+            return Err(format!("trace: node {node} opened no force-phase span"));
+        }
+    }
+    println!(
+        "trace ok: {} events, {} nodes with force spans",
+        events.len(),
+        force_spans.len()
+    );
+    Ok(())
+}
+
+fn check_metrics(doc: &Json) -> Result<(), String> {
+    let run = doc.get("run").ok_or("metrics: no run section")?;
+    let records = run.get("records").ok_or("metrics: run.records missing")?.items();
+    if records.is_empty() {
+        return Err("metrics: run.records is empty".into());
+    }
+    // force_cycles per (node, step), from the run section.
+    let mut force_cycles: BTreeMap<(i64, i64), i64> = BTreeMap::new();
+    for r in records {
+        let node = r.get("node").and_then(Json::as_i64).ok_or("metrics: record node")?;
+        let step = r.get("step").and_then(Json::as_i64).ok_or("metrics: record step")?;
+        let fc = r
+            .get("force_cycles")
+            .and_then(Json::as_i64)
+            .ok_or("metrics: record force_cycles")?;
+        force_cycles.insert((node, step), fc);
+    }
+    let Some(stalls) = doc.get("stalls") else {
+        println!("metrics ok: {} records (no stall section — tracing off)", force_cycles.len());
+        return Ok(());
+    };
+    let mut checked = 0usize;
+    for n in stalls.get("nodes").ok_or("metrics: stalls.nodes")?.items() {
+        let node = n.get("node").and_then(Json::as_i64).ok_or("metrics: stall node id")?;
+        for s in n.get("steps").ok_or("metrics: stall steps")?.items() {
+            let step = s.get("step").and_then(Json::as_i64).ok_or("metrics: stall step id")?;
+            let total = s.get("total").and_then(Json::as_i64).ok_or("metrics: stall total")?;
+            let productive = s
+                .get("productive")
+                .and_then(Json::as_i64)
+                .ok_or("metrics: stall productive")?;
+            let idle = s.get("idle").and_then(Json::as_i64).ok_or("metrics: stall idle")?;
+            if productive + idle != total {
+                return Err(format!(
+                    "metrics: node {node} step {step}: productive {productive} + idle {idle} != total {total}"
+                ));
+            }
+            let want = force_cycles.get(&(node, step)).copied().ok_or_else(|| {
+                format!("metrics: stall entry for node {node} step {step} has no run record")
+            })?;
+            if total != want {
+                return Err(format!(
+                    "metrics: node {node} step {step}: stall total {total} != force_cycles {want}"
+                ));
+            }
+            checked += 1;
+        }
+    }
+    if checked != force_cycles.len() {
+        return Err(format!(
+            "metrics: {checked} stall entries for {} run records",
+            force_cycles.len()
+        ));
+    }
+    println!("metrics ok: {checked} (node, step) stall breakdowns match force_cycles exactly");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [trace_path, metrics_path] = args.as_slice() else {
+        eprintln!("usage: tracecheck <run.trace.json> <run.metrics.json>");
+        return ExitCode::from(2);
+    };
+    let trace = match load(trace_path) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    let metrics = match load(metrics_path) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = check_chrome(&trace) {
+        return fail(&e);
+    }
+    if let Err(e) = check_metrics(&metrics) {
+        return fail(&e);
+    }
+    ExitCode::SUCCESS
+}

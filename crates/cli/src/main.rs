@@ -12,7 +12,10 @@
 //! fasda info --per-fpga 222 --total 444 [--variant C]
 //! ```
 
-use fasda_cluster::{Cluster, ClusterConfig, EngineConfig, HostController};
+use fasda_cluster::{
+    chrome_trace, stall_json, trace_summary_json, Cluster, ClusterConfig, EngineConfig,
+    HostController, Json, TraceConfig, TraceLevel,
+};
 use fasda_core::config::{ChipConfig, DesignVariant};
 use fasda_core::geometry::{ChipCoord, ChipGeometry};
 use fasda_core::resources::{estimate, ALVEO_U280};
@@ -62,14 +65,37 @@ impl Opts {
 /// full engine (idle fast-forward plus all cores); every choice yields a
 /// bit-identical run, only wall-clock time differs.
 fn engine(opts: &Opts) -> Result<EngineConfig, String> {
-    if opts.has("--serial") {
-        return Ok(EngineConfig::serial());
-    }
-    let mut e = EngineConfig::parallel();
-    if let Some(t) = opts.get("--threads") {
-        e = e.with_threads(t.parse().map_err(|_| "bad --threads")?);
-    }
+    let mut e = if opts.has("--serial") {
+        EngineConfig::serial()
+    } else {
+        let mut e = EngineConfig::parallel();
+        if let Some(t) = opts.get("--threads") {
+            e = e.with_threads(t.parse().map_err(|_| "bad --threads")?);
+        }
+        e
+    };
+    e = e.with_trace(trace_config(opts)?);
     Ok(e)
+}
+
+/// `--trace-level off|sync|full` → flight-recorder configuration. When
+/// the level is not given explicitly, asking for a trace output file
+/// implies the `sync` tier (phases, handshakes, stall attribution);
+/// `--metrics-out` alone keeps the recorder off — the run section of
+/// the metrics document needs no events.
+fn trace_config(opts: &Opts) -> Result<TraceConfig, String> {
+    let level = match opts.get("--trace-level") {
+        Some("off") => TraceLevel::Off,
+        Some("sync") => TraceLevel::Sync,
+        Some("full") => TraceLevel::Full,
+        Some(other) => return Err(format!("unknown trace level '{other}'")),
+        None if opts.get("--trace-out").is_some() => TraceLevel::Sync,
+        None => TraceLevel::Off,
+    };
+    Ok(TraceConfig {
+        level,
+        ..TraceConfig::full()
+    })
 }
 
 fn usage() -> ExitCode {
@@ -77,6 +103,8 @@ fn usage() -> ExitCode {
         "usage:\n  fasda run --per-fpga 222 --total 444 [--steps N] [--variant A|B|C]\n\
          \x20           [--sync chained|bulk] [--dump-group N] [--per-cell 64] [--seed S]\n\
          \x20           [--threads N] [--serial]\n\
+         \x20           [--trace-out run.trace.json] [--metrics-out run.metrics.json]\n\
+         \x20           [--trace-level off|sync|full]\n\
          \x20 fasda generate --total 444 --out system.pdb [--per-cell 64] [--seed S]\n\
          \x20 fasda info --per-fpga 222 --total 444 [--variant A|B|C]"
     );
@@ -178,6 +206,26 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         run.report.pos_gbps_per_node(),
         run.report.frc_gbps_per_node()
     );
+
+    let trace = host.take_trace();
+    if let Some(out) = opts.get("--trace-out") {
+        let trace = trace
+            .as_ref()
+            .ok_or("--trace-out needs tracing on (drop --trace-level off)")?;
+        std::fs::write(out, chrome_trace(trace)).map_err(|e| e.to_string())?;
+        let events: u64 = trace.nodes.iter().map(|n| n.events.len() as u64).sum();
+        println!("wrote {events} trace events to {out} (load at https://ui.perfetto.dev)");
+    }
+    if let Some(out) = opts.get("--metrics-out") {
+        let mut doc = Json::obj().field("run", run.report.metrics_json());
+        if let Some(trace) = &trace {
+            doc = doc
+                .field("stalls", stall_json(&trace.stalls))
+                .field("trace", trace_summary_json(trace));
+        }
+        std::fs::write(out, doc.build().pretty()).map_err(|e| e.to_string())?;
+        println!("wrote metrics to {out}");
+    }
 
     if let Some(g) = opts.get("--dump-group") {
         let node: usize = g.parse().map_err(|_| "bad --dump-group")?;

@@ -5,7 +5,7 @@ use crate::wire::{Cargo, Delivery};
 use fasda_core::config::ChipConfig;
 use fasda_core::geometry::{ChipCoord, ChipGeometry};
 use fasda_core::timed::ring::{FrcFlit, MigFlit, PosFlit};
-use fasda_core::timed::TimedChip;
+use fasda_core::timed::{ForceActivity, TimedChip};
 use fasda_md::space::SimulationSpace;
 use fasda_md::system::ParticleSystem;
 use fasda_md::units::UnitSystem;
@@ -15,6 +15,10 @@ use fasda_net::switch::SwitchFabric;
 use fasda_net::sync::{BulkBarrier, ChainedSync, SyncMode};
 use fasda_net::topology::Topology;
 use fasda_sim::{MessageQueue, StatSet};
+use fasda_trace::{
+    ChannelId, EventKind, NodeRecorder, PhaseId, StallCause, StallLedger, Trace, TraceConfig,
+    TraceLevel,
+};
 use rayon::{ThreadPool, ThreadPoolBuilder};
 
 /// Safety cap on the global cycle loop.
@@ -75,6 +79,11 @@ pub struct EngineConfig {
     /// analogue of idle fast-forward. Bit-identical by the window proof
     /// (see `DESIGN.md`).
     pub burst: bool,
+    /// Flight-recorder configuration (see `fasda-trace`). Off by
+    /// default; with tracing on, every engine configuration emits
+    /// byte-identical per-node event streams and stall ledgers, retrieved
+    /// with [`Cluster::take_trace`] after the run.
+    pub trace: TraceConfig,
 }
 
 impl EngineConfig {
@@ -87,6 +96,7 @@ impl EngineConfig {
             fast_path: false,
             soa: false,
             burst: false,
+            trace: TraceConfig::OFF,
         }
     }
 
@@ -101,6 +111,7 @@ impl EngineConfig {
             fast_path: true,
             soa: false,
             burst: true,
+            trace: TraceConfig::OFF,
         }
     }
 
@@ -131,6 +142,12 @@ impl EngineConfig {
     /// Enable or disable idle fast-forward.
     pub fn with_fast_forward(mut self, on: bool) -> Self {
         self.fast_forward = on;
+        self
+    }
+
+    /// Set the flight-recorder configuration for the run.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -290,6 +307,20 @@ pub struct Cluster {
     /// Whether the current run maintains (and may trust) `quiet`.
     use_quiet: bool,
     records: Vec<NodeStepReport>,
+    /// Flight-recorder configuration of the current/last run.
+    trace_cfg: TraceConfig,
+    /// Hot-path gate: `trace_cfg.level != Off` for the current run.
+    tracing: bool,
+    /// Engine-level event stream (burst windows, fast-forward jumps) —
+    /// deliberately separate from the per-node streams, which stay
+    /// byte-identical across engines.
+    tr_engine: NodeRecorder,
+    /// Per-(node, step) force-phase stall attribution.
+    tr_stalls: StallLedger,
+    /// Which chips ticked in the current compute phase (tracing only);
+    /// engine-invariant because a `quiet`-skipped chip is idle and would
+    /// not have ticked under the serial reference either.
+    ticked: Vec<bool>,
 }
 
 impl Cluster {
@@ -400,6 +431,11 @@ impl Cluster {
             quiet: vec![false; n],
             use_quiet: false,
             records: Vec::new(),
+            trace_cfg: TraceConfig::OFF,
+            tracing: false,
+            tr_engine: NodeRecorder::off(),
+            tr_stalls: StallLedger::new(n),
+            ticked: vec![false; n],
         }
     }
 
@@ -477,7 +513,12 @@ impl Cluster {
             chip.reset_stats();
             chip.set_fast_path(engine.fast_path);
             chip.set_soa_scan(engine.soa);
+            chip.set_trace(engine.trace);
         }
+        self.trace_cfg = engine.trace;
+        self.tracing = engine.trace.level != TraceLevel::Off;
+        self.tr_engine = NodeRecorder::new(engine.trace);
+        self.tr_stalls = StallLedger::new(self.num_nodes());
         self.use_quiet = engine.fast_forward || engine.fast_path || engine.burst;
         self.quiet.iter_mut().for_each(|q| *q = false);
         self.records.clear();
@@ -493,6 +534,16 @@ impl Cluster {
                     self.stalls[node] = d;
                 }
             }
+            if self.tracing {
+                let cycle = self.cycle;
+                let step = self.state[node].step;
+                let stall = self.stalls[node];
+                let tr = self.chips[node].trace_mut();
+                tr.push(cycle, EventKind::PhaseBegin { phase: PhaseId::Force, step });
+                if stall > 0 {
+                    tr.push(cycle, EventKind::StallInjected { cycles: stall });
+                }
+            }
         }
 
         // Retry throttle for burst attempts: after a failed window scan
@@ -505,6 +556,9 @@ impl Cluster {
 
         while !self.all_done(steps) {
             let stepped = self.compute_phase(pool.as_ref());
+            if self.tracing {
+                self.attribute_cycle();
+            }
             for node in 0..self.num_nodes() {
                 if self.stalls[node] > 0 {
                     self.stalls[node] -= 1;
@@ -601,6 +655,11 @@ impl Cluster {
     /// chip independence makes the result order-invariant. Returns whether
     /// any chip ticked this cycle.
     fn compute_phase(&mut self, pool: Option<&ThreadPool>) -> bool {
+        let tracing = self.tracing;
+        let now = self.cycle;
+        if tracing {
+            self.ticked.iter_mut().for_each(|t| *t = false);
+        }
         match pool {
             None => {
                 let mut stepped = false;
@@ -611,6 +670,10 @@ impl Cluster {
                     match self.state[node].phase {
                         NodePhase::Force => {
                             if !self.chips[node].force_phase_local_idle() {
+                                if tracing {
+                                    self.chips[node].set_trace_now(now);
+                                    self.ticked[node] = true;
+                                }
                                 self.chips[node].step_force_cycle();
                                 stepped = true;
                             } else if self.use_quiet {
@@ -621,6 +684,10 @@ impl Cluster {
                             if !self.chips[node].mu_phase_local_idle()
                                 || !self.state[node].mig_flushed
                             {
+                                if tracing {
+                                    self.chips[node].set_trace_now(now);
+                                    self.ticked[node] = true;
+                                }
                                 self.chips[node].step_mu_cycle();
                                 stepped = true;
                             } else if self.use_quiet {
@@ -634,7 +701,7 @@ impl Cluster {
             }
             Some(pool) => {
                 use rayon::prelude::*;
-                let Cluster { chips, state, stalls, quiet, use_quiet, .. } = self;
+                let Cluster { chips, state, stalls, quiet, use_quiet, ticked, .. } = self;
                 let mut jobs: Vec<(&mut TimedChip, bool)> = Vec::with_capacity(chips.len());
                 for (node, chip) in chips.iter_mut().enumerate() {
                     if stalls[node] > 0 || (*use_quiet && quiet[node]) {
@@ -643,6 +710,10 @@ impl Cluster {
                     match state[node].phase {
                         NodePhase::Force => {
                             if !chip.force_phase_local_idle() {
+                                if tracing {
+                                    chip.set_trace_now(now);
+                                    ticked[node] = true;
+                                }
                                 jobs.push((chip, true));
                             } else if *use_quiet {
                                 quiet[node] = true;
@@ -650,6 +721,10 @@ impl Cluster {
                         }
                         NodePhase::Mu => {
                             if !chip.mu_phase_local_idle() || !state[node].mig_flushed {
+                                if tracing {
+                                    chip.set_trace_now(now);
+                                    ticked[node] = true;
+                                }
                                 jobs.push((chip, false));
                             } else if *use_quiet {
                                 quiet[node] = true;
@@ -674,6 +749,117 @@ impl Cluster {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Stall attribution (tracing only).
+
+    /// Classify one global cycle for every force-phase node: *productive*
+    /// when its chip ticked with a busy PE, otherwise one
+    /// [`StallCause`]. Runs between the compute and exchange phases so
+    /// injected stalls are observed before their per-cycle decrement, and
+    /// skips a node's phase-arming cycle (`cycle == phase_start`) so the
+    /// per-step totals sum exactly to the node's recorded `force_cycles`.
+    fn attribute_cycle(&mut self) {
+        for node in 0..self.num_nodes() {
+            let st = &self.state[node];
+            if st.phase != NodePhase::Force || self.cycle <= st.phase_start {
+                continue;
+            }
+            let step = st.step;
+            if self.ticked[node] {
+                match self.chips[node].force_activity() {
+                    ForceActivity::PeBusy => self.tr_stalls.productive(node, step, 1),
+                    ForceActivity::OutputBackpressure => {
+                        self.tr_stalls
+                            .stall(node, step, StallCause::RingBackpressure, 1);
+                    }
+                    ForceActivity::InputStarved => {
+                        self.tr_stalls
+                            .stall(node, step, StallCause::FilterStarved, 1);
+                    }
+                }
+            } else {
+                let cause = self.classify_idle(node);
+                self.tr_stalls.stall(node, step, cause, 1);
+            }
+        }
+    }
+
+    /// Why a force-phase node whose chip did not tick is idle. Checked in
+    /// precedence order: an injected stall freezes the node outright; a
+    /// completed sync handshake means the phase transition fires on the
+    /// next exchange (drained); packets parked in a packetizer are waiting
+    /// out the departure cooldown; otherwise the node is drained locally
+    /// and waiting on a neighbour's markers or data.
+    fn classify_idle(&self, node: usize) -> StallCause {
+        if self.stalls[node] > 0 {
+            return StallCause::Injected;
+        }
+        if self.sync[node].force_phase_complete() {
+            return StallCause::Drained;
+        }
+        if self.pos_pz[node].pending() > 0 || self.frc_pz[node].pending() > 0 {
+            return StallCause::TxCooldown;
+        }
+        StallCause::WaitNeighborSync
+    }
+
+    /// Burst-window attribution: each bursting chip computes with at
+    /// least one busy PE on every window cycle (the window proof
+    /// guarantees no station ejection, so an occupied station — created
+    /// at the latest by the first cycle's dispatch — persists), and every
+    /// other force-phase node's classification inputs are frozen for the
+    /// whole window, so its single-cycle cause holds `w` times. `busy` is
+    /// ascending (node-order scan).
+    fn attribute_burst(&mut self, busy: &[usize], w: u64) {
+        for node in 0..self.num_nodes() {
+            let st = &self.state[node];
+            if st.phase != NodePhase::Force {
+                continue;
+            }
+            let step = st.step;
+            if busy.binary_search(&node).is_ok() {
+                self.tr_stalls.productive(node, step, w);
+            } else {
+                let cause = self.classify_idle(node);
+                self.tr_stalls.stall(node, step, cause, w);
+            }
+        }
+    }
+
+    /// Fast-forward attribution: every node is quiescent across the
+    /// jumped span and no event fires inside it, so each force-phase
+    /// node's single-cycle cause holds for all `delta` skipped cycles.
+    /// Must run before the jump's stall decrement (classification reads
+    /// pre-decrement stalls, exactly like the per-cycle path).
+    fn attribute_jump(&mut self, delta: u64) {
+        for node in 0..self.num_nodes() {
+            let st = &self.state[node];
+            if st.phase != NodePhase::Force {
+                continue;
+            }
+            let step = st.step;
+            let cause = self.classify_idle(node);
+            self.tr_stalls.stall(node, step, cause, delta);
+        }
+    }
+
+    /// Drain the flight-recorder capture of the last traced run: per-node
+    /// event streams, the engine stream, and the stall ledger. `None`
+    /// when the last run was untraced.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        if self.trace_cfg.level == TraceLevel::Off {
+            return None;
+        }
+        let nodes = self.chips.iter_mut().map(TimedChip::take_trace).collect();
+        let n = self.num_nodes();
+        Some(Trace {
+            level: Some(self.trace_cfg.level),
+            nodes,
+            engine: self.tr_engine.take(),
+            stalls: std::mem::replace(&mut self.tr_stalls, StallLedger::new(n)),
+        })
+    }
+
     /// Force-phase exchange for one node (everything except the chip
     /// tick, which the compute phase already performed).
     fn force_exchange(&mut self, node: usize) {
@@ -695,6 +881,12 @@ impl Cluster {
                 let p = self.sync[node].send_peers[i];
                 self.pos_pz[node].flush_last(&p, step);
                 self.sync[node].mark_last_pos_sent(p);
+                if self.tracing {
+                    let cycle = self.cycle;
+                    self.chips[node]
+                        .trace_mut()
+                        .push(cycle, EventKind::LastPosSent { peer: p as u32 });
+                }
             }
             self.state[node].last_pos_flushed = true;
         }
@@ -711,6 +903,12 @@ impl Cluster {
                 {
                     self.frc_pz[node].flush_last(&p, step);
                     self.sync[node].mark_last_frc_sent(p);
+                    if self.tracing {
+                        let cycle = self.cycle;
+                        self.chips[node]
+                            .trace_mut()
+                            .push(cycle, EventKind::LastFrcSent { peer: p as u32 });
+                    }
                 }
             }
         }
@@ -722,10 +920,31 @@ impl Cluster {
                 || self.chips[node].force_phase_local_idle())
         {
             self.state[node].force_cycles = self.cycle - self.state[node].phase_start;
+            if self.tracing {
+                let cycle = self.cycle;
+                let cycles = self.state[node].force_cycles;
+                self.chips[node].trace_mut().push(
+                    cycle,
+                    EventKind::PhaseEnd { phase: PhaseId::Force, step, cycles },
+                );
+            }
             match self.cfg.sync {
                 SyncMode::Chained => self.enter_mu(node),
                 SyncMode::Bulk { .. } => {
                     self.state[node].phase = NodePhase::BarrierBeforeMu;
+                    // Re-base `phase_start` at barrier entry so the wait
+                    // duration is reportable (engine-invariant; nothing
+                    // else reads it until the next phase re-sets it).
+                    self.state[node].phase_start = self.cycle;
+                    if self.tracing {
+                        let cycle = self.cycle;
+                        let tr = self.chips[node].trace_mut();
+                        tr.push(
+                            cycle,
+                            EventKind::PhaseBegin { phase: PhaseId::BarrierMu, step },
+                        );
+                        tr.push(cycle, EventKind::BarrierArrive { step });
+                    }
                     if let Some(release) = self.barrier_mu.arrive(node, self.cycle) {
                         for s in self.state.iter_mut() {
                             if s.phase == NodePhase::BarrierBeforeMu {
@@ -741,6 +960,20 @@ impl Cluster {
 
     fn enter_mu(&mut self, node: usize) {
         self.quiet[node] = false;
+        if self.tracing {
+            let cycle = self.cycle;
+            let step = self.state[node].step;
+            let waited = cycle - self.state[node].phase_start;
+            let from_barrier = self.state[node].phase == NodePhase::BarrierBeforeMu;
+            let tr = self.chips[node].trace_mut();
+            if from_barrier {
+                tr.push(
+                    cycle,
+                    EventKind::PhaseEnd { phase: PhaseId::BarrierMu, step, cycles: waited },
+                );
+            }
+            tr.push(cycle, EventKind::PhaseBegin { phase: PhaseId::MotionUpdate, step });
+        }
         self.chips[node].begin_mu_phase();
         self.state[node].phase = NodePhase::Mu;
         self.state[node].phase_start = self.cycle;
@@ -763,6 +996,12 @@ impl Cluster {
                 let p = self.sync[node].mig_peers[i];
                 self.mig_pz[node].flush_last(&p, step);
                 self.sync[node].mark_last_mig_sent(p);
+                if self.tracing {
+                    let cycle = self.cycle;
+                    self.chips[node]
+                        .trace_mut()
+                        .push(cycle, EventKind::LastMigSent { peer: p as u32 });
+                }
             }
             self.state[node].mig_flushed = true;
         }
@@ -781,6 +1020,19 @@ impl Cluster {
                 mu_cycles,
                 wall_end: self.cycle,
             });
+            if self.tracing {
+                let cycle = self.cycle;
+                let tr = self.chips[node].trace_mut();
+                tr.push(
+                    cycle,
+                    EventKind::PhaseEnd {
+                        phase: PhaseId::MotionUpdate,
+                        step,
+                        cycles: mu_cycles,
+                    },
+                );
+                tr.push(cycle, EventKind::StepDone { step });
+            }
             self.state[node].step += 1;
             if self.state[node].step >= steps {
                 self.state[node].phase = NodePhase::Done;
@@ -790,6 +1042,17 @@ impl Cluster {
                 SyncMode::Chained => self.enter_next_force(node),
                 SyncMode::Bulk { .. } => {
                     self.state[node].phase = NodePhase::BarrierBeforeForce;
+                    self.state[node].phase_start = self.cycle;
+                    if self.tracing {
+                        let cycle = self.cycle;
+                        let next = self.state[node].step;
+                        let tr = self.chips[node].trace_mut();
+                        tr.push(
+                            cycle,
+                            EventKind::PhaseBegin { phase: PhaseId::BarrierForce, step: next },
+                        );
+                        tr.push(cycle, EventKind::BarrierArrive { step: next });
+                    }
                     if let Some(release) = self.barrier_force.arrive(node, self.cycle) {
                         for s in self.state.iter_mut() {
                             if s.phase == NodePhase::BarrierBeforeForce {
@@ -806,6 +1069,16 @@ impl Cluster {
     fn enter_next_force(&mut self, node: usize) {
         let step = self.state[node].step;
         self.quiet[node] = false;
+        if self.tracing {
+            let cycle = self.cycle;
+            let waited = cycle - self.state[node].phase_start;
+            if self.state[node].phase == NodePhase::BarrierBeforeForce {
+                self.chips[node].trace_mut().push(
+                    cycle,
+                    EventKind::PhaseEnd { phase: PhaseId::BarrierForce, step, cycles: waited },
+                );
+            }
+        }
         self.sync[node].begin_step(step);
         self.chips[node].begin_force_phase();
         self.state[node].phase = NodePhase::Force;
@@ -815,6 +1088,15 @@ impl Cluster {
         if let Some((s, d)) = self.cfg.straggler {
             if s == node {
                 self.stalls[node] = d;
+            }
+        }
+        if self.tracing {
+            let cycle = self.cycle;
+            let stall = self.stalls[node];
+            let tr = self.chips[node].trace_mut();
+            tr.push(cycle, EventKind::PhaseBegin { phase: PhaseId::Force, step });
+            if stall > 0 {
+                tr.push(cycle, EventKind::StallInjected { cycles: stall });
             }
         }
     }
@@ -890,6 +1172,13 @@ impl Cluster {
             return;
         }
         let delta = target - self.cycle;
+        if self.tracing {
+            self.tr_engine.push(
+                self.cycle,
+                EventKind::FastForward { to_cycle: target, skipped: delta },
+            );
+            self.attribute_jump(delta);
+        }
         for s in &mut self.stalls {
             *s = s.saturating_sub(delta);
         }
@@ -1018,10 +1307,27 @@ impl Cluster {
         let w = self.burst_window(&mut busy).min(cap - self.cycle);
         if w < MIN_BURST {
             self.burst_refused += 1;
+            if self.tracing {
+                self.tr_engine
+                    .push(self.cycle, EventKind::BurstRefused { window: w });
+            }
             return false;
         }
         self.burst_cycles += w;
         self.burst_count += 1;
+        if self.tracing {
+            self.tr_engine.push(
+                self.cycle,
+                EventKind::BurstOpen { window: w, busy: busy.len() as u32 },
+            );
+            self.attribute_burst(&busy, w);
+            // Chip-emitted events inside the burst (Full-level PE
+            // activity) stamp from the window's first global cycle.
+            let now = self.cycle;
+            for &node in &busy {
+                self.chips[node].set_trace_now(now);
+            }
+        }
         match pool {
             Some(pool) if busy.len() > 1 => {
                 use rayon::prelude::*;
@@ -1055,6 +1361,7 @@ impl Cluster {
     fn network_cycle(&mut self) {
         for node in 0..self.num_nodes() {
             if let Some((peer, pkt)) = self.pos_pz[node].tick(self.cycle) {
+                self.note_packet_sent(node, ChannelId::Pos, peer, pkt.payloads.len(), pkt.last);
                 if let Some(at) = self.pos_fabric.send_lossy(self.cycle, node, peer) {
                     self.inbox[peer].send(
                         at,
@@ -1068,6 +1375,7 @@ impl Cluster {
                 }
             }
             if let Some((peer, pkt)) = self.frc_pz[node].tick(self.cycle) {
+                self.note_packet_sent(node, ChannelId::Frc, peer, pkt.payloads.len(), pkt.last);
                 if let Some(at) = self.frc_fabric.send_lossy(self.cycle, node, peer) {
                     self.inbox[peer].send(
                         at,
@@ -1081,6 +1389,7 @@ impl Cluster {
                 }
             }
             if let Some((peer, pkt)) = self.mig_pz[node].tick(self.cycle) {
+                self.note_packet_sent(node, ChannelId::Mig, peer, pkt.payloads.len(), pkt.last);
                 if let Some(at) = self.pos_fabric.send_lossy(self.cycle, node, peer) {
                     self.inbox[peer].send(
                         at,
@@ -1096,6 +1405,25 @@ impl Cluster {
         }
     }
 
+    /// Record a [`EventKind::PacketSent`] on the sending node (Full level
+    /// only — packet traffic is too chatty for the sync tier).
+    #[inline]
+    fn note_packet_sent(&mut self, node: usize, channel: ChannelId, peer: usize, payloads: usize, last: bool) {
+        if !self.tracing || !self.chips[node].trace_mut().wants(TraceLevel::Full) {
+            return;
+        }
+        let cycle = self.cycle;
+        self.chips[node].trace_mut().push(
+            cycle,
+            EventKind::PacketSent {
+                channel,
+                to: peer as u32,
+                payloads: payloads as u32,
+                last,
+            },
+        );
+    }
+
     /// Drain every due delivery into its chip; returns whether anything
     /// was delivered. A delivery can enable an exchange action (a marker
     /// completing a sync phase, a flit re-awakening a chip) that only
@@ -1108,6 +1436,28 @@ impl Cluster {
                 delivered = true;
                 self.quiet[node] = false;
                 let kind = d.cargo.kind();
+                let channel = match kind {
+                    PacketKind::Position => ChannelId::Pos,
+                    PacketKind::Force => ChannelId::Frc,
+                    PacketKind::Migration => ChannelId::Mig,
+                };
+                if self.tracing && self.chips[node].trace_mut().wants(TraceLevel::Full) {
+                    let payloads = match &d.cargo {
+                        Cargo::Pos(f) => f.len(),
+                        Cargo::Frc(f) => f.len(),
+                        Cargo::Mig(f) => f.len(),
+                    } as u32;
+                    let cycle = self.cycle;
+                    self.chips[node].trace_mut().push(
+                        cycle,
+                        EventKind::PacketDelivered {
+                            channel,
+                            from: d.from as u32,
+                            payloads,
+                            last: d.last,
+                        },
+                    );
+                }
                 match d.cargo {
                     Cargo::Pos(flits) => {
                         for f in flits {
@@ -1127,6 +1477,17 @@ impl Cluster {
                 }
                 if d.last {
                     self.sync[node].on_marker(kind, d.from, d.step);
+                    if self.tracing {
+                        let cycle = self.cycle;
+                        self.chips[node].trace_mut().push(
+                            cycle,
+                            EventKind::MarkerRecv {
+                                channel,
+                                from: d.from as u32,
+                                step: d.step,
+                            },
+                        );
+                    }
                 }
             }
         }

@@ -54,6 +54,12 @@ impl HostController {
         &self.cluster
     }
 
+    /// Drain the flight-recorder streams of the last run (if tracing
+    /// was enabled via [`EngineConfig::with_trace`]).
+    pub fn take_trace(&mut self) -> Option<fasda_trace::Trace> {
+        self.cluster.take_trace()
+    }
+
     /// `run.py <num_iterations>`: execute iterations and read back every
     /// node's result registers.
     pub fn run_iterations(&mut self, num_iterations: u64) -> Result<HostRun, ClusterStalled> {

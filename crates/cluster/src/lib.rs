@@ -21,3 +21,11 @@ pub mod wire;
 pub use driver::{Cluster, ClusterConfig, ClusterStalled, EngineConfig};
 pub use host::{HostController, HostRun};
 pub use report::{ClusterRunReport, NodeStepReport};
+
+// Re-export the flight-recorder vocabulary so downstream users can
+// configure tracing and consume traces without a direct `fasda-trace`
+// dependency.
+pub use fasda_trace::{
+    chrome_trace, stall_json, trace_summary_json, Json, StallCause, StallLedger, Trace,
+    TraceConfig, TraceLevel,
+};

@@ -4,6 +4,7 @@
 use fasda_core::timed::TrafficCounters;
 use fasda_md::units::UnitSystem;
 use fasda_sim::StatSet;
+use fasda_trace::Json;
 
 /// One node's record for one completed timestep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,5 +111,60 @@ impl ClusterRunReport {
         } else {
             total as f64 / count as f64
         }
+    }
+
+    /// Machine-readable metrics document for this run — the shared
+    /// "run" section of every metrics JSON the tools emit (the CLI and
+    /// benches add their own sections around it).
+    pub fn metrics_json(&self) -> Json {
+        let mut util = Vec::new();
+        for name in self.stats.names() {
+            util.push(
+                Json::obj()
+                    .field("component", name)
+                    .field("replicas", Json::uint(self.stats.replicas(name)))
+                    .field("work", Json::uint(self.stats.work(name)))
+                    .field(
+                        "hardware_util",
+                        Json::fixed(self.stats.hardware_util(name, self.total_cycles), 6),
+                    )
+                    .field(
+                        "time_util",
+                        Json::fixed(self.stats.time_util(name, self.total_cycles), 6),
+                    )
+                    .build(),
+            );
+        }
+        let steps = self
+            .records
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("node", r.node)
+                    .field("step", Json::uint(r.step))
+                    .field("force_cycles", Json::uint(r.force_cycles))
+                    .field("mu_cycles", Json::uint(r.mu_cycles))
+                    .field("wall_end", Json::uint(r.wall_end))
+                    .build()
+            })
+            .collect::<Vec<_>>();
+        Json::obj()
+            .field("nodes", self.nodes)
+            .field("steps", Json::uint(self.steps))
+            .field("total_cycles", Json::uint(self.total_cycles))
+            .field("cycles_per_step", Json::fixed(self.cycles_per_step(), 3))
+            .field("us_per_day", Json::fixed(self.us_per_day(), 3))
+            .field("pos_packets", Json::uint(self.pos_packets))
+            .field("frc_packets", Json::uint(self.frc_packets))
+            .field("pos_gbps_per_node", Json::fixed(self.pos_gbps_per_node(), 3))
+            .field("frc_gbps_per_node", Json::fixed(self.frc_gbps_per_node(), 3))
+            .field("max_force_cycles", Json::uint(self.max_force_cycles()))
+            .field(
+                "avg_completion_spread",
+                Json::fixed(self.avg_completion_spread(), 3),
+            )
+            .field("utilization", Json::Arr(util))
+            .field("records", Json::Arr(steps))
+            .build()
     }
 }

@@ -115,6 +115,11 @@ pub struct TimedCbb {
     pub mig_out: VecDeque<MigFlit>,
     /// Motion-update activity (capacity 1/cycle).
     pub mu_stats: Activity,
+    /// Lifetime neighbour-entry dispatches to filter stations
+    /// (monotonic; the trace layer diffs it per cycle).
+    pub dispatched: u64,
+    /// Lifetime station ejections — ring, local, or discard (monotonic).
+    pub ejected: u64,
     /// Fast-path execution (see [`TimedCbb::set_fast_path`]).
     fast_path: bool,
     /// SoA-scan execution (see [`TimedCbb::set_soa_scan`]).
@@ -146,6 +151,8 @@ impl TimedCbb {
             arrivals: Vec::new(),
             mig_out: VecDeque::new(),
             mu_stats: Activity::with_capacity(1),
+            dispatched: 0,
+            ejected: 0,
             fast_path: false,
             soa_scan: false,
             soa: HomeSoa::new(),
@@ -296,6 +303,7 @@ impl TimedCbb {
                         spe.pes[pe_idx].dispatch(e);
                     }
                     spe.rr_pe = (pe_idx + 1) % pe_count;
+                    self.dispatched += 1;
                 }
             }
 
@@ -343,6 +351,7 @@ impl TimedCbb {
                     }
                 }
             }
+            self.ejected += self.scratch_ej.len() as u64;
         }
     }
 

@@ -27,6 +27,7 @@ use fasda_md::system::ParticleSystem;
 use fasda_md::units::UnitSystem;
 use fasda_md::vec3::Vec3;
 use fasda_sim::{Activity, Cycle, StatSet};
+use fasda_trace::{EventKind, NodeRecorder, NodeStream, TraceConfig, TraceLevel};
 use pe::{NbrEntry, NbrKind};
 use ring::{Direction, FrcFlit, MigFlit, PosFlit, Ring};
 use std::collections::{HashMap, VecDeque};
@@ -155,6 +156,29 @@ pub struct TimedChip {
     /// Per-CBB completion scratch for the parallel walk (reused across
     /// cycles — no steady-state allocation).
     cbb_scratch: Vec<Vec<(ChipCoord, u32, u32)>>,
+    /// Flight recorder for this node's event stream (off by default).
+    trace: NodeRecorder,
+    /// Global cluster cycle to stamp chip-emitted events with. The chip's
+    /// own `cycle` counter only advances while the chip is ticked, so the
+    /// cluster driver keeps this field synced to the global clock.
+    trace_now: u64,
+    /// Last observed (dispatched, ejected) CBB counter sums, for per-cycle
+    /// `PeActivity` diffs.
+    pe_prev: (u64, u64),
+}
+
+/// What the chip's force-phase datapath is doing right now, as seen from
+/// outside — the driver's stall-attribution probe for *ticked* chips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForceActivity {
+    /// At least one PE is evaluating pairs: the cycle is productive.
+    PeBusy,
+    /// PEs idle, but force/broadcast traffic is still draining through
+    /// `frc_out`/`bcast` queues, the force rings, or the EX egress.
+    OutputBackpressure,
+    /// PEs idle with input work still in transit (position rings, EX
+    /// ingress) — the filter banks are starved.
+    InputStarved,
 }
 
 
@@ -242,6 +266,9 @@ impl TimedChip {
             completed_buf: Vec::new(),
             par_cbbs: false,
             cbb_scratch: vec![Vec::new(); n],
+            trace: NodeRecorder::off(),
+            trace_now: 0,
+            pe_prev: (0, 0),
             cfg,
             geo,
         }
@@ -296,6 +323,69 @@ impl TimedChip {
                 crate::functional::quantize_offset(off),
                 [v.x as f32, v.y as f32, v.z as f32],
             );
+        }
+    }
+
+    /// Install (or disable) the flight recorder on this chip. Resets the
+    /// recorder and re-bases the `PeActivity` diff counters.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.trace = NodeRecorder::new(cfg);
+        self.trace_now = 0;
+        self.pe_prev = self.pe_counters();
+    }
+
+    /// Sync the global-cycle stamp used for chip-emitted events. The
+    /// cluster driver calls this before every tick: the chip's own
+    /// `cycle` counter only advances while the chip runs, so it diverges
+    /// from the global clock on skipped cycles.
+    #[inline]
+    pub fn set_trace_now(&mut self, cycle: u64) {
+        self.trace_now = cycle;
+    }
+
+    /// The chip's recorder (the driver appends its per-node events here
+    /// so each node has exactly one ordered stream).
+    pub fn trace_mut(&mut self) -> &mut NodeRecorder {
+        &mut self.trace
+    }
+
+    /// Drain the captured event stream.
+    pub fn take_trace(&mut self) -> NodeStream {
+        self.trace.take()
+    }
+
+    fn pe_counters(&self) -> (u64, u64) {
+        let mut dispatched = 0;
+        let mut ejected = 0;
+        for cbb in &self.cbbs {
+            dispatched += cbb.dispatched;
+            ejected += cbb.ejected;
+        }
+        (dispatched, ejected)
+    }
+
+    /// Classify what the force-phase datapath is doing (stall-attribution
+    /// probe; see [`ForceActivity`]). Meaningful right after a force tick.
+    pub fn force_activity(&self) -> ForceActivity {
+        for cbb in &self.cbbs {
+            for spe in &cbb.spes {
+                if spe.pes.iter().any(|pe| !pe.is_idle()) {
+                    return ForceActivity::PeBusy;
+                }
+            }
+        }
+        let output_live = self
+            .cbbs
+            .iter()
+            .flat_map(|c| c.spes.iter())
+            .any(|s| !s.frc_out.is_empty() || !s.bcast.is_empty())
+            || self.frc_rings.iter().any(|r| !r.is_empty())
+            || !self.frc_egress.is_empty()
+            || !self.pos_egress.is_empty();
+        if output_live {
+            ForceActivity::OutputBackpressure
+        } else {
+            ForceActivity::InputStarved
         }
     }
 
@@ -368,6 +458,17 @@ impl TimedChip {
     pub fn run_force_burst(&mut self, w: u64) {
         debug_assert_eq!(self.phase, Phase::Force);
         debug_assert!(w <= self.force_burst_window());
+        if self.trace.wants(TraceLevel::Full) {
+            // Full-level tracing records per-cycle PE activity, so take
+            // the reference per-cycle walk, advancing the global-cycle
+            // stamp through the window.
+            let base = self.trace_now;
+            for i in 0..w {
+                self.trace_now = base + i;
+                self.step_force_cycle();
+            }
+            return;
+        }
         let start = self.cycle;
         let dp = &self.dp;
         let run = |cbb: &mut TimedCbb, out: &mut Vec<(ChipCoord, u32, u32)>| {
@@ -637,6 +738,21 @@ impl TimedChip {
                         }
                     }
                 }
+            }
+        }
+
+        if self.trace.wants(TraceLevel::Full) {
+            let (dispatched, ejected) = self.pe_counters();
+            let (pd, pj) = self.pe_prev;
+            if dispatched != pd || ejected != pj {
+                self.trace.push(
+                    self.trace_now,
+                    EventKind::PeActivity {
+                        dispatched: (dispatched - pd) as u32,
+                        ejected: (ejected - pj) as u32,
+                    },
+                );
+                self.pe_prev = (dispatched, ejected);
             }
         }
 

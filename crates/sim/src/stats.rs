@@ -51,11 +51,15 @@ impl Activity {
 
     /// Hardware utilization over a window of `total_cycles`:
     /// `work / (capacity · total_cycles)`.
+    ///
+    /// The denominator is formed in f64: a u64 product overflows once
+    /// `capacity · window` crosses 2^64 (merged cluster-wide counters
+    /// over billion-cycle runs get there).
     pub fn hardware_util(&self, total_cycles: u64) -> f64 {
         if total_cycles == 0 || self.capacity_per_cycle == 0 {
             return 0.0;
         }
-        self.work as f64 / (self.capacity_per_cycle * total_cycles) as f64
+        self.work as f64 / (self.capacity_per_cycle as f64 * total_cycles as f64)
     }
 
     /// Time utilization over a window: `busy_cycles / total_cycles`.
@@ -135,7 +139,9 @@ impl StatSet {
     pub fn time_util(&self, name: &str, total_cycles: u64) -> f64 {
         match self.entries.get(name) {
             Some((a, n)) if *n > 0 && total_cycles > 0 => {
-                a.busy_cycles as f64 / (*n * total_cycles) as f64
+                // f64 denominator for the same overflow reason as
+                // [`Activity::hardware_util`].
+                a.busy_cycles as f64 / (*n as f64 * total_cycles as f64)
             }
             _ => 0.0,
         }
@@ -239,5 +245,65 @@ mod tests {
         assert_eq!(a.time_util(0), 0.0);
         let s = StatSet::new();
         assert_eq!(s.time_util("nope", 100), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_hardware_util_is_zero() {
+        // A component that advertises no capacity (e.g. a disabled bank)
+        // must report 0 utilization rather than dividing by zero.
+        let mut a = Activity::with_capacity(0);
+        a.record(5, true);
+        assert_eq!(a.hardware_util(100), 0.0);
+        assert!((a.time_util(100) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_windows_do_not_overflow_the_denominator() {
+        // capacity · window would overflow u64; the f64 denominator
+        // keeps the ratio finite and correct to f64 precision.
+        let mut a = Activity::with_capacity(1 << 32);
+        a.work = 1 << 62;
+        let window = 1u64 << 40; // capacity * window = 2^72 > u64::MAX
+        let util = a.hardware_util(window);
+        let expect = (1u64 << 62) as f64 / ((1u64 << 32) as f64 * (1u64 << 40) as f64);
+        assert!(util.is_finite());
+        assert!((util - expect).abs() < 1e-12);
+
+        // Same for replica-averaged time utilization.
+        let mut s = StatSet::new();
+        let mut busy = Activity::with_capacity(1);
+        busy.busy_cycles = 1 << 40;
+        for _ in 0..(1 << 16) {
+            s.add("PE", busy);
+        }
+        let t = s.time_util("PE", 1 << 50); // 2^16 · 2^50 = 2^66 > u64::MAX
+        assert!(t.is_finite());
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn merge_from_keeps_disjoint_components_separate() {
+        let mut a = StatSet::new();
+        let mut pe = Activity::with_capacity(1);
+        pe.record(1, true);
+        a.add("PE", pe);
+
+        let mut b = StatSet::new();
+        let mut filt = Activity::with_capacity(6);
+        filt.record(6, true);
+        b.add("filter", filt);
+        b.add("filter", Activity::with_capacity(6));
+
+        a.merge_from(&b);
+        let names: Vec<&str> = a.names().collect();
+        assert_eq!(names, ["PE", "filter"], "disjoint names both survive");
+        assert_eq!(a.replicas("PE"), 1);
+        assert_eq!(a.replicas("filter"), 2);
+        assert_eq!(a.work("PE"), 1);
+        assert_eq!(a.work("filter"), 6);
+        // merging the same set again doubles the filter replicas only
+        a.merge_from(&b);
+        assert_eq!(a.replicas("filter"), 4);
+        assert_eq!(a.replicas("PE"), 1);
     }
 }

@@ -1,0 +1,130 @@
+//! Machine-readable metrics JSON built on [`crate::json::Json`].
+//!
+//! These helpers turn captured traces and ledgers into stable JSON
+//! sections that the CLI, the report module, and the bench emitters
+//! compose into their documents.
+
+use crate::json::Json;
+use crate::stall::{StallCause, StallLedger, StepStalls};
+use crate::{Trace, TraceLevel};
+
+fn step_stalls_json(s: &StepStalls) -> Json {
+    let mut obj = Json::obj()
+        .field("productive", Json::uint(s.productive))
+        .field("idle", Json::uint(s.idle()))
+        .field("total", Json::uint(s.total()));
+    for cause in StallCause::ALL {
+        obj = obj.field(cause.label(), Json::uint(s.of(cause)));
+    }
+    obj.build()
+}
+
+/// Stall-attribution rollup: per-node totals plus per-step breakdowns.
+pub fn stall_json(ledger: &StallLedger) -> Json {
+    let mut nodes = Vec::new();
+    for node in 0..ledger.num_nodes() {
+        let steps: Vec<Json> = ledger
+            .steps(node)
+            .map(|(step, s)| {
+                let mut obj = Json::obj().field("step", Json::uint(step));
+                if let Json::Obj(fields) = step_stalls_json(s) {
+                    for (k, v) in fields {
+                        obj = obj.field(&k, v);
+                    }
+                }
+                obj.build()
+            })
+            .collect();
+        nodes.push(
+            Json::obj()
+                .field("node", node)
+                .field("total", step_stalls_json(&ledger.node_total(node)))
+                .field("steps", Json::Arr(steps))
+                .build(),
+        );
+    }
+    Json::obj().field("nodes", Json::Arr(nodes)).build()
+}
+
+/// Summary of a captured trace: level, per-node event/drop counts.
+pub fn trace_summary_json(trace: &Trace) -> Json {
+    let level = match trace.level {
+        None | Some(TraceLevel::Off) => "off",
+        Some(TraceLevel::Sync) => "sync",
+        Some(TraceLevel::Full) => "full",
+    };
+    let nodes: Vec<Json> = trace
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(node, s)| {
+            Json::obj()
+                .field("node", node)
+                .field("events", s.events.len())
+                .field("dropped", Json::uint(s.dropped))
+                .build()
+        })
+        .collect();
+    Json::obj()
+        .field("level", level)
+        .field("nodes", Json::Arr(nodes))
+        .field("engine_events", trace.engine.events.len())
+        .field("engine_dropped", Json::uint(trace.engine.dropped))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_json_rolls_up() {
+        let mut ledger = StallLedger::new(2);
+        ledger.productive(0, 0, 6);
+        ledger.stall(0, 0, StallCause::Drained, 2);
+        ledger.productive(0, 1, 4);
+        ledger.stall(1, 0, StallCause::TxCooldown, 9);
+
+        let doc = stall_json(&ledger);
+        let nodes = doc.get("nodes").unwrap().items();
+        assert_eq!(nodes.len(), 2);
+        let n0 = &nodes[0];
+        assert_eq!(n0.get("node").unwrap().as_i64(), Some(0));
+        let total = n0.get("total").unwrap();
+        assert_eq!(total.get("productive").unwrap().as_i64(), Some(10));
+        assert_eq!(total.get("drained").unwrap().as_i64(), Some(2));
+        assert_eq!(total.get("total").unwrap().as_i64(), Some(12));
+        assert_eq!(n0.get("steps").unwrap().items().len(), 2);
+        let n1_total = nodes[1].get("total").unwrap();
+        assert_eq!(n1_total.get("tx-cooldown").unwrap().as_i64(), Some(9));
+        // round-trips through the parser
+        assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn trace_summary_counts_streams() {
+        use crate::event::{EventKind, TraceEvent};
+        use crate::NodeStream;
+        let trace = Trace {
+            level: Some(TraceLevel::Sync),
+            nodes: vec![
+                NodeStream {
+                    events: vec![TraceEvent {
+                        cycle: 1,
+                        kind: EventKind::StepDone { step: 0 },
+                    }],
+                    dropped: 2,
+                },
+                NodeStream::default(),
+            ],
+            engine: NodeStream::default(),
+            stalls: StallLedger::new(2),
+        };
+        let doc = trace_summary_json(&trace);
+        assert_eq!(doc.get("level").unwrap().as_str(), Some("sync"));
+        let nodes = doc.get("nodes").unwrap().items();
+        assert_eq!(nodes[0].get("events").unwrap().as_i64(), Some(1));
+        assert_eq!(nodes[0].get("dropped").unwrap().as_i64(), Some(2));
+        assert_eq!(doc.get("engine_events").unwrap().as_i64(), Some(0));
+    }
+}

@@ -16,7 +16,9 @@
 //! * [`cluster`] — the multi-FPGA system gluing chips, packetizers, and
 //!   synchronization into one driven simulation;
 //! * [`baseline`] — the CPU (measured) and GPU (calibrated model)
-//!   comparison systems of the paper's evaluation.
+//!   comparison systems of the paper's evaluation;
+//! * [`trace`] — the cycle-level flight recorder: structured per-node
+//!   events, stall attribution, Chrome-trace/metrics JSON export.
 //!
 //! ## Quickstart
 //!
@@ -56,3 +58,4 @@ pub use fasda_core as core;
 pub use fasda_md as md;
 pub use fasda_net as net;
 pub use fasda_sim as sim;
+pub use fasda_trace as trace;
