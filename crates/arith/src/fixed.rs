@@ -260,6 +260,74 @@ impl FixVec3 {
     }
 }
 
+/// Number of fraction bits in the force-accumulator representation.
+pub const ACC_FRAC_BITS: u32 = 28;
+/// Scale factor `2^ACC_FRAC_BITS`.
+pub const ACC_SCALE: i64 = 1 << ACC_FRAC_BITS;
+
+/// A `Q35.28` signed fixed-point force accumulator stored in an `i64`
+/// — the FC-bank register format.
+///
+/// The force pipeline computes each pair contribution in floating
+/// point, but the *accumulation* into the Force Caches is fixed-point,
+/// as in Anton-class MD machines: integer addition is associative, so
+/// the accumulated total is bit-identical no matter what order
+/// contributions arrive in. That is what lets the cluster guarantee
+/// bit-identical results even when retransmissions, fabric back
+/// pressure, or fault-induced delays reorder packet arrivals between
+/// nodes. Quantization is symmetric in sign (`quantize(-f) ==
+/// -quantize(f)`), so a third-law pair whose two halves arrive as exact
+/// negations cancels to literal zero.
+///
+/// `2⁻²⁸` resolution is finer than an f32 mantissa for any contribution
+/// of magnitude ≥ `2⁻⁴`; the `±2³⁵` range is far beyond any physical
+/// per-particle force total in this workload class. Overflow wraps in
+/// release mode exactly like the RTL adder would; debug builds assert.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FixAcc(pub i64);
+
+impl FixAcc {
+    /// Zero.
+    pub const ZERO: FixAcc = FixAcc(0);
+
+    /// Quantize one floating-point force contribution onto the
+    /// accumulator grid (round-to-nearest; symmetric in sign, so a
+    /// third-law pair quantizes to an exact cancellation).
+    #[inline]
+    pub fn from_f32(v: f32) -> Self {
+        FixAcc((v as f64 * ACC_SCALE as f64).round() as i64)
+    }
+
+    /// Accumulated value as `f32` (the fixed-to-float stage feeding the
+    /// motion-update pipeline).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        (self.0 as f64 / ACC_SCALE as f64) as f32
+    }
+
+    /// Accumulated value as `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / ACC_SCALE as f64
+    }
+}
+
+impl core::ops::Add for FixAcc {
+    type Output = FixAcc;
+    #[inline]
+    fn add(self, rhs: FixAcc) -> FixAcc {
+        FixAcc(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl core::ops::AddAssign for FixAcc {
+    #[inline]
+    fn add_assign(&mut self, rhs: FixAcc) {
+        debug_assert!(self.0.checked_add(rhs.0).is_some(), "FC accumulator overflow");
+        self.0 = self.0.wrapping_add(rhs.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,7 +412,35 @@ mod tests {
 
     #[test]
     fn to_f32_matches_f64_within_ulp() {
-        let f = Fix::from_f64(3.141592);
+        let f = Fix::from_f64(std::f64::consts::PI);
         assert!((f.to_f32() as f64 - f.to_f64()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn acc_sum_is_order_independent() {
+        let contributions = [1.5f32, -0.25, 3.0e-4, -7.125, 0.6180339, 42.0, -1e-6];
+        let forward = contributions
+            .iter()
+            .fold(FixAcc::ZERO, |a, &c| a + FixAcc::from_f32(c));
+        let reverse = contributions
+            .iter()
+            .rev()
+            .fold(FixAcc::ZERO, |a, &c| a + FixAcc::from_f32(c));
+        assert_eq!(forward, reverse);
+        assert!((forward.to_f64() - contributions.iter().map(|&c| c as f64).sum::<f64>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn acc_third_law_pairs_cancel_exactly() {
+        for v in [0.1f32, 1.0e-7, 123.456, 3.0e5] {
+            assert_eq!(FixAcc::from_f32(v) + FixAcc::from_f32(-v), FixAcc::ZERO);
+        }
+    }
+
+    #[test]
+    fn acc_resolution_beats_f32_mantissa_above_sixteenth() {
+        let v = 0.0625f32 + f32::EPSILON;
+        let q = FixAcc::from_f32(v);
+        assert!((q.to_f64() - v as f64).abs() <= 0.5 / ACC_SCALE as f64);
     }
 }

@@ -47,7 +47,7 @@ fn bench_with_setup<I, R>(group: &str, name: &str, min: Duration, mut setup: imp
     println!("{group}/{name:<28} {per:>14.1} ns/iter ({target} iters)");
 }
 
-fn bench(group: &str, name: &str, min: Duration, mut f: impl FnMut() -> ()) {
+fn bench(group: &str, name: &str, min: Duration, mut f: impl FnMut()) {
     bench_with_setup(group, name, min, || (), |()| f());
 }
 
@@ -80,7 +80,7 @@ fn bench_datapath() {
     });
     let table = InterpTable::build_r_pow(TableConfig::PAPER, 14);
     bench("datapath", "interp_lookup", FAST, || {
-        black_box(table.eval(black_box(0.517f32)));
+        let _ = black_box(table.eval(black_box(0.517f32)));
     });
 }
 

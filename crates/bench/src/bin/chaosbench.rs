@@ -1,0 +1,206 @@
+//! `chaosbench` — cost of surviving a lossy hyper-ring.
+//!
+//! Runs the fig16-style 8-FPGA workload through a sweep of seeded
+//! drop-only fault plans with the reliable-delivery layer on, and
+//! records what reliability costs as loss grows:
+//!
+//! * `goodput` — fraction of fabric packets that are first-copy payload
+//!   (baseline packet count / faulted packet count; the rest is
+//!   retransmissions, acks, and duplicate copies);
+//! * `retransmit_overhead` — retransmitted frames per baseline payload
+//!   frame;
+//! * `cycle_inflation` — simulated cycles relative to the fault-free
+//!   run (retransmission round-trips stretch chained sync).
+//!
+//! Every faulted run is asserted **bit-identical** in final particle
+//! state to the fault-free run — the sweep measures the price of
+//! reliability, never a different answer. The rate-0 row isolates the
+//! pure ack/bookkeeping overhead of the layer itself.
+//!
+//! Results merge into the `chaos` section of `BENCH_engine.json`
+//! (created if absent), preserving the engine benchmark's sections.
+//!
+//! Usage: `chaosbench [--steps N] [--per-cell N] [--seed S]
+//!                    [--out FILE] [--smoke]`
+
+use fasda_bench::{rule, Args};
+use fasda_cluster::{Cluster, ClusterConfig, EngineConfig, FaultPlan, RelConfig};
+use fasda_core::config::ChipConfig;
+use fasda_md::element::Element;
+use fasda_md::space::SimulationSpace;
+use fasda_md::system::ParticleSystem;
+use fasda_md::workload::{Placement, WorkloadSpec};
+use fasda_trace::Json;
+
+/// One row of the sweep.
+struct Row {
+    rate: f64,
+    cycles: u64,
+    packets: u64,
+    faults: u64,
+    retransmits: u64,
+    acks: u64,
+    duplicates: u64,
+}
+
+struct RunOut {
+    cycles: u64,
+    packets: u64,
+    faults: u64,
+    retransmits: u64,
+    acks: u64,
+    duplicates: u64,
+    sys: ParticleSystem,
+}
+
+fn run(sys: &ParticleSystem, cfg: ClusterConfig, steps: u64, engine: &EngineConfig) -> RunOut {
+    let mut cluster = Cluster::new(cfg, sys);
+    let report = cluster
+        .try_run_with(steps, 2_000_000_000, engine)
+        .expect("chaos sweep run converges");
+    let mut out = sys.clone();
+    cluster.store_into(&mut out);
+    let rel = report.reliability.unwrap_or_default();
+    RunOut {
+        cycles: report.total_cycles,
+        packets: report.pos_packets + report.frc_packets,
+        faults: report.faults_injected,
+        retransmits: rel.retransmits,
+        acks: rel.acks_sent,
+        duplicates: rel.duplicates_dropped,
+        sys: out,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let steps: u64 = args.get("steps", if smoke { 1 } else { 3 });
+    let per_cell: u32 = args.get("per-cell", if smoke { 4 } else { 16 });
+    let seed: u64 = args.get("seed", 0xC4A05);
+    let out: String = args.get("out", "BENCH_engine.json".to_string());
+    let rates: &[f64] = &[0.0, 0.01, 0.05, 0.2];
+
+    println!("FASDA — chaos benchmark (reliable delivery under a lossy hyper-ring)");
+    println!(
+        "6x6x6 cells, {per_cell} Na/cell, 8 nodes (3x3x3 cells each), {steps} steps{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let sys = WorkloadSpec {
+        space: SimulationSpace::cubic(6),
+        per_cell,
+        placement: Placement::JitteredLattice { jitter: 0.05 },
+        temperature_k: 150.0,
+        seed: 0xFA5DA,
+        element: Element::Na,
+    }
+    .generate();
+    let cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
+    let engine = EngineConfig::parallel();
+
+    rule("fault-free baseline (reliability off)");
+    let base = run(&sys, cfg.clone(), steps, &engine);
+    println!(
+        "{:>10} cycles, {:>8} fabric packets",
+        base.cycles, base.packets
+    );
+
+    rule("drop-rate sweep (reliability on, seeded plans)");
+    println!(
+        "{:>6} {:>12} {:>10} {:>8} {:>12} {:>10} {:>9} {:>9}",
+        "drop", "cycles", "packets", "faults", "retransmits", "acks", "goodput", "inflate"
+    );
+    let mut rows = Vec::new();
+    for &rate in rates {
+        let mut c = cfg.clone().with_reliability(RelConfig::new(2_048, 16_384));
+        if rate > 0.0 {
+            c = c.with_faults(FaultPlan::drop_only(rate, seed));
+        }
+        let o = run(&sys, c, steps, &engine);
+        assert_eq!(
+            o.sys.pos, base.sys.pos,
+            "drop {rate}: final positions drifted from fault-free run"
+        );
+        assert_eq!(
+            o.sys.vel, base.sys.vel,
+            "drop {rate}: final velocities drifted from fault-free run"
+        );
+        if rate > 0.0 {
+            assert!(o.faults > 0, "drop {rate}: plan injected nothing");
+        }
+        let goodput = base.packets as f64 / o.packets.max(1) as f64;
+        let inflate = o.cycles as f64 / base.cycles.max(1) as f64;
+        println!(
+            "{:>6} {:>12} {:>10} {:>8} {:>12} {:>10} {:>9.3} {:>9.3}",
+            rate, o.cycles, o.packets, o.faults, o.retransmits, o.acks, goodput, inflate
+        );
+        rows.push(Row {
+            rate,
+            cycles: o.cycles,
+            packets: o.packets,
+            faults: o.faults,
+            retransmits: o.retransmits,
+            acks: o.acks,
+            duplicates: o.duplicates,
+        });
+    }
+    println!("\nall sweep runs bit-identical to the fault-free baseline");
+
+    // Merge the chaos section into the engine benchmark document rather
+    // than clobbering it; create a fresh document when absent.
+    let mut sweep = Vec::new();
+    for r in &rows {
+        sweep.push(
+            Json::obj()
+                .field("drop_rate", Json::fixed(r.rate, 3))
+                .field("simulated_cycles", Json::uint(r.cycles))
+                .field("fabric_packets", Json::uint(r.packets))
+                .field("faults_injected", Json::uint(r.faults))
+                .field("retransmits", Json::uint(r.retransmits))
+                .field("acks", Json::uint(r.acks))
+                .field("duplicates_dropped", Json::uint(r.duplicates))
+                .field(
+                    "goodput",
+                    Json::fixed(base.packets as f64 / r.packets.max(1) as f64, 4),
+                )
+                .field(
+                    "retransmit_overhead",
+                    Json::fixed(r.retransmits as f64 / base.packets.max(1) as f64, 4),
+                )
+                .field(
+                    "cycle_inflation",
+                    Json::fixed(r.cycles as f64 / base.cycles.max(1) as f64, 4),
+                )
+                .build(),
+        );
+    }
+    let chaos = Json::obj()
+        .field("workload", "fig16-6x6x6-8fpga")
+        .field("smoke", smoke)
+        .field("per_cell", per_cell as i64)
+        .field("steps", Json::uint(steps))
+        .field("fault_seed", Json::uint(seed))
+        .field("baseline_cycles", Json::uint(base.cycles))
+        .field("baseline_packets", Json::uint(base.packets))
+        .field("bit_identical", true)
+        .field("sweep", Json::Arr(sweep))
+        .build();
+
+    let mut doc = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .unwrap_or_else(|| Json::obj().build());
+    match &mut doc {
+        Json::Obj(fields) => {
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "chaos") {
+                slot.1 = chaos;
+            } else {
+                fields.push(("chaos".to_string(), chaos));
+            }
+        }
+        other => *other = Json::Obj(vec![("chaos".to_string(), chaos)]),
+    }
+    std::fs::write(&out, doc.pretty()).expect("write benchmark result");
+    println!("merged chaos section into {out}");
+}

@@ -198,10 +198,10 @@ fn measure(
         burst_refused: 0,
     };
     for _ in 0..reps {
-        let (ts, _, rs) = run_once(sys, cfg, steps, &EngineConfig::serial());
-        let (te, _, re) = run_once(sys, cfg, steps, &engines.engine);
-        let (tf, sf, rf) = run_once(sys, cfg, steps, &engines.full);
-        let (ta, _, ra) = run_once(sys, cfg, steps, &engines.soa);
+        let (ts, _, rs) = run_once(sys, cfg.clone(), steps, &EngineConfig::serial());
+        let (te, _, re) = run_once(sys, cfg.clone(), steps, &engines.engine);
+        let (tf, sf, rf) = run_once(sys, cfg.clone(), steps, &engines.full);
+        let (ta, _, ra) = run_once(sys, cfg.clone(), steps, &engines.soa);
         assert_eq!(re, rs, "{name}: engine must stay bit-identical");
         assert_eq!(rf, rs, "{name}: burst engine must stay bit-identical");
         assert_eq!(ra, rs, "{name}: soa engine must stay bit-identical");
@@ -250,7 +250,7 @@ fn main() {
         WorkloadSpec::paper(SimulationSpace::cubic(6), 0xFA5DA).generate()
     };
     let dense = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
-    let mut straggler = dense;
+    let mut straggler = dense.clone();
     straggler.straggler = Some((0, stall));
     let scenarios = [
         Scenario { name: "dense", cfg: dense },
@@ -271,7 +271,7 @@ fn main() {
     let mut outcomes = Vec::new();
     for sc in &scenarios {
         rule(sc.name);
-        let o = measure(&sys, sc.cfg, steps, reps, sc.name, &engines);
+        let o = measure(&sys, sc.cfg.clone(), steps, reps, sc.name, &engines);
         println!(
             "{:<22}{:>10.3} s wall {:>8.2} s cpu",
             "serial reference", o.serial.wall, o.serial.cpu

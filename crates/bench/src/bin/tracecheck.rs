@@ -11,11 +11,14 @@
 //!   least one `force` phase span;
 //! * in the metrics document, each (node, step) stall breakdown sums
 //!   exactly to that record's `force_cycles` — the attribution
-//!   invariant `productive + Σ causes == force_cycles`.
+//!   invariant `productive + Σ causes == force_cycles` — with every
+//!   known stall-cause key (including the reliability layer's
+//!   `retransmit` / `wait-ack` classes) present and summing exactly to
+//!   `idle`.
 //!
 //! Exits non-zero with a message on the first violation.
 
-use fasda_trace::Json;
+use fasda_trace::{Json, StallCause};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -113,6 +116,24 @@ fn check_metrics(doc: &Json) -> Result<(), String> {
             if productive + idle != total {
                 return Err(format!(
                     "metrics: node {node} step {step}: productive {productive} + idle {idle} != total {total}"
+                ));
+            }
+            // Per-cause attribution: every cause key (including the
+            // reliability layer's retransmit / wait-ack) must be present
+            // and the breakdown must sum exactly to `idle`.
+            let mut causes = 0i64;
+            for cause in StallCause::ALL {
+                let v = s.get(cause.label()).and_then(Json::as_i64).ok_or_else(|| {
+                    format!(
+                        "metrics: node {node} step {step}: missing stall cause `{}`",
+                        cause.label()
+                    )
+                })?;
+                causes += v;
+            }
+            if causes != idle {
+                return Err(format!(
+                    "metrics: node {node} step {step}: Σ causes {causes} != idle {idle}"
                 ));
             }
             let want = force_cycles.get(&(node, step)).copied().ok_or_else(|| {

@@ -14,7 +14,7 @@
 
 use fasda_cluster::{
     chrome_trace, stall_json, trace_summary_json, Cluster, ClusterConfig, EngineConfig,
-    HostController, Json, TraceConfig, TraceLevel,
+    FaultPlan, HostController, Json, RelConfig, TraceConfig, TraceLevel,
 };
 use fasda_core::config::{ChipConfig, DesignVariant};
 use fasda_core::geometry::{ChipCoord, ChipGeometry};
@@ -103,12 +103,40 @@ fn usage() -> ExitCode {
         "usage:\n  fasda run --per-fpga 222 --total 444 [--steps N] [--variant A|B|C]\n\
          \x20           [--sync chained|bulk] [--dump-group N] [--per-cell 64] [--seed S]\n\
          \x20           [--threads N] [--serial]\n\
+         \x20           [--fault-plan SPEC] [--drop-rate P] [--fault-seed S] [--unreliable]\n\
          \x20           [--trace-out run.trace.json] [--metrics-out run.metrics.json]\n\
          \x20           [--trace-level off|sync|full]\n\
          \x20 fasda generate --total 444 --out system.pdb [--per-cell 64] [--seed S]\n\
-         \x20 fasda info --per-fpga 222 --total 444 [--variant A|B|C]"
+         \x20 fasda info --per-fpga 222 --total 444 [--variant A|B|C]\n\
+         \n\
+         fault-plan grammar: drop=P,corrupt=P,dup=P,delay=P:MAX,seed=N,kill=CHAN:SRC->DST:N\n\
+         (faults enable the reliable-delivery layer unless --unreliable is given)"
     );
     ExitCode::from(2)
+}
+
+/// `--fault-plan` / `--drop-rate` / `--fault-seed` → the seeded link-fault
+/// schedule injected at the switch boundary. Any faults turn the
+/// reliable-delivery layer (acks + retransmission) on, because chained
+/// sync deadlocks on a lost marker otherwise; `--unreliable` opts back
+/// out to study that failure mode.
+fn fault_plan(opts: &Opts) -> Result<Option<FaultPlan>, String> {
+    let mut plan = match opts.get("--fault-plan") {
+        Some(spec) => Some(FaultPlan::parse(spec)?),
+        None => None,
+    };
+    if let Some(p) = opts.get("--drop-rate") {
+        let p: f64 = p.parse().map_err(|_| "bad --drop-rate")?;
+        if !(0.0..1.0).contains(&p) {
+            return Err(format!("--drop-rate {p} out of [0,1)"));
+        }
+        plan = Some(plan.unwrap_or_else(FaultPlan::none).with_rate(|r| r.drop = p));
+    }
+    if let Some(s) = opts.get("--fault-seed") {
+        let s: u64 = s.parse().map_err(|_| "bad --fault-seed")?;
+        plan = Some(plan.unwrap_or_else(FaultPlan::none).with_seed(s));
+    }
+    Ok(plan)
 }
 
 fn variant(opts: &Opts) -> Result<DesignVariant, String> {
@@ -146,6 +174,12 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         "bulk" => SyncMode::Bulk { latency: 2_000 },
         other => return Err(format!("unknown sync mode '{other}'")),
     };
+    if let Some(plan) = fault_plan(opts)? {
+        cfg = cfg.with_faults(plan);
+        if !opts.has("--unreliable") {
+            cfg = cfg.with_reliability(RelConfig::DEFAULT);
+        }
+    }
 
     println!(
         "FASDA: {}x{}x{} cells ({} atoms) on {}x{}x{} cells/FPGA, variant {} ({}), {} steps",
@@ -171,7 +205,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let mut host = HostController::new(cluster);
     let run = host
         .run_iterations_with(steps, &eng)
-        .map_err(|e| format!("cluster stalled: {e}"))?;
+        .map_err(|e| e.to_string())?;
 
     println!("\nAXI-Lite result registers (per node):");
     println!(
@@ -206,6 +240,15 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         run.report.pos_gbps_per_node(),
         run.report.frc_gbps_per_node()
     );
+    if run.report.faults_injected > 0 {
+        println!("faults injected: {}", run.report.faults_injected);
+    }
+    if let Some(rel) = &run.report.reliability {
+        println!(
+            "reliable delivery: {} retransmits, {} acks, {} duplicates dropped, {} corrupt dropped",
+            rel.retransmits, rel.acks_sent, rel.duplicates_dropped, rel.corrupt_dropped
+        );
+    }
 
     let trace = host.take_trace();
     if let Some(out) = opts.get("--trace-out") {

@@ -1,7 +1,7 @@
 //! The cluster driver: chips + packetizers + fabric + synchronization.
 
-use crate::report::{ClusterRunReport, NodeStepReport};
-use crate::wire::{Cargo, Delivery};
+use crate::report::{ClusterRunReport, NodeStepReport, RelSummary};
+use crate::wire::{Cargo, Delivery, NetMsg};
 use fasda_core::config::ChipConfig;
 use fasda_core::geometry::{ChipCoord, ChipGeometry};
 use fasda_core::timed::ring::{FrcFlit, MigFlit, PosFlit};
@@ -10,7 +10,9 @@ use fasda_md::space::SimulationSpace;
 use fasda_md::system::ParticleSystem;
 use fasda_md::units::UnitSystem;
 use fasda_net::encap::Packetizer;
+use fasda_net::fault::{FaultChannel, FaultOutcome, FaultPlan, FaultState};
 use fasda_net::packet::PacketKind;
+use fasda_net::reliable::{Accept, LinkReceiver, LinkSender, RelConfig};
 use fasda_net::switch::SwitchFabric;
 use fasda_net::sync::{BulkBarrier, ChainedSync, SyncMode};
 use fasda_net::topology::Topology;
@@ -20,6 +22,7 @@ use fasda_trace::{
     TraceLevel,
 };
 use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::collections::BTreeMap;
 
 /// Safety cap on the global cycle loop.
 const MAX_RUN_CYCLES: u64 = 2_000_000_000;
@@ -39,6 +42,11 @@ const BURST_RETRY_COOLDOWN: u64 = 8;
 
 /// Upper bound for the exponential refusal backoff.
 const BURST_RETRY_COOLDOWN_MAX: u64 = 1024;
+
+/// Idle-streak length between deadlock scans on engines without
+/// fast-forward (which detect deadlock through their own event scan).
+/// The scan is O(nodes · peers); every 256 idle cycles it is noise.
+const DEADLOCK_SCAN_INTERVAL: u64 = 256;
 
 /// How the cluster's cycle loop is executed. The serial reference path
 /// ([`Cluster::try_run`]) and every engine configuration produce
@@ -159,7 +167,7 @@ impl Default for EngineConfig {
 }
 
 /// Configuration of a multi-FPGA run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// Per-chip architecture configuration.
     pub chip: ChipConfig,
@@ -182,7 +190,19 @@ pub struct ClusterConfig {
     /// fabrics. UDP has no retransmission, so any loss deadlocks the
     /// chained synchronization — use with [`Cluster::try_run`] to observe
     /// the stall the paper's cooldown counters exist to prevent (§5.4).
+    /// Superseded by [`ClusterConfig::faults`], which injects at the
+    /// reliable-delivery boundary instead of inside the fabric.
     pub loss: Option<(f64, u64)>,
+    /// Optional seeded link-fault schedule (drop / corrupt / duplicate /
+    /// delay + targeted marker kills) applied at transmit time in the
+    /// serial network phase — deterministic and engine-invariant.
+    pub faults: Option<FaultPlan>,
+    /// Optional reliable-delivery layer: per-link sequence numbers,
+    /// cumulative acks, and timeout retransmission. With it on, chained
+    /// sync converges under any finite fault schedule; with it off, a
+    /// lost marker deadlocks the run (detected, not spun — see
+    /// [`DeadlockDetected`]).
+    pub reliability: Option<RelConfig>,
 }
 
 impl ClusterConfig {
@@ -198,7 +218,21 @@ impl ClusterConfig {
             dt_fs: 2.0,
             straggler: None,
             loss: None,
+            faults: None,
+            reliability: None,
         }
+    }
+
+    /// Attach a seeded fault schedule.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enable the reliable-delivery layer.
+    pub fn with_reliability(mut self, rel: RelConfig) -> Self {
+        self.reliability = Some(rel);
+        self
     }
 }
 
@@ -225,6 +259,87 @@ impl std::fmt::Display for ClusterStalled {
 }
 
 impl std::error::Error for ClusterStalled {}
+
+/// A provable deadlock: every node quiescent, nothing scheduled on any
+/// fabric, inbox, packetizer, barrier, or retransmission timer — the
+/// cluster can never make progress again. The classic cause is a lost
+/// `last` marker with the reliability layer off (§4.4).
+#[derive(Clone, Debug)]
+pub struct DeadlockDetected {
+    /// Cycle at which the deadlock was proven.
+    pub at_cycle: u64,
+    /// Nodes still waiting: `(node, step, phase)`.
+    pub starving: Vec<(usize, u64, String)>,
+    /// Packets lost by the fabrics so far.
+    pub packets_lost: u64,
+}
+
+impl std::fmt::Display for DeadlockDetected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cluster deadlocked at cycle {} ({} packets lost); starving nodes:",
+            self.at_cycle, self.packets_lost
+        )?;
+        for (node, step, phase) in &self.starving {
+            write!(f, " node {node} at step {step} in {phase};")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DeadlockDetected {}
+
+/// Why a fallible cluster run did not complete.
+#[derive(Clone, Debug)]
+pub enum ClusterError {
+    /// The cycle budget ran out before all steps finished.
+    Stalled(ClusterStalled),
+    /// The run can provably never finish (e.g. a lost sync marker with
+    /// reliability off).
+    Deadlock(DeadlockDetected),
+}
+
+impl ClusterError {
+    /// Packets lost by the fabrics when the run gave up.
+    pub fn packets_lost(&self) -> u64 {
+        match self {
+            ClusterError::Stalled(s) => s.packets_lost,
+            ClusterError::Deadlock(d) => d.packets_lost,
+        }
+    }
+
+    /// Cycle at which the run gave up.
+    pub fn at_cycle(&self) -> u64 {
+        match self {
+            ClusterError::Stalled(s) => s.at_cycle,
+            ClusterError::Deadlock(d) => d.at_cycle,
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Stalled(s) => s.fmt(f),
+            ClusterError::Deadlock(d) => d.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<ClusterStalled> for ClusterError {
+    fn from(s: ClusterStalled) -> Self {
+        ClusterError::Stalled(s)
+    }
+}
+
+impl From<DeadlockDetected> for ClusterError {
+    fn from(d: DeadlockDetected) -> Self {
+        ClusterError::Deadlock(d)
+    }
+}
 
 /// Per-node execution state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -260,6 +375,124 @@ struct NodeState {
     barrier_release: Option<u64>,
 }
 
+/// Channel index for the per-node reliability link maps (pos, frc, mig).
+#[inline]
+fn chan_index(kind: PacketKind) -> usize {
+    match kind {
+        PacketKind::Position => 0,
+        PacketKind::Force => 1,
+        PacketKind::Migration => 2,
+    }
+}
+
+#[inline]
+fn chan_of(kind: PacketKind) -> FaultChannel {
+    match kind {
+        PacketKind::Position => FaultChannel::Pos,
+        PacketKind::Force => FaultChannel::Frc,
+        PacketKind::Migration => FaultChannel::Mig,
+    }
+}
+
+#[inline]
+fn channel_id(kind: PacketKind) -> ChannelId {
+    match kind {
+        PacketKind::Position => ChannelId::Pos,
+        PacketKind::Force => ChannelId::Frc,
+        PacketKind::Migration => ChannelId::Mig,
+    }
+}
+
+/// Runtime state of the reliable-delivery layer: one
+/// [`LinkSender`]/[`LinkReceiver`] pair per *(node, channel, peer)*
+/// link, created lazily on first use. All mutations happen in the
+/// serial network/delivery phases, so the state (and everything derived
+/// from it — stall classes, retransmit deadlines) is engine-invariant.
+#[derive(Clone, Debug)]
+struct RelState {
+    cfg: RelConfig,
+    /// `tx[node][channel][peer]` — outbound link senders.
+    tx: Vec<[BTreeMap<usize, LinkSender<Delivery>>; 3]>,
+    /// `rx[node][channel][peer]` — inbound link receivers.
+    rx: Vec<[BTreeMap<usize, LinkReceiver<Delivery>>; 3]>,
+    /// Cumulative acks put on the fabric.
+    acks_sent: u64,
+    /// Corrupted frames discarded at receivers (checksum failures).
+    corrupt_dropped: u64,
+}
+
+impl RelState {
+    fn new(cfg: RelConfig, nodes: usize) -> Self {
+        RelState {
+            cfg,
+            tx: (0..nodes).map(|_| Default::default()).collect(),
+            rx: (0..nodes).map(|_| Default::default()).collect(),
+            acks_sent: 0,
+            corrupt_dropped: 0,
+        }
+    }
+
+    fn sender(&mut self, node: usize, kind: PacketKind, peer: usize) -> &mut LinkSender<Delivery> {
+        let cfg = self.cfg;
+        self.tx[node][chan_index(kind)]
+            .entry(peer)
+            .or_insert_with(|| LinkSender::new(cfg))
+    }
+
+    fn receiver(
+        &mut self,
+        node: usize,
+        kind: PacketKind,
+        peer: usize,
+    ) -> &mut LinkReceiver<Delivery> {
+        self.rx[node][chan_index(kind)].entry(peer).or_default()
+    }
+
+    /// Earliest retransmission deadline across one node's outbound links.
+    fn next_retx_due(&self, node: usize) -> Option<u64> {
+        self.tx[node]
+            .iter()
+            .flat_map(|links| links.values())
+            .filter_map(LinkSender::next_retx_due)
+            .min()
+    }
+
+    /// Whether any of the node's outbound links is actively
+    /// retransmitting (head packet has ≥ 1 failed attempt).
+    fn retransmitting(&self, node: usize) -> bool {
+        self.tx[node]
+            .iter()
+            .flat_map(|links| links.values())
+            .any(LinkSender::retransmitting)
+    }
+
+    /// Whether any of the node's outbound links has unacked packets.
+    fn inflight(&self, node: usize) -> bool {
+        self.tx[node]
+            .iter()
+            .flat_map(|links| links.values())
+            .any(|s| s.inflight() > 0)
+    }
+
+    fn total_retransmits(&self) -> u64 {
+        self.tx
+            .iter()
+            .flat_map(|n| n.iter())
+            .flat_map(|links| links.values())
+            .map(|s| s.retransmits)
+            .sum()
+    }
+
+    fn total_duplicates(&self) -> u64 {
+        self.rx
+            .iter()
+            .flat_map(|n| n.iter())
+            .flat_map(|links| links.values())
+            .map(|r| r.duplicates)
+            .sum()
+    }
+}
+
 /// The multi-FPGA FASDA system.
 pub struct Cluster {
     cfg: ClusterConfig,
@@ -280,7 +513,11 @@ pub struct Cluster {
     pub pos_fabric: SwitchFabric,
     /// Force-port fabric.
     pub frc_fabric: SwitchFabric,
-    inbox: Vec<MessageQueue<Delivery>>,
+    inbox: Vec<MessageQueue<NetMsg>>,
+    /// Seeded fault injection (None = clean fabric).
+    faults: Option<FaultState>,
+    /// Reliable-delivery layer (None = raw UDP semantics).
+    rel: Option<RelState>,
     state: Vec<NodeState>,
     stalls: Vec<u64>,
     barrier_mu: BulkBarrier,
@@ -386,6 +623,24 @@ impl Cluster {
             SyncMode::Chained => 0,
         };
 
+        let pos_fabric = match cfg.loss {
+            Some((p, seed)) => {
+                SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle).with_loss(p, seed)
+            }
+            None => SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle),
+        };
+        let frc_fabric = match cfg.loss {
+            Some((p, seed)) => SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle)
+                .with_loss(p, seed.wrapping_add(1)),
+            None => SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle),
+        };
+        let faults = cfg
+            .faults
+            .clone()
+            .filter(|p| !p.is_none())
+            .map(FaultState::new);
+        let rel = cfg.reliability.map(|rc| RelState::new(rc, n));
+
         Cluster {
             cfg,
             global,
@@ -396,18 +651,11 @@ impl Cluster {
             pos_pz,
             frc_pz,
             mig_pz,
-            pos_fabric: match cfg.loss {
-                Some((p, seed)) => {
-                    SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle).with_loss(p, seed)
-                }
-                None => SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle),
-            },
-            frc_fabric: match cfg.loss {
-                Some((p, seed)) => SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle)
-                    .with_loss(p, seed.wrapping_add(1)),
-                None => SwitchFabric::new(cfg.topology, n, cfg.bits_per_cycle),
-            },
+            pos_fabric,
+            frc_fabric,
             inbox: (0..n).map(|_| MessageQueue::new()).collect(),
+            faults,
+            rel,
             state: vec![
                 NodeState {
                     step: 0,
@@ -474,10 +722,11 @@ impl Cluster {
     }
 
     /// Run `steps` timesteps with an explicit cycle budget; returns
-    /// `Err(ClusterStalled)` instead of panicking when progress stops —
-    /// the observable consequence of, e.g., injected packet loss starving
-    /// the chained synchronization.
-    pub fn try_run(&mut self, steps: u64, cycle_budget: u64) -> Result<ClusterRunReport, ClusterStalled> {
+    /// `Err(ClusterError)` instead of panicking when progress stops:
+    /// [`ClusterError::Stalled`] when the budget ran out, or
+    /// [`ClusterError::Deadlock`] when the driver proves no event can
+    /// ever fire again (e.g. a lost sync marker with reliability off).
+    pub fn try_run(&mut self, steps: u64, cycle_budget: u64) -> Result<ClusterRunReport, ClusterError> {
         self.try_run_with(steps, cycle_budget, &EngineConfig::serial())
     }
 
@@ -501,7 +750,7 @@ impl Cluster {
         steps: u64,
         cycle_budget: u64,
         engine: &EngineConfig,
-    ) -> Result<ClusterRunReport, ClusterStalled> {
+    ) -> Result<ClusterRunReport, ClusterError> {
         assert!(steps > 0);
         let run_start = self.cycle;
         let pool = if engine.threads > 1 {
@@ -553,6 +802,7 @@ impl Cluster {
         // scan again immediately.
         let mut burst_cooldown = 0u64;
         let mut burst_backoff = BURST_RETRY_COOLDOWN;
+        let mut idle_streak = 0u64;
 
         while !self.all_done(steps) {
             let stepped = self.compute_phase(pool.as_ref());
@@ -584,7 +834,24 @@ impl Cluster {
             let delivered = self.deliver_due();
             self.cycle += 1;
             if self.cycle - run_start >= cycle_budget {
-                return Err(self.stalled());
+                return Err(self.stalled().into());
+            }
+            // Deadlock detection for engines without fast-forward (the
+            // fast-forward scan below proves deadlock itself): on a long
+            // idle streak — no chip ticked, nothing delivered — scan the
+            // event horizon; when nothing is scheduled anywhere, the
+            // cluster can provably never progress again.
+            if !engine.fast_forward {
+                if stepped || delivered {
+                    idle_streak = 0;
+                } else {
+                    idle_streak += 1;
+                    if idle_streak.is_multiple_of(DEADLOCK_SCAN_INTERVAL)
+                        && matches!(self.next_event_cycle(), NextEvent::Never)
+                    {
+                        return Err(self.deadlocked().into());
+                    }
+                }
             }
             // Burst stepping: when every node's external interfaces are
             // provably quiet for the next W cycles, advance all busy
@@ -604,7 +871,7 @@ impl Cluster {
                         burst_backoff = (burst_backoff * 2).min(BURST_RETRY_COOLDOWN_MAX);
                     }
                     if self.cycle >= cap {
-                        return Err(self.stalled());
+                        return Err(self.stalled().into());
                     }
                 }
             }
@@ -620,11 +887,12 @@ impl Cluster {
                     NextEvent::Busy => {}
                     NextEvent::At(t) => self.jump_to(t.min(cap)),
                     // Nothing scheduled and nodes still waiting: a true
-                    // deadlock (e.g. a lost packet) — spin out the budget.
-                    NextEvent::Never => self.jump_to(cap),
+                    // deadlock (e.g. a lost sync marker) — report it
+                    // instead of spinning out the budget.
+                    NextEvent::Never => return Err(self.deadlocked().into()),
                 }
                 if self.cycle >= cap {
-                    return Err(self.stalled());
+                    return Err(self.stalled().into());
                 }
             }
         }
@@ -639,6 +907,20 @@ impl Cluster {
                 .state
                 .iter()
                 .map(|s| (s.step, format!("{:?}", s.phase)))
+                .collect(),
+            packets_lost: self.pos_fabric.packets_lost + self.frc_fabric.packets_lost,
+        }
+    }
+
+    fn deadlocked(&self) -> DeadlockDetected {
+        DeadlockDetected {
+            at_cycle: self.cycle,
+            starving: self
+                .state
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.phase != NodePhase::Done)
+                .map(|(n, s)| (n, s.step, format!("{:?}", s.phase)))
                 .collect(),
             packets_lost: self.pos_fabric.packets_lost + self.frc_fabric.packets_lost,
         }
@@ -788,8 +1070,10 @@ impl Cluster {
     /// precedence order: an injected stall freezes the node outright; a
     /// completed sync handshake means the phase transition fires on the
     /// next exchange (drained); packets parked in a packetizer are waiting
-    /// out the departure cooldown; otherwise the node is drained locally
-    /// and waiting on a neighbour's markers or data.
+    /// out the departure cooldown; an outbound link mid-retransmission
+    /// (or merely waiting on acks) pins the wait on the reliability
+    /// layer; otherwise the node is drained locally and waiting on a
+    /// neighbour's markers or data.
     fn classify_idle(&self, node: usize) -> StallCause {
         if self.stalls[node] > 0 {
             return StallCause::Injected;
@@ -799,6 +1083,14 @@ impl Cluster {
         }
         if self.pos_pz[node].pending() > 0 || self.frc_pz[node].pending() > 0 {
             return StallCause::TxCooldown;
+        }
+        if let Some(rel) = &self.rel {
+            if rel.retransmitting(node) {
+                return StallCause::Retransmit;
+            }
+            if rel.inflight(node) {
+                return StallCause::WaitAck;
+            }
         }
         StallCause::WaitNeighborSync
     }
@@ -1158,6 +1450,14 @@ impl Cluster {
             if let Some(d) = self.mig_pz[node].next_departure(self.cycle) {
                 note(d);
             }
+            // Retransmission timers are event sources too: with anything
+            // unacked there is always a deadline, so `Never` (deadlock)
+            // is unreachable while the reliability layer still has work.
+            if let Some(rel) = &self.rel {
+                if let Some(d) = rel.next_retx_due(node) {
+                    note(d);
+                }
+            }
         }
         match next {
             Some(t) => NextEvent::At(t.max(self.cycle)),
@@ -1206,6 +1506,16 @@ impl Cluster {
                     return 0;
                 }
                 bound(&mut w, d - self.cycle);
+            }
+            // Retransmission deadlines fire in the (skipped) network
+            // phase, so the window must close before the earliest one.
+            if let Some(rel) = &self.rel {
+                if let Some(d) = rel.next_retx_due(node) {
+                    if d <= self.cycle {
+                        return 0;
+                    }
+                    bound(&mut w, d - self.cycle);
+                }
             }
             for d in [
                 self.pos_pz[node].next_departure(self.cycle),
@@ -1362,46 +1672,248 @@ impl Cluster {
         for node in 0..self.num_nodes() {
             if let Some((peer, pkt)) = self.pos_pz[node].tick(self.cycle) {
                 self.note_packet_sent(node, ChannelId::Pos, peer, pkt.payloads.len(), pkt.last);
-                if let Some(at) = self.pos_fabric.send_lossy(self.cycle, node, peer) {
-                    self.inbox[peer].send(
-                        at,
-                        Delivery {
-                            from: node,
-                            cargo: Cargo::Pos(pkt.payloads),
-                            last: pkt.last,
-                            step: pkt.step,
-                        },
-                    );
-                }
+                self.transmit(
+                    node,
+                    peer,
+                    Delivery {
+                        from: node,
+                        cargo: Cargo::Pos(pkt.payloads),
+                        last: pkt.last,
+                        step: pkt.step,
+                        seq: 0,
+                        corrupt: false,
+                    },
+                );
             }
             if let Some((peer, pkt)) = self.frc_pz[node].tick(self.cycle) {
                 self.note_packet_sent(node, ChannelId::Frc, peer, pkt.payloads.len(), pkt.last);
-                if let Some(at) = self.frc_fabric.send_lossy(self.cycle, node, peer) {
-                    self.inbox[peer].send(
-                        at,
-                        Delivery {
-                            from: node,
-                            cargo: Cargo::Frc(pkt.payloads),
-                            last: pkt.last,
-                            step: pkt.step,
-                        },
-                    );
-                }
+                self.transmit(
+                    node,
+                    peer,
+                    Delivery {
+                        from: node,
+                        cargo: Cargo::Frc(pkt.payloads),
+                        last: pkt.last,
+                        step: pkt.step,
+                        seq: 0,
+                        corrupt: false,
+                    },
+                );
             }
             if let Some((peer, pkt)) = self.mig_pz[node].tick(self.cycle) {
                 self.note_packet_sent(node, ChannelId::Mig, peer, pkt.payloads.len(), pkt.last);
-                if let Some(at) = self.pos_fabric.send_lossy(self.cycle, node, peer) {
-                    self.inbox[peer].send(
-                        at,
-                        Delivery {
-                            from: node,
-                            cargo: Cargo::Mig(pkt.payloads),
-                            last: pkt.last,
-                            step: pkt.step,
-                        },
-                    );
+                self.transmit(
+                    node,
+                    peer,
+                    Delivery {
+                        from: node,
+                        cargo: Cargo::Mig(pkt.payloads),
+                        last: pkt.last,
+                        step: pkt.step,
+                        seq: 0,
+                        corrupt: false,
+                    },
+                );
+            }
+        }
+        if self.rel.is_some() {
+            self.poll_retransmits();
+        }
+    }
+
+    /// Launch one fresh frame: assign its per-link sequence number and
+    /// buffer it for retransmission (reliability on), then put it on the
+    /// fabric through the fault plan.
+    fn transmit(&mut self, node: usize, peer: usize, mut d: Delivery) {
+        if let Some(rel) = &mut self.rel {
+            let kind = d.cargo.kind();
+            // The stored copy keeps seq 0; retransmissions are re-tagged
+            // from the sequence `poll_retransmit` reports.
+            let seq = rel.sender(node, kind, peer).launch(self.cycle, d.clone());
+            d.seq = seq;
+        }
+        self.put_on_wire(node, peer, d);
+    }
+
+    /// Apply the fault plan to one frame and schedule its delivery (or
+    /// loss) on the channel's fabric. Runs only in the serial network /
+    /// delivery phases, so outcomes are engine-invariant.
+    fn put_on_wire(&mut self, node: usize, peer: usize, mut d: Delivery) {
+        let kind = d.cargo.kind();
+        let outcome = match &mut self.faults {
+            Some(f) => f.on_transmit(chan_of(kind), node as u32, peer as u32, d.last),
+            None => FaultOutcome::Deliver,
+        };
+        let channel = channel_id(kind);
+        let to = peer as u32;
+        let seq = d.seq;
+        match outcome {
+            FaultOutcome::Deliver => {
+                // `send_lossy` preserves the legacy `ClusterConfig::loss`
+                // model (plain `send` when no loss is configured).
+                if let Some(at) = self.fabric_send_lossy(kind, node, peer) {
+                    self.inbox[peer].send(at, NetMsg::Data(d));
                 }
             }
+            FaultOutcome::Drop | FaultOutcome::Kill => {
+                let kill = outcome == FaultOutcome::Kill;
+                self.fabric_drop(kind, node);
+                self.trace_node_event(node, EventKind::FaultDrop { channel, to, seq, kill });
+            }
+            FaultOutcome::Corrupt => {
+                let at = self.fabric_send(kind, node, peer);
+                d.corrupt = true;
+                self.inbox[peer].send(at, NetMsg::Data(d));
+                self.trace_node_event(node, EventKind::FaultCorrupt { channel, to, seq });
+            }
+            FaultOutcome::Duplicate => {
+                let at1 = self.fabric_send(kind, node, peer);
+                let at2 = self.fabric_send(kind, node, peer);
+                self.inbox[peer].send(at1, NetMsg::Data(d.clone()));
+                self.inbox[peer].send(at2, NetMsg::Data(d));
+                self.trace_node_event(node, EventKind::FaultDuplicate { channel, to, seq });
+            }
+            FaultOutcome::Delay(extra) => {
+                let at = self.fabric_send(kind, node, peer) + extra;
+                self.inbox[peer].send(at, NetMsg::Data(d));
+                self.trace_node_event(node, EventKind::FaultDelay { channel, to, seq, extra });
+            }
+        }
+    }
+
+    /// Retransmit every link whose head-of-line timeout expired this
+    /// cycle. Deterministic iteration (node, then channel, then peer in
+    /// BTreeMap order) keeps fabric port bookkeeping engine-invariant.
+    fn poll_retransmits(&mut self) {
+        const KINDS: [PacketKind; 3] =
+            [PacketKind::Position, PacketKind::Force, PacketKind::Migration];
+        for node in 0..self.num_nodes() {
+            let due = self.rel.as_ref().and_then(|r| r.next_retx_due(node));
+            if due.is_none_or(|d| d > self.cycle) {
+                continue;
+            }
+            for kind in KINDS {
+                let peers: Vec<usize> = self.rel.as_ref().map_or_else(Vec::new, |r| {
+                    r.tx[node][chan_index(kind)].keys().copied().collect()
+                });
+                for peer in peers {
+                    let polled = self
+                        .rel
+                        .as_mut()
+                        .and_then(|r| r.tx[node][chan_index(kind)].get_mut(&peer))
+                        .and_then(|s| s.poll_retransmit(self.cycle));
+                    if let Some((seq, mut d, attempt)) = polled {
+                        d.seq = seq;
+                        self.trace_node_event(
+                            node,
+                            EventKind::Retransmit {
+                                channel: channel_id(kind),
+                                to: peer as u32,
+                                seq,
+                                attempt,
+                            },
+                        );
+                        self.put_on_wire(node, peer, d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Send a cumulative ack back to `peer` on the channel's fabric. Ack
+    /// frames cost a full 512-bit fabric send and pass through the fault
+    /// plan like any other frame (a corrupted ack is a lost ack).
+    fn send_ack(&mut self, node: usize, kind: PacketKind, peer: usize, seq: u32) {
+        if let Some(rel) = &mut self.rel {
+            rel.acks_sent += 1;
+        }
+        if self.tracing && self.chips[node].trace_mut().wants(TraceLevel::Full) {
+            let cycle = self.cycle;
+            self.chips[node].trace_mut().push(
+                cycle,
+                EventKind::AckSent { channel: channel_id(kind), to: peer as u32, seq },
+            );
+        }
+        let outcome = match &mut self.faults {
+            Some(f) => f.on_transmit(chan_of(kind), node as u32, peer as u32, false),
+            None => FaultOutcome::Deliver,
+        };
+        let channel = channel_id(kind);
+        let msg = NetMsg::Ack { channel: kind, from: node, seq };
+        match outcome {
+            FaultOutcome::Deliver => {
+                let at = self.fabric_send(kind, node, peer);
+                self.inbox[peer].send(at, msg);
+            }
+            FaultOutcome::Drop | FaultOutcome::Kill => {
+                self.fabric_drop(kind, node);
+                self.trace_node_event(
+                    node,
+                    EventKind::FaultDrop { channel, to: peer as u32, seq, kill: false },
+                );
+            }
+            FaultOutcome::Corrupt => {
+                // A corrupted ack frame fails the receiver's checksum —
+                // observably a lost ack that still burned the tx port.
+                self.fabric_drop(kind, node);
+                self.trace_node_event(
+                    node,
+                    EventKind::FaultCorrupt { channel, to: peer as u32, seq },
+                );
+            }
+            FaultOutcome::Duplicate => {
+                let at1 = self.fabric_send(kind, node, peer);
+                let at2 = self.fabric_send(kind, node, peer);
+                self.inbox[peer].send(at1, msg.clone());
+                self.inbox[peer].send(at2, msg);
+                self.trace_node_event(
+                    node,
+                    EventKind::FaultDuplicate { channel, to: peer as u32, seq },
+                );
+            }
+            FaultOutcome::Delay(extra) => {
+                let at = self.fabric_send(kind, node, peer) + extra;
+                self.inbox[peer].send(at, msg);
+                self.trace_node_event(
+                    node,
+                    EventKind::FaultDelay { channel, to: peer as u32, seq, extra },
+                );
+            }
+        }
+    }
+
+    /// The fabric a packet kind travels on: force traffic has its own
+    /// QSFP port; positions and migration share the other (§5.4).
+    #[inline]
+    fn fabric_send(&mut self, kind: PacketKind, src: usize, dst: usize) -> u64 {
+        match kind {
+            PacketKind::Force => self.frc_fabric.send(self.cycle, src, dst),
+            _ => self.pos_fabric.send(self.cycle, src, dst),
+        }
+    }
+
+    #[inline]
+    fn fabric_send_lossy(&mut self, kind: PacketKind, src: usize, dst: usize) -> Option<u64> {
+        match kind {
+            PacketKind::Force => self.frc_fabric.send_lossy(self.cycle, src, dst),
+            _ => self.pos_fabric.send_lossy(self.cycle, src, dst),
+        }
+    }
+
+    #[inline]
+    fn fabric_drop(&mut self, kind: PacketKind, src: usize) {
+        match kind {
+            PacketKind::Force => self.frc_fabric.drop_at_tx(self.cycle, src),
+            _ => self.pos_fabric.drop_at_tx(self.cycle, src),
+        }
+    }
+
+    /// Record a sync-tier event on a node's stream at the current cycle.
+    #[inline]
+    fn trace_node_event(&mut self, node: usize, ev: EventKind) {
+        if self.tracing {
+            let cycle = self.cycle;
+            self.chips[node].trace_mut().push(cycle, ev);
         }
     }
 
@@ -1432,66 +1944,108 @@ impl Cluster {
     fn deliver_due(&mut self) -> bool {
         let mut delivered = false;
         for node in 0..self.num_nodes() {
-            while let Some(d) = self.inbox[node].pop_due(self.cycle) {
+            while let Some(msg) = self.inbox[node].pop_due(self.cycle) {
                 delivered = true;
-                self.quiet[node] = false;
-                let kind = d.cargo.kind();
-                let channel = match kind {
-                    PacketKind::Position => ChannelId::Pos,
-                    PacketKind::Force => ChannelId::Frc,
-                    PacketKind::Migration => ChannelId::Mig,
-                };
-                if self.tracing && self.chips[node].trace_mut().wants(TraceLevel::Full) {
-                    let payloads = match &d.cargo {
-                        Cargo::Pos(f) => f.len(),
-                        Cargo::Frc(f) => f.len(),
-                        Cargo::Mig(f) => f.len(),
-                    } as u32;
-                    let cycle = self.cycle;
-                    self.chips[node].trace_mut().push(
-                        cycle,
-                        EventKind::PacketDelivered {
-                            channel,
-                            from: d.from as u32,
-                            payloads,
-                            last: d.last,
-                        },
-                    );
-                }
-                match d.cargo {
-                    Cargo::Pos(flits) => {
-                        for f in flits {
-                            self.chips[node].ingest_remote_pos(f);
+                match msg {
+                    NetMsg::Ack { channel, from, seq } => {
+                        // Acks don't touch chip state: `quiet` stays as-is.
+                        if let Some(rel) = &mut self.rel {
+                            rel.sender(node, channel, from).on_ack(self.cycle, seq);
                         }
                     }
-                    Cargo::Frc(flits) => {
-                        for f in flits {
-                            self.chips[node].ingest_remote_frc(f);
+                    NetMsg::Data(d) => {
+                        self.quiet[node] = false;
+                        let kind = d.cargo.kind();
+                        if self.tracing && self.chips[node].trace_mut().wants(TraceLevel::Full) {
+                            let payloads = match &d.cargo {
+                                Cargo::Pos(f) => f.len(),
+                                Cargo::Frc(f) => f.len(),
+                                Cargo::Mig(f) => f.len(),
+                            } as u32;
+                            let cycle = self.cycle;
+                            self.chips[node].trace_mut().push(
+                                cycle,
+                                EventKind::PacketDelivered {
+                                    channel: channel_id(kind),
+                                    from: d.from as u32,
+                                    payloads,
+                                    last: d.last,
+                                },
+                            );
                         }
-                    }
-                    Cargo::Mig(flits) => {
-                        for f in flits {
-                            self.chips[node].ingest_remote_mig(f);
+                        if d.corrupt {
+                            // Failed checksum: the frame burned rx
+                            // bandwidth but is discarded unacked, so the
+                            // sender's timeout recovers it.
+                            if let Some(rel) = &mut self.rel {
+                                rel.corrupt_dropped += 1;
+                            }
+                        } else if self.rel.is_some() {
+                            let from = d.from;
+                            let seq = d.seq;
+                            let accept = self
+                                .rel
+                                .as_mut()
+                                .expect("checked")
+                                .receiver(node, kind, from)
+                                .accept(seq, d);
+                            match accept {
+                                Accept::Deliver { payloads, cumulative } => {
+                                    for (_, dd) in payloads {
+                                        self.ingest(node, dd);
+                                    }
+                                    self.send_ack(node, kind, from, cumulative);
+                                }
+                                Accept::Buffered { cumulative }
+                                | Accept::Duplicate { cumulative } => {
+                                    self.send_ack(node, kind, from, cumulative);
+                                }
+                            }
+                        } else {
+                            self.ingest(node, d);
                         }
-                    }
-                }
-                if d.last {
-                    self.sync[node].on_marker(kind, d.from, d.step);
-                    if self.tracing {
-                        let cycle = self.cycle;
-                        self.chips[node].trace_mut().push(
-                            cycle,
-                            EventKind::MarkerRecv {
-                                channel,
-                                from: d.from as u32,
-                                step: d.step,
-                            },
-                        );
                     }
                 }
             }
         }
         delivered
+    }
+
+    /// Hand one in-order data frame to the destination chip and advance
+    /// the chained-sync tracker on its `last` marker.
+    fn ingest(&mut self, node: usize, d: Delivery) {
+        let kind = d.cargo.kind();
+        match d.cargo {
+            Cargo::Pos(flits) => {
+                for f in flits {
+                    self.chips[node].ingest_remote_pos(f);
+                }
+            }
+            Cargo::Frc(flits) => {
+                for f in flits {
+                    self.chips[node].ingest_remote_frc(f);
+                }
+            }
+            Cargo::Mig(flits) => {
+                for f in flits {
+                    self.chips[node].ingest_remote_mig(f);
+                }
+            }
+        }
+        if d.last {
+            self.sync[node].on_marker(kind, d.from, d.step);
+            if self.tracing {
+                let cycle = self.cycle;
+                self.chips[node].trace_mut().push(
+                    cycle,
+                    EventKind::MarkerRecv {
+                        channel: channel_id(kind),
+                        from: d.from as u32,
+                        step: d.step,
+                    },
+                );
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1535,6 +2089,13 @@ impl Cluster {
             clock_hz: self.cfg.chip.hw.clock_hz,
             dt_fs: self.cfg.dt_fs,
             nodes: self.num_nodes(),
+            faults_injected: self.faults.as_ref().map_or(0, |f| f.total_injected()),
+            reliability: self.rel.as_ref().map(|r| RelSummary {
+                retransmits: r.total_retransmits(),
+                acks_sent: r.acks_sent,
+                duplicates_dropped: r.total_duplicates(),
+                corrupt_dropped: r.corrupt_dropped,
+            }),
         }
     }
 }

@@ -10,7 +10,7 @@
 //! [`AxiLiteRegs`], and dump the particle contents of a chosen cell
 //! group.
 
-use crate::driver::{Cluster, ClusterStalled, EngineConfig};
+use crate::driver::{Cluster, ClusterError, EngineConfig};
 use crate::report::ClusterRunReport;
 use fasda_core::timed::axi::AxiLiteRegs;
 use fasda_md::system::ParticleSystem;
@@ -62,7 +62,7 @@ impl HostController {
 
     /// `run.py <num_iterations>`: execute iterations and read back every
     /// node's result registers.
-    pub fn run_iterations(&mut self, num_iterations: u64) -> Result<HostRun, ClusterStalled> {
+    pub fn run_iterations(&mut self, num_iterations: u64) -> Result<HostRun, ClusterError> {
         self.run_iterations_with(num_iterations, &EngineConfig::serial())
     }
 
@@ -72,7 +72,7 @@ impl HostController {
         &mut self,
         num_iterations: u64,
         engine: &EngineConfig,
-    ) -> Result<HostRun, ClusterStalled> {
+    ) -> Result<HostRun, ClusterError> {
         let report = self
             .cluster
             .try_run_with(num_iterations, 2_000_000_000, engine)?;

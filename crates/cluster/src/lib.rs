@@ -18,7 +18,10 @@ pub mod host;
 pub mod report;
 pub mod wire;
 
-pub use driver::{Cluster, ClusterConfig, ClusterStalled, EngineConfig};
+pub use driver::{Cluster, ClusterConfig, ClusterError, ClusterStalled, DeadlockDetected, EngineConfig};
+pub use fasda_net::fault::{FaultChannel, FaultPlan, LinkFaults, MarkerKill};
+pub use fasda_net::reliable::RelConfig;
+pub use report::RelSummary;
 pub use host::{HostController, HostRun};
 pub use report::{ClusterRunReport, NodeStepReport};
 

@@ -22,6 +22,20 @@ pub struct NodeStepReport {
     pub wall_end: u64,
 }
 
+/// Reliability-layer counters for one run (present only when the
+/// retransmission layer was enabled).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelSummary {
+    /// Frames re-sent after a head-of-line timeout.
+    pub retransmits: u64,
+    /// Cumulative acks put on the fabric.
+    pub acks_sent: u64,
+    /// Frames discarded by the receiver's dedup window.
+    pub duplicates_dropped: u64,
+    /// Frames discarded for failing the checksum (fault-corrupted).
+    pub corrupt_dropped: u64,
+}
+
 /// Aggregate report for a multi-step cluster run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ClusterRunReport {
@@ -50,6 +64,10 @@ pub struct ClusterRunReport {
     pub dt_fs: f64,
     /// Node count.
     pub nodes: usize,
+    /// Faults the plan injected (0 when no fault plan was active).
+    pub faults_injected: u64,
+    /// Reliability-layer counters, when the layer was on.
+    pub reliability: Option<RelSummary>,
 }
 
 impl ClusterRunReport {
@@ -165,6 +183,19 @@ impl ClusterRunReport {
             )
             .field("utilization", Json::Arr(util))
             .field("records", Json::Arr(steps))
+            .field("faults_injected", Json::uint(self.faults_injected))
+            .field(
+                "reliability",
+                match &self.reliability {
+                    None => Json::Null,
+                    Some(r) => Json::obj()
+                        .field("retransmits", Json::uint(r.retransmits))
+                        .field("acks_sent", Json::uint(r.acks_sent))
+                        .field("duplicates_dropped", Json::uint(r.duplicates_dropped))
+                        .field("corrupt_dropped", Json::uint(r.corrupt_dropped))
+                        .build(),
+                },
+            )
             .build()
     }
 }

@@ -189,6 +189,29 @@ pub struct Delivery {
     pub last: bool,
     /// Timestep the packet belongs to.
     pub step: u64,
+    /// Per-link sequence number (0 when the reliability layer is off).
+    pub seq: u32,
+    /// True when the fault plan corrupted the frame in flight: the
+    /// receiver burns rx bandwidth on it, fails the checksum, and
+    /// discards it without acking.
+    pub corrupt: bool,
+}
+
+/// One message on the inter-node fabric: data or a cumulative ack.
+#[derive(Clone, Debug)]
+pub enum NetMsg {
+    /// A data packet (possibly corrupted in flight).
+    Data(Delivery),
+    /// A cumulative acknowledgement: everything ≤ `seq` on the
+    /// (channel, from → receiver) link has been received in order.
+    Ack {
+        /// Traffic class being acknowledged.
+        channel: PacketKind,
+        /// The acking node (the original data receiver).
+        from: usize,
+        /// Highest in-order sequence received.
+        seq: u32,
+    },
 }
 
 #[cfg(test)]
@@ -249,10 +272,10 @@ mod tests {
 
     #[test]
     fn four_pos_flits_fit_in_512_bits_with_header() {
-        // 8 header bytes + 4×23 payload bytes = 100... the paper's RTL
+        // 16 header bytes + 4×23 payload bytes = 108... the paper's RTL
         // packs fixed-point slices; our byte-aligned encoding needs two
         // beats for four positions. We still account one 512-bit packet
         // per 4 payloads, matching the artifact's packet counters.
-        assert!(WirePos::WIRE_BYTES * 4 + 8 <= 2 * 64);
+        const { assert!(WirePos::WIRE_BYTES * 4 + fasda_net::packet::HEADER_BYTES <= 2 * 64) }
     }
 }

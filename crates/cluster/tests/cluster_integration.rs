@@ -190,7 +190,7 @@ fn packet_loss_stalls_chained_sync() {
     let mut cluster = Cluster::new(cfg, &sys);
     match cluster.try_run(3, 300_000) {
         Err(stall) => {
-            assert!(stall.packets_lost > 0, "loss must have occurred");
+            assert!(stall.packets_lost() > 0, "loss must have occurred");
         }
         Ok(r) => panic!(
             "20% packet loss should stall the cluster, but it finished in {} cycles",
@@ -203,7 +203,7 @@ fn packet_loss_stalls_chained_sync() {
 fn zero_loss_try_run_equals_run() {
     let sys = workload(6, 3, 29);
     let cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
-    let a = Cluster::new(cfg, &sys).run(2);
+    let a = Cluster::new(cfg.clone(), &sys).run(2);
     let b = Cluster::new(cfg, &sys)
         .try_run(2, u64::MAX / 2)
         .expect("lossless run converges");

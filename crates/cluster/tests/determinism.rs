@@ -4,7 +4,7 @@
 //! particle state bit-identical to the serial reference loop, for both
 //! synchronization modes.
 
-use fasda_cluster::{Cluster, ClusterConfig, ClusterRunReport, EngineConfig};
+use fasda_cluster::{Cluster, ClusterConfig, ClusterError, ClusterRunReport, EngineConfig};
 use fasda_core::config::ChipConfig;
 use fasda_md::element::Element;
 use fasda_md::space::SimulationSpace;
@@ -89,10 +89,10 @@ fn fast_forward_preserves_straggler_stalls() {
     let mut c = cfg(SyncMode::Chained);
     c.straggler = Some((3, 400));
 
-    let mut reference = Cluster::new(c, &sys);
+    let mut reference = Cluster::new(c.clone(), &sys);
     let want = reference.try_run(2, 2_000_000_000).expect("reference");
 
-    let mut ff = Cluster::new(c, &sys);
+    let mut ff = Cluster::new(c.clone(), &sys);
     let engine = EngineConfig::serial().with_fast_forward(true);
     let got = ff.try_run_with(2, 2_000_000_000, &engine).expect("ff run");
 
@@ -108,9 +108,10 @@ fn fast_forward_preserves_straggler_stalls() {
 }
 
 #[test]
-fn fast_forward_reports_packet_loss_stall() {
-    // A lossy fabric deadlocks chained sync; fast-forward must reach the
-    // same budget-exhaustion verdict as the serial loop (and fast).
+fn fast_forward_reports_packet_loss_deadlock() {
+    // A lossy fabric deadlocks chained sync; fast-forward proves no
+    // event can ever arrive and reports the deadlock immediately instead
+    // of spinning to the cycle budget.
     let sys = workload(34);
     let mut c = cfg(SyncMode::Chained);
     c.loss = Some((0.2, 7));
@@ -119,6 +120,10 @@ fn fast_forward_reports_packet_loss_stall() {
     let err = cluster
         .try_run_with(3, 300_000, &engine)
         .expect_err("loss must stall the cluster");
-    assert!(err.packets_lost > 0, "stall without loss?");
-    assert_eq!(err.at_cycle, 300_000, "budget exhaustion cycle");
+    assert!(err.packets_lost() > 0, "stall without loss?");
+    assert!(
+        matches!(err, ClusterError::Deadlock(_)),
+        "fast-forward should prove the deadlock: {err}"
+    );
+    assert!(err.at_cycle() <= 300_000, "detected within the budget");
 }

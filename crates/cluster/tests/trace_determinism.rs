@@ -136,6 +136,7 @@ fn sync_level_is_full_minus_chatty_events() {
                     EventKind::PeActivity { .. }
                         | EventKind::PacketSent { .. }
                         | EventKind::PacketDelivered { .. }
+                        | EventKind::AckSent { .. }
                 )
             })
             .copied()
@@ -148,6 +149,83 @@ fn sync_level_is_full_minus_chatty_events() {
     assert!(saw_chatty, "full trace recorded no chatty events at all?");
     // Attribution is level-independent.
     assert_eq!(full.stalls, sync.stalls);
+}
+
+#[test]
+fn faulted_run_keeps_tier_contract_and_ledger_exact() {
+    // Under an injected fault schedule with the reliability layer on:
+    // the fault events (drop/corrupt/duplicate/delay) and retransmits
+    // are Sync-tier, AckSent is Full-only chatty, and the attribution
+    // invariant still holds exactly on both tiers.
+    use fasda_cluster::{FaultPlan, RelConfig};
+    let plan = FaultPlan::none().with_seed(0x7E57).with_rate(|r| {
+        r.drop = 0.04;
+        r.duplicate = 0.02;
+        r.delay = 0.04;
+        r.delay_max = 500;
+    });
+    let sys = workload();
+    let mk = |level: TraceConfig| {
+        let cfg = cfg(SyncMode::Chained)
+            .with_faults(plan.clone())
+            .with_reliability(RelConfig::new(2_048, 16_384));
+        let mut cluster = Cluster::new(cfg, &sys);
+        let report = cluster
+            .try_run_with(STEPS, 2_000_000_000, &EngineConfig::serial().with_trace(level))
+            .expect("faulted run converges");
+        (report, cluster.take_trace().expect("tracing on"))
+    };
+    let (report, full) = mk(TraceConfig::full());
+    let (_, sync) = mk(TraceConfig::sync());
+    assert!(report.faults_injected > 0, "plan injected nothing");
+    let mut saw_fault_event = false;
+    let mut saw_ack = false;
+    for (node, (f, s)) in full.nodes.iter().zip(sync.nodes.iter()).enumerate() {
+        let filtered: Vec<_> = f
+            .events
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    EventKind::PeActivity { .. }
+                        | EventKind::PacketSent { .. }
+                        | EventKind::PacketDelivered { .. }
+                        | EventKind::AckSent { .. }
+                )
+            })
+            .copied()
+            .collect();
+        saw_fault_event |= filtered.iter().any(|e| {
+            matches!(
+                e.kind,
+                EventKind::FaultDrop { .. }
+                    | EventKind::FaultDuplicate { .. }
+                    | EventKind::FaultDelay { .. }
+                    | EventKind::Retransmit { .. }
+            )
+        });
+        saw_ack |= f
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::AckSent { .. }));
+        assert_eq!(s.events, filtered, "node {node} sync-tier mismatch under faults");
+    }
+    assert!(saw_fault_event, "no fault/retransmit events recorded at Sync tier");
+    assert!(saw_ack, "no AckSent events recorded at Full tier");
+    assert_eq!(full.stalls, sync.stalls, "attribution is level-dependent");
+    for r in &report.records {
+        let s = full
+            .stalls
+            .step(r.node, r.step)
+            .unwrap_or_else(|| panic!("no ledger entry for node {} step {}", r.node, r.step));
+        assert_eq!(
+            s.total(),
+            r.force_cycles,
+            "node {} step {}: faulted ledger drifted from force_cycles",
+            r.node,
+            r.step
+        );
+    }
 }
 
 #[test]

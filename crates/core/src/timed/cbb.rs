@@ -18,7 +18,7 @@
 #![allow(clippy::needless_range_loop)]
 use crate::config::ChipConfig;
 use crate::datapath::{ForceDatapath, HomeSoa};
-use fasda_arith::fixed::{Fix, FixVec3};
+use fasda_arith::fixed::{Fix, FixAcc, FixVec3};
 use fasda_md::element::Element;
 use fasda_md::space::CellCoord;
 use fasda_sim::{Activity, Cycle, Fifo, Pipeline};
@@ -97,8 +97,12 @@ pub struct TimedCbb {
     pub offset: Vec<FixVec3>,
     /// Velocity Cache contents.
     pub vel: Vec<[f32; 3]>,
-    /// Combined force accumulators (FC banks + adder tree).
-    pub force: Vec<[f32; 3]>,
+    /// Combined force accumulators (FC banks + adder tree). Fixed-point
+    /// (`Q35.28`, [`FixAcc`]): contributions quantize once on arrival
+    /// and integer-add, so the accumulated total is bit-identical no
+    /// matter what order ring traffic, local ejections, and PE returns
+    /// land in — the property the cluster's chaos guarantees rest on.
+    pub force: Vec<[FixAcc; 3]>,
     /// Home coordinates concatenated at RCID (2,2,2), snapshot for the
     /// current force phase.
     pub home_concat: Vec<FixVec3>,
@@ -186,7 +190,7 @@ impl TimedCbb {
         self.elem.push(elem);
         self.offset.push(offset);
         self.vel.push(vel);
-        self.force.push([0.0; 3]);
+        self.force.push([FixAcc::ZERO; 3]);
         self.alive.push(true);
     }
 
@@ -213,7 +217,7 @@ impl TimedCbb {
             self.soa.rebuild(&self.elem, &self.home_concat);
         }
         for f in &mut self.force {
-            *f = [0.0; 3];
+            *f = [FixAcc::ZERO; 3];
         }
         let spes = self.spes.len();
         for spe in &mut self.spes {
@@ -326,7 +330,7 @@ impl TimedCbb {
             for &(slot, f) in &self.scratch_ret {
                 let fc = &mut self.force[slot as usize];
                 for k in 0..3 {
-                    fc[k] += f[k];
+                    fc[k] += FixAcc::from_f32(f[k]);
                 }
             }
             for ej in &self.scratch_ej {
@@ -341,7 +345,7 @@ impl TimedCbb {
                     Ejection::Local { slot, force } => {
                         let fc = &mut self.force[slot as usize];
                         for k in 0..3 {
-                            fc[k] += force[k];
+                            fc[k] += FixAcc::from_f32(force[k]);
                         }
                     }
                     Ejection::Discard { origin, remote } => {
@@ -393,7 +397,7 @@ impl TimedCbb {
     pub fn accumulate_ring_force(&mut self, flit: &FrcFlit) {
         let fc = &mut self.force[flit.slot as usize];
         for k in 0..3 {
-            fc[k] += flit.force[k];
+            fc[k] += FixAcc::from_f32(flit.force[k]);
         }
     }
 
@@ -438,7 +442,7 @@ impl TimedCbb {
             let aom = acc_over_mass[self.elem[i].index()];
             let mut v = self.vel[i];
             for k in 0..3 {
-                v[k] += self.force[i][k] * aom * dt_fs as f32;
+                v[k] += self.force[i][k].to_f32() * aom * dt_fs as f32;
             }
             self.vel[i] = v;
             let d = FixVec3::new(
@@ -512,7 +516,7 @@ impl TimedCbb {
         }
         let n = self.id.len();
         self.force.clear();
-        self.force.resize(n, [0.0; 3]);
+        self.force.resize(n, [FixAcc::ZERO; 3]);
         self.alive.clear();
         self.alive.resize(n, true);
     }
@@ -562,9 +566,12 @@ mod tests {
         }
         assert!(completed.is_empty(), "no remote origins in this test");
         assert!(cbb.force_idle(), "internal evaluation must converge");
+        // The two directions of a pair are evaluated by different
+        // stations with independent f32 rounding, so cancellation is
+        // approximate even on the fixed-point accumulator grid.
         let net: [f64; 3] = cbb.force.iter().fold([0.0; 3], |mut a, f| {
             for k in 0..3 {
-                a[k] += f[k] as f64;
+                a[k] += f[k].to_f64();
             }
             a
         });
@@ -602,7 +609,7 @@ mod tests {
         // constant force in +x
         cbb.begin_force_phase(ChipCoord::new(0, 0, 0), 0, 0, 0);
         for f in &mut cbb.force {
-            *f = [1.0, 0.0, 0.0];
+            *f = [FixAcc::from_f32(1.0), FixAcc::ZERO, FixAcc::ZERO];
         }
         let before = cbb.offset.clone();
         cbb.begin_mu_phase();

@@ -515,9 +515,9 @@ impl TimedChip {
                     cbb.vel[i][2] as f64,
                 );
                 sys.force[idx] = Vec3::new(
-                    cbb.force[i][0] as f64,
-                    cbb.force[i][1] as f64,
-                    cbb.force[i][2] as f64,
+                    cbb.force[i][0].to_f64(),
+                    cbb.force[i][1].to_f64(),
+                    cbb.force[i][2].to_f64(),
                 );
                 sys.element[idx] = cbb.elem[i];
             }

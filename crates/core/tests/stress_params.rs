@@ -138,9 +138,9 @@ fn manual_two_chip_exchange_matches_functional() {
     let mut guard = 0;
     loop {
         let mut all_idle = true;
-        for i in 0..2 {
-            if !chips[i].force_phase_local_idle() {
-                chips[i].step_force_cycle();
+        for c in &mut chips {
+            if !c.force_phase_local_idle() {
+                c.step_force_cycle();
                 all_idle = false;
             }
         }
@@ -177,9 +177,9 @@ fn manual_two_chip_exchange_matches_functional() {
     let mut guard = 0;
     loop {
         let mut all_idle = true;
-        for i in 0..2 {
-            if !chips[i].mu_phase_local_idle() {
-                chips[i].step_mu_cycle();
+        for c in &mut chips {
+            if !c.mu_phase_local_idle() {
+                c.step_mu_cycle();
                 all_idle = false;
             }
         }

@@ -92,7 +92,6 @@ mod tests {
     use crate::observables::kinetic_energy_onstep;
     use crate::space::SimulationSpace;
     use crate::units::UnitSystem;
-    use crate::vec3::Vec3;
     use crate::workload::{Placement, WorkloadSpec};
 
     fn salt() -> ParticleSystem {
@@ -148,7 +147,7 @@ mod tests {
         let integ = Integrator::PAPER;
         // energy probe: PE and the on-step KE must be evaluated on the
         // same snapshot with freshly computed forces
-        let mut probe = |eng: &mut FullEwaldEngine, sys: &ParticleSystem| {
+        let probe = |eng: &mut FullEwaldEngine, sys: &ParticleSystem| {
             let mut snap = sys.clone();
             let pe = eng.compute_forces(&mut snap);
             pe + kinetic_energy_onstep(&snap, integ.dt_fs)

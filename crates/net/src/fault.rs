@@ -1,0 +1,520 @@
+//! Deterministic link-fault injection.
+//!
+//! A [`FaultPlan`] describes, per traffic class, what a flaky fabric
+//! does to packets: probabilistic drop / corrupt / duplicate / delay
+//! schedules plus targeted *kill directives* ("drop the Nth marker
+//! transmitted on link L"), the latter reproducing the exact failure
+//! mode that deadlocks chained synchronization (§4.4) — a lost in-band
+//! `last` marker.
+//!
+//! Everything is deterministic: [`FaultState`] derives an independent
+//! splitmix/xorshift stream per *(channel, src, dst)* link from the plan
+//! seed, and decisions are taken at transmit time in the serial network
+//! phase of the cluster driver. The same plan therefore produces the
+//! same fault sequence on every engine (serial oracle, parallel tick,
+//! burst stepping), which is what lets the chaos harness demand
+//! byte-identical traces across engines.
+
+use std::collections::HashMap;
+
+/// Traffic classes a fault schedule can target, mirroring the cluster's
+/// three packetizer channels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultChannel {
+    /// Position broadcast traffic.
+    Pos,
+    /// Returned neighbour forces.
+    Frc,
+    /// Motion-update migration traffic.
+    Mig,
+}
+
+impl FaultChannel {
+    /// All channels, in index order.
+    pub const ALL: [FaultChannel; 3] = [FaultChannel::Pos, FaultChannel::Frc, FaultChannel::Mig];
+
+    /// Stable label (matches the CLI grammar and trace channel labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultChannel::Pos => "pos",
+            FaultChannel::Frc => "frc",
+            FaultChannel::Mig => "mig",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pos" => Some(FaultChannel::Pos),
+            "frc" => Some(FaultChannel::Frc),
+            "mig" => Some(FaultChannel::Mig),
+            _ => None,
+        }
+    }
+}
+
+/// Probabilistic per-link fault rates. All probabilities are per-packet
+/// and independent; `delay_max` bounds the uniform extra-latency draw.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a transmitted packet is silently dropped.
+    pub drop: f64,
+    /// Probability a transmitted packet arrives with a corrupted frame
+    /// (the receiver discards it on checksum failure).
+    pub corrupt: f64,
+    /// Probability a transmitted packet is duplicated in flight.
+    pub duplicate: f64,
+    /// Probability a transmitted packet is delayed by extra cycles.
+    pub delay: f64,
+    /// Maximum extra delay in cycles (uniform in `1..=delay_max`).
+    pub delay_max: u64,
+}
+
+impl LinkFaults {
+    /// No faults.
+    pub const NONE: LinkFaults = LinkFaults {
+        drop: 0.0,
+        corrupt: 0.0,
+        duplicate: 0.0,
+        delay: 0.0,
+        delay_max: 0,
+    };
+
+    /// True when every rate is zero.
+    pub fn is_none(&self) -> bool {
+        self.drop == 0.0 && self.corrupt == 0.0 && self.duplicate == 0.0 && self.delay == 0.0
+    }
+
+    fn validate(&self) {
+        for p in [self.drop, self.corrupt, self.duplicate, self.delay] {
+            assert!((0.0..1.0).contains(&p), "fault probability {p} out of [0,1)");
+        }
+        if self.delay > 0.0 {
+            assert!(self.delay_max > 0, "delay faults need delay_max >= 1");
+        }
+    }
+}
+
+/// A targeted directive: drop the `nth` (1-based) *marker* packet
+/// transmitted on one specific link. This is the §4.4 nightmare case —
+/// without reliable delivery the receiver waits forever for a `last`
+/// flag that never arrives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MarkerKill {
+    /// Traffic class of the marker.
+    pub channel: FaultChannel,
+    /// Sending node.
+    pub src: u32,
+    /// Receiving node.
+    pub dst: u32,
+    /// Which marker transmission to kill (1 = first marker sent on the
+    /// link, counting retransmissions).
+    pub nth: u32,
+}
+
+/// A complete, seeded fault schedule for a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Base seed; each link derives an independent stream from it.
+    pub seed: u64,
+    /// Probabilistic rates per channel.
+    pub rates: [LinkFaults; 3],
+    /// Targeted marker kills.
+    pub kills: Vec<MarkerKill>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all (useful as a parse identity).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 1,
+            rates: [LinkFaults::NONE; 3],
+            kills: Vec::new(),
+        }
+    }
+
+    /// Uniform drop-only plan across all channels.
+    pub fn drop_only(p: f64, seed: u64) -> Self {
+        FaultPlan::none().with_seed(seed).with_rate(|r| r.drop = p)
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed | 1;
+        self
+    }
+
+    /// Mutate every channel's rates through a closure.
+    pub fn with_rate(mut self, f: impl Fn(&mut LinkFaults)) -> Self {
+        for r in &mut self.rates {
+            f(r);
+        }
+        self.validate();
+        self
+    }
+
+    /// Add a targeted marker kill.
+    pub fn with_kill(mut self, kill: MarkerKill) -> Self {
+        self.kills.push(kill);
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.kills.is_empty() && self.rates.iter().all(LinkFaults::is_none)
+    }
+
+    fn validate(&self) {
+        for r in &self.rates {
+            r.validate();
+        }
+    }
+
+    /// Parse the CLI grammar: comma-separated `key=value` clauses.
+    ///
+    /// ```text
+    /// drop=0.05,corrupt=0.01,dup=0.01,delay=0.02:400,seed=7,
+    /// kill=frc:3->4:1,kill=pos:0->1:2
+    /// ```
+    ///
+    /// * `drop|corrupt|dup` — per-packet probability, all channels;
+    /// * `delay=P:MAX` — delay probability and max extra cycles;
+    /// * `seed=N` — RNG seed;
+    /// * `kill=CHAN:SRC->DST:N` — drop the Nth marker on that link
+    ///   (`CHAN` ∈ `pos|frc|mig`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause `{clause}` is not key=value"))?;
+            match key {
+                "drop" | "corrupt" | "dup" => {
+                    let p: f64 = value
+                        .parse()
+                        .map_err(|_| format!("bad probability in `{clause}`"))?;
+                    if !(0.0..1.0).contains(&p) {
+                        return Err(format!("probability {p} out of [0,1) in `{clause}`"));
+                    }
+                    plan = plan.with_rate(|r| match key {
+                        "drop" => r.drop = p,
+                        "corrupt" => r.corrupt = p,
+                        _ => r.duplicate = p,
+                    });
+                }
+                "delay" => {
+                    let (p, max) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("`{clause}` needs delay=P:MAX"))?;
+                    let p: f64 = p.parse().map_err(|_| format!("bad probability in `{clause}`"))?;
+                    let max: u64 = max.parse().map_err(|_| format!("bad max delay in `{clause}`"))?;
+                    if !(0.0..1.0).contains(&p) || max == 0 {
+                        return Err(format!("bad delay spec `{clause}`"));
+                    }
+                    plan = plan.with_rate(|r| {
+                        r.delay = p;
+                        r.delay_max = max;
+                    });
+                }
+                "seed" => {
+                    let s: u64 = value.parse().map_err(|_| format!("bad seed in `{clause}`"))?;
+                    plan = plan.with_seed(s);
+                }
+                "kill" => {
+                    // CHAN:SRC->DST:N
+                    let mut it = value.splitn(3, ':');
+                    let chan = it
+                        .next()
+                        .and_then(FaultChannel::parse)
+                        .ok_or_else(|| format!("bad channel in `{clause}`"))?;
+                    let link = it.next().ok_or_else(|| format!("bad kill spec `{clause}`"))?;
+                    let (src, dst) = link
+                        .split_once("->")
+                        .ok_or_else(|| format!("`{clause}` needs SRC->DST"))?;
+                    let nth: u32 = it
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad marker index in `{clause}`"))?;
+                    let src: u32 = src.parse().map_err(|_| format!("bad src in `{clause}`"))?;
+                    let dst: u32 = dst.parse().map_err(|_| format!("bad dst in `{clause}`"))?;
+                    plan = plan.with_kill(MarkerKill {
+                        channel: chan,
+                        src,
+                        dst,
+                        nth,
+                    });
+                }
+                other => return Err(format!("unknown fault key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// What the fault layer decided for one transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop (probabilistic schedule).
+    Drop,
+    /// Drop via a targeted marker-kill directive.
+    Kill,
+    /// Deliver a corrupted frame (receiver discards on checksum).
+    Corrupt,
+    /// Deliver the packet *and* a duplicate copy.
+    Duplicate,
+    /// Deliver with extra latency.
+    Delay(u64),
+}
+
+/// Per-link deterministic RNG and marker counters driving a
+/// [`FaultPlan`] at runtime.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    /// xorshift64* stream per (channel, src, dst), lazily derived.
+    streams: HashMap<(FaultChannel, u32, u32), u64>,
+    /// Marker transmissions seen per link (for kill directives).
+    markers_sent: HashMap<(FaultChannel, u32, u32), u32>,
+    /// Faults injected, by kind (drop, kill, corrupt, duplicate, delay).
+    pub injected: [u64; 5],
+}
+
+impl FaultState {
+    /// Runtime state for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        plan.validate();
+        FaultState {
+            plan,
+            streams: HashMap::new(),
+            markers_sent: HashMap::new(),
+            injected: [0; 5],
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Total faults injected so far.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// splitmix64 — derives a well-mixed per-link seed from the plan
+    /// seed and link identity.
+    fn derive_seed(&self, channel: FaultChannel, src: u32, dst: u32) -> u64 {
+        let mut z = self
+            .plan
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(
+                1 + (channel as u64) + ((src as u64) << 8) + ((dst as u64) << 24),
+            ));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) | 1
+    }
+
+    /// Next uniform draw in [0,1) from the link's stream.
+    fn draw(&mut self, channel: FaultChannel, src: u32, dst: u32) -> f64 {
+        let seed = self.derive_seed(channel, src, dst);
+        let state = self.streams.entry((channel, src, dst)).or_insert(seed);
+        let mut x = *state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decide the fate of one transmission on a link. `marker` flags a
+    /// packet carrying a `last` sync marker (kill directives count and
+    /// target only those). Deterministic: the nth call for a given link
+    /// always returns the same outcome for the same plan.
+    pub fn on_transmit(
+        &mut self,
+        channel: FaultChannel,
+        src: u32,
+        dst: u32,
+        marker: bool,
+    ) -> FaultOutcome {
+        if marker {
+            let n = self.markers_sent.entry((channel, src, dst)).or_insert(0);
+            *n += 1;
+            let nth = *n;
+            if self
+                .plan
+                .kills
+                .iter()
+                .any(|k| k.channel == channel && k.src == src && k.dst == dst && k.nth == nth)
+            {
+                self.injected[1] += 1;
+                return FaultOutcome::Kill;
+            }
+        }
+        let rates = self.plan.rates[channel as usize];
+        if rates.is_none() {
+            return FaultOutcome::Deliver;
+        }
+        // One draw per independent hazard, in fixed order, so adding a
+        // hazard to a plan never perturbs the draws of the others.
+        let drop = self.draw(channel, src, dst);
+        let corrupt = self.draw(channel, src, dst);
+        let dup = self.draw(channel, src, dst);
+        let delay = self.draw(channel, src, dst);
+        if drop < rates.drop {
+            self.injected[0] += 1;
+            return FaultOutcome::Drop;
+        }
+        if corrupt < rates.corrupt {
+            self.injected[2] += 1;
+            return FaultOutcome::Corrupt;
+        }
+        if dup < rates.duplicate {
+            self.injected[3] += 1;
+            return FaultOutcome::Duplicate;
+        }
+        if delay < rates.delay {
+            let extra = 1 + (self.draw(channel, src, dst) * rates.delay_max as f64) as u64;
+            let extra = extra.min(rates.delay_max);
+            self.injected[4] += 1;
+            return FaultOutcome::Delay(extra);
+        }
+        FaultOutcome::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_grammar() {
+        let plan = FaultPlan::parse(
+            "drop=0.05,corrupt=0.01,dup=0.02,delay=0.1:400,seed=7,kill=frc:3->4:1,kill=pos:0->1:2",
+        )
+        .expect("parse");
+        assert_eq!(plan.seed, 7);
+        for r in &plan.rates {
+            assert_eq!(r.drop, 0.05);
+            assert_eq!(r.corrupt, 0.01);
+            assert_eq!(r.duplicate, 0.02);
+            assert_eq!(r.delay, 0.1);
+            assert_eq!(r.delay_max, 400);
+        }
+        assert_eq!(plan.kills.len(), 2);
+        assert_eq!(
+            plan.kills[0],
+            MarkerKill {
+                channel: FaultChannel::Frc,
+                src: 3,
+                dst: 4,
+                nth: 1
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("drop=2.0").is_err());
+        assert!(FaultPlan::parse("delay=0.5").is_err());
+        assert!(FaultPlan::parse("delay=0.5:0").is_err());
+        assert!(FaultPlan::parse("kill=xyz:0->1:1").is_err());
+        assert!(FaultPlan::parse("kill=pos:0-1:1").is_err());
+        assert!(FaultPlan::parse("kill=pos:0->1:0").is_err());
+        assert!(FaultPlan::parse("wat=1").is_err());
+        assert!(FaultPlan::parse("").map(|p| p.is_none()).unwrap_or(false));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_link() {
+        let plan = FaultPlan::drop_only(0.3, 99);
+        let run = |mut st: FaultState| {
+            (0..200)
+                .map(|_| st.on_transmit(FaultChannel::Pos, 0, 1, false))
+                .collect::<Vec<_>>()
+        };
+        let a = run(FaultState::new(plan.clone()));
+        let b = run(FaultState::new(plan));
+        assert_eq!(a, b);
+        assert!(a.contains(&FaultOutcome::Drop));
+        assert!(a.contains(&FaultOutcome::Deliver));
+    }
+
+    #[test]
+    fn links_get_independent_streams() {
+        let plan = FaultPlan::drop_only(0.5, 5);
+        let mut st = FaultState::new(plan);
+        let a: Vec<_> = (0..64)
+            .map(|_| st.on_transmit(FaultChannel::Pos, 0, 1, false))
+            .collect();
+        let b: Vec<_> = (0..64)
+            .map(|_| st.on_transmit(FaultChannel::Pos, 1, 0, false))
+            .collect();
+        let c: Vec<_> = (0..64)
+            .map(|_| st.on_transmit(FaultChannel::Frc, 0, 1, false))
+            .collect();
+        assert_ne!(a, b, "direction matters");
+        assert_ne!(a, c, "channel matters");
+    }
+
+    #[test]
+    fn kill_targets_exact_marker_transmission() {
+        let plan = FaultPlan::none().with_kill(MarkerKill {
+            channel: FaultChannel::Frc,
+            src: 2,
+            dst: 3,
+            nth: 2,
+        });
+        let mut st = FaultState::new(plan);
+        assert_eq!(
+            st.on_transmit(FaultChannel::Frc, 2, 3, true),
+            FaultOutcome::Deliver
+        );
+        assert_eq!(
+            st.on_transmit(FaultChannel::Frc, 2, 3, true),
+            FaultOutcome::Kill
+        );
+        assert_eq!(
+            st.on_transmit(FaultChannel::Frc, 2, 3, true),
+            FaultOutcome::Deliver
+        );
+        // other links untouched
+        assert_eq!(
+            st.on_transmit(FaultChannel::Frc, 3, 2, true),
+            FaultOutcome::Deliver
+        );
+        assert_eq!(st.injected[1], 1);
+    }
+
+    #[test]
+    fn drop_rate_is_calibrated() {
+        let mut st = FaultState::new(FaultPlan::drop_only(0.2, 1234));
+        let mut dropped = 0;
+        for _ in 0..10_000 {
+            if st.on_transmit(FaultChannel::Pos, 0, 1, false) == FaultOutcome::Drop {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.03, "drop rate {rate}");
+        assert_eq!(st.injected[0], dropped);
+    }
+
+    #[test]
+    fn delay_bounded_by_max() {
+        let plan = FaultPlan::none().with_seed(3).with_rate(|r| {
+            r.delay = 0.9;
+            r.delay_max = 10;
+        });
+        let mut st = FaultState::new(plan);
+        for _ in 0..1000 {
+            if let FaultOutcome::Delay(extra) = st.on_transmit(FaultChannel::Mig, 1, 2, false) {
+                assert!((1..=10).contains(&extra), "delay {extra}");
+            }
+        }
+    }
+}

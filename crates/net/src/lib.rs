@@ -20,16 +20,27 @@
 //! * [`sync::ChainedSync`] — the chained synchronization state machine of
 //!   §4.4 (last-position / last-force / last-migration handshakes with
 //!   immediate neighbours only), plus a bulk-synchronous baseline for the
-//!   ablation study.
+//!   ablation study;
+//! * [`fault::FaultPlan`] — seeded, deterministic link-fault schedules
+//!   (drop / corrupt / duplicate / delay, plus targeted marker kills)
+//!   modelling the UDP fabric misbehaving;
+//! * [`reliable`] — per-link sequence numbers, cumulative acks, and
+//!   timeout retransmission with capped exponential backoff, giving
+//!   exactly-once in-order delivery under any finite fault schedule (the
+//!   fix for the §4.4 lost-marker deadlock hazard).
 
 pub mod encap;
+pub mod fault;
 pub mod packet;
+pub mod reliable;
 pub mod switch;
 pub mod sync;
 pub mod topology;
 
 pub use encap::Packetizer;
+pub use fault::{FaultChannel, FaultOutcome, FaultPlan, FaultState, LinkFaults, MarkerKill};
 pub use packet::{Packet, PACKET_BITS, PAYLOADS_PER_PACKET};
+pub use reliable::{Accept, LinkReceiver, LinkSender, RelConfig};
 pub use switch::SwitchFabric;
 pub use sync::{BulkBarrier, ChainedSync, SyncMode};
 pub use topology::Topology;

@@ -8,6 +8,13 @@
 //! phase they belong to so early-arriving traffic from a neighbour that
 //! has already raced ahead one phase (the whole point of chained sync) is
 //! credited to the right step.
+//!
+//! The wire format carries a per-link sequence number and a CRC32
+//! checksum for the reliable-delivery layer: the sequence number feeds
+//! the receiver's dedup/reorder window, and [`Packet::from_bytes`]
+//! rejects any frame whose checksum does not verify (a corrupted frame
+//! is indistinguishable from a dropped one and is recovered by
+//! retransmission).
 
 use bytes::{Buf, BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
@@ -19,6 +26,44 @@ pub const PACKET_BITS: u64 = 512;
 
 /// Data pieces per packet.
 pub const PAYLOADS_PER_PACKET: usize = 4;
+
+/// Wire header size in bytes: kind(1) + count(1) + flags(1) +
+/// reserved(1) + step(4) + seq(4) + crc32(4).
+pub const HEADER_BYTES: usize = 16;
+
+/// Byte offset of the CRC32 field inside the header.
+const CRC_OFFSET: usize = 12;
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) over a byte slice chain.
+/// Dependency-free: the 256-entry table is built in a `const` context.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC32 update (`state` starts at `0xFFFF_FFFF`).
+fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = CRC_TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// CRC32 of a full buffer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(0xFFFF_FFFF, bytes)
+}
 
 /// What a packet carries — mirrors the separate position/force QSFP
 /// ports of the testbed (§5.4) plus migration traffic.
@@ -54,6 +99,9 @@ pub struct Packet<T> {
     pub last: bool,
     /// Timestep the data belongs to.
     pub step: u64,
+    /// Per-link sequence number assigned by the reliable-delivery
+    /// layer (0 when reliability is off).
+    pub seq: u32,
 }
 
 impl<T> Packet<T> {
@@ -68,6 +116,7 @@ impl<T> Packet<T> {
             payloads,
             last: false,
             step,
+            seq: 0,
         }
     }
 
@@ -78,7 +127,14 @@ impl<T> Packet<T> {
             payloads: Vec::new(),
             last: true,
             step,
+            seq: 0,
         }
+    }
+
+    /// Tag the packet with a per-link sequence number.
+    pub fn with_seq(mut self, seq: u32) -> Self {
+        self.seq = seq;
+        self
     }
 
     /// Wire size in bits — one 512-bit beat per packet, as counted by the
@@ -89,8 +145,11 @@ impl<T> Packet<T> {
 }
 
 impl<T: WirePayload> Packet<T> {
-    /// Serialize to wire bytes: header (kind, count, last, step) then the
-    /// payloads, zero-padded to 64 bytes (512 bits).
+    /// Serialize to wire bytes: 16-byte header (kind, count, flags, step,
+    /// seq, crc32) then the payloads, zero-padded to at least 64 bytes
+    /// (one 512-bit beat; four byte-aligned position payloads spill into
+    /// a second beat and are kept whole). The CRC covers the entire frame
+    /// with the CRC field itself zeroed.
     pub fn to_bytes(&self) -> BytesMut {
         let mut buf = BytesMut::with_capacity(PACKET_BITS as usize / 8);
         buf.put_u8(match self.kind {
@@ -102,16 +161,39 @@ impl<T: WirePayload> Packet<T> {
         buf.put_u8(u8::from(self.last));
         buf.put_u8(0); // reserved
         buf.put_u32(self.step as u32);
+        buf.put_u32(self.seq);
+        buf.put_u32(0); // crc placeholder
         for p in &self.payloads {
             p.encode(&mut buf);
         }
-        buf.resize(PACKET_BITS as usize / 8, 0);
+        let min = PACKET_BITS as usize / 8;
+        if buf.len() < min {
+            buf.resize(min, 0);
+        }
+        let crc = crc32(&buf);
+        buf[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_be_bytes());
         buf
     }
 
-    /// Parse wire bytes produced by [`Packet::to_bytes`].
+    /// Parse wire bytes produced by [`Packet::to_bytes`]. Returns `None`
+    /// (never panics) on truncated frames, unknown kinds, impossible
+    /// payload counts, or any checksum mismatch — including single-bit
+    /// flips anywhere in the frame.
     pub fn from_bytes(mut bytes: &[u8]) -> Option<Self> {
-        if bytes.len() < 8 {
+        if bytes.len() < HEADER_BYTES {
+            return None;
+        }
+        // Verify the checksum over the frame with the CRC field zeroed.
+        let mut state = crc32_update(0xFFFF_FFFF, &bytes[..CRC_OFFSET]);
+        state = crc32_update(state, &[0, 0, 0, 0]);
+        state = crc32_update(state, &bytes[CRC_OFFSET + 4..]);
+        let want = u32::from_be_bytes([
+            bytes[CRC_OFFSET],
+            bytes[CRC_OFFSET + 1],
+            bytes[CRC_OFFSET + 2],
+            bytes[CRC_OFFSET + 3],
+        ]);
+        if !state != want {
             return None;
         }
         let kind = match bytes.get_u8() {
@@ -127,6 +209,8 @@ impl<T: WirePayload> Packet<T> {
         let last = bytes.get_u8() != 0;
         let _ = bytes.get_u8();
         let step = bytes.get_u32() as u64;
+        let seq = bytes.get_u32();
+        let _crc = bytes.get_u32();
         let mut payloads = Vec::with_capacity(count);
         for _ in 0..count {
             payloads.push(T::decode(&mut bytes)?);
@@ -136,6 +220,7 @@ impl<T: WirePayload> Packet<T> {
             payloads,
             last,
             step,
+            seq,
         })
     }
 }
@@ -167,7 +252,8 @@ mod tests {
             PacketKind::Position,
             vec![P(1, 2), P(3, 4), P(5, 6), P(7, 8)],
             42,
-        );
+        )
+        .with_seq(1234);
         let bytes = p.to_bytes();
         assert_eq!(bytes.len() as u64 * 8, PACKET_BITS);
         let q: Packet<P> = Packet::from_bytes(&bytes).expect("parse");
@@ -182,6 +268,36 @@ mod tests {
         assert!(q.payloads.is_empty());
         assert_eq!(q.step, 7);
         assert_eq!(q.kind, PacketKind::Force);
+        assert_eq!(q.seq, 0);
+    }
+
+    #[test]
+    fn oversize_payloads_survive_whole() {
+        // 4 × 15-byte payloads + 16-byte header = 76 bytes > one beat;
+        // the frame must not be truncated to 64 bytes (it still counts
+        // as one 512-bit packet in the traffic registers).
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct Wide([u8; 15]);
+        impl WirePayload for Wide {
+            const WIRE_BYTES: usize = 15;
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.extend_from_slice(&self.0);
+            }
+            fn decode(buf: &mut &[u8]) -> Option<Self> {
+                if buf.len() < 15 {
+                    return None;
+                }
+                let mut v = [0u8; 15];
+                v.copy_from_slice(&buf[..15]);
+                *buf = &buf[15..];
+                Some(Wide(v))
+            }
+        }
+        let p = Packet::data(PacketKind::Position, vec![Wide([7; 15]); 4], 3);
+        let bytes = p.to_bytes();
+        assert!(bytes.len() > 64, "two-beat frame kept whole");
+        let q: Packet<Wide> = Packet::from_bytes(&bytes).expect("parse");
+        assert_eq!(p, q);
     }
 
     #[test]
@@ -194,14 +310,39 @@ mod tests {
     fn garbage_rejected() {
         assert!(Packet::<P>::from_bytes(&[9u8; 64]).is_none());
         assert!(Packet::<P>::from_bytes(&[0u8; 3]).is_none());
-        // count beyond payload bytes available
-        let mut b = BytesMut::new();
-        b.put_u8(0);
-        b.put_u8(4);
-        b.put_u8(0);
-        b.put_u8(0);
-        b.put_u32(0);
-        b.resize(10, 0); // truncated
-        assert!(Packet::<P>::from_bytes(&b).is_none());
+    }
+
+    #[test]
+    fn bit_flip_rejected() {
+        let p = Packet::data(PacketKind::Force, vec![P(11, 22)], 5).with_seq(9);
+        let bytes = p.to_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mutated = bytes.to_vec();
+                mutated[i] ^= 1 << bit;
+                assert!(
+                    Packet::<P>::from_bytes(&mutated).is_none(),
+                    "flip at byte {i} bit {bit} survived the checksum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let p = Packet::data(PacketKind::Migration, vec![P(1, 2), P(3, 4)], 0);
+        let bytes = p.to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                Packet::<P>::from_bytes(&bytes[..len]).is_none(),
+                "truncated frame of {len} bytes parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

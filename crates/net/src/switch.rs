@@ -102,6 +102,15 @@ impl SwitchFabric {
         Some(self.send(cycle, src, dst))
     }
 
+    /// Account a packet the fault layer dropped (or killed) in flight:
+    /// the source port still serializes the frame, but it never arrives.
+    pub fn drop_at_tx(&mut self, cycle: Cycle, src: NodeId) {
+        let ser = (PACKET_BITS as f64 / self.bits_per_cycle).ceil() as u64;
+        let tx_start = cycle.max(self.tx_free[src]);
+        self.tx_free[src] = tx_start + ser;
+        self.packets_lost += 1;
+    }
+
     /// Send one 512-bit packet at `cycle`; returns its delivery cycle.
     pub fn send(&mut self, cycle: Cycle, src: NodeId, dst: NodeId) -> Cycle {
         let ser = (PACKET_BITS as f64 / self.bits_per_cycle).ceil() as u64;

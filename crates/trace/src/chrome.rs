@@ -196,6 +196,60 @@ fn node_events(node: usize, stream: &NodeStream, trace: &Trace, out: &mut Vec<Js
                 "step-done",
                 Json::obj().field("step", Json::uint(step)).build(),
             )),
+            EventKind::FaultDrop { channel, to, seq, kill } => out.push(instant(
+                node,
+                TID_NET,
+                cycle,
+                &format!("{}-fault-drop", channel.label()),
+                Json::obj()
+                    .field("to", to)
+                    .field("seq", seq)
+                    .field("kill", kill)
+                    .build(),
+            )),
+            EventKind::FaultCorrupt { channel, to, seq } => out.push(instant(
+                node,
+                TID_NET,
+                cycle,
+                &format!("{}-fault-corrupt", channel.label()),
+                Json::obj().field("to", to).field("seq", seq).build(),
+            )),
+            EventKind::FaultDuplicate { channel, to, seq } => out.push(instant(
+                node,
+                TID_NET,
+                cycle,
+                &format!("{}-fault-dup", channel.label()),
+                Json::obj().field("to", to).field("seq", seq).build(),
+            )),
+            EventKind::FaultDelay { channel, to, seq, extra } => out.push(instant(
+                node,
+                TID_NET,
+                cycle,
+                &format!("{}-fault-delay", channel.label()),
+                Json::obj()
+                    .field("to", to)
+                    .field("seq", seq)
+                    .field("extra", Json::uint(extra))
+                    .build(),
+            )),
+            EventKind::Retransmit { channel, to, seq, attempt } => out.push(instant(
+                node,
+                TID_NET,
+                cycle,
+                &format!("{}-retransmit", channel.label()),
+                Json::obj()
+                    .field("to", to)
+                    .field("seq", seq)
+                    .field("attempt", attempt)
+                    .build(),
+            )),
+            EventKind::AckSent { channel, to, seq } => out.push(instant(
+                node,
+                TID_NET,
+                cycle,
+                &format!("{}-ack", channel.label()),
+                Json::obj().field("to", to).field("seq", seq).build(),
+            )),
             // engine-stream kinds never appear in node streams
             EventKind::BurstOpen { .. }
             | EventKind::BurstRefused { .. }

@@ -144,6 +144,74 @@ pub enum EventKind {
         /// Timestep index.
         step: u64,
     },
+    /// The fault plan dropped an outbound packet on the fabric
+    /// (attributed to the sending node).
+    FaultDrop {
+        /// Traffic class.
+        channel: ChannelId,
+        /// Destination node.
+        to: u32,
+        /// Per-link sequence number of the lost packet (0 when the
+        /// reliability layer is off).
+        seq: u32,
+        /// Whether a targeted "kill marker" directive caused the drop
+        /// (as opposed to the probabilistic schedule).
+        kill: bool,
+    },
+    /// The fault plan corrupted an outbound packet in flight; the
+    /// receiver will discard it on checksum failure.
+    FaultCorrupt {
+        /// Traffic class.
+        channel: ChannelId,
+        /// Destination node.
+        to: u32,
+        /// Per-link sequence number of the corrupted packet.
+        seq: u32,
+    },
+    /// The fault plan duplicated an outbound packet (the receiver's
+    /// dedup window discards the extra copy).
+    FaultDuplicate {
+        /// Traffic class.
+        channel: ChannelId,
+        /// Destination node.
+        to: u32,
+        /// Per-link sequence number of the duplicated packet.
+        seq: u32,
+    },
+    /// The fault plan delayed an outbound packet beyond its modelled
+    /// fabric latency (reordering it behind later traffic).
+    FaultDelay {
+        /// Traffic class.
+        channel: ChannelId,
+        /// Destination node.
+        to: u32,
+        /// Per-link sequence number of the delayed packet.
+        seq: u32,
+        /// Extra delay in cycles.
+        extra: u64,
+    },
+    /// The reliable-delivery layer retransmitted an unacked packet
+    /// after its timeout expired.
+    Retransmit {
+        /// Traffic class.
+        channel: ChannelId,
+        /// Destination node.
+        to: u32,
+        /// Per-link sequence number being retransmitted.
+        seq: u32,
+        /// Retransmission attempt (1 = first retransmit).
+        attempt: u32,
+    },
+    /// A cumulative acknowledgement departed toward a peer (`Full`
+    /// level only — ack traffic is as chatty as data traffic).
+    AckSent {
+        /// Traffic class being acknowledged.
+        channel: ChannelId,
+        /// Destination node (the original data sender).
+        to: u32,
+        /// Highest in-order sequence received on the link.
+        seq: u32,
+    },
     /// Engine stream: a force-phase burst window opened.
     BurstOpen {
         /// Window width in cycles.

@@ -17,7 +17,8 @@
 //! * **Stall attribution** ([`StallLedger`]/[`StallCause`]): every idle
 //!   force-phase cycle of every node classified into
 //!   `wait-neighbor-sync | ring-backpressure | tx-cooldown |
-//!   filter-starved | drained | injected`, rolled up per (node, step).
+//!   filter-starved | drained | injected | retransmit | wait-ack`,
+//!   rolled up per (node, step).
 //!   The invariant `productive + stalled == force_cycles` holds exactly
 //!   per step.
 //! * **Exporters**: [`chrome::chrome_trace`] renders a Perfetto-loadable

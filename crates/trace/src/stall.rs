@@ -33,11 +33,18 @@ pub enum StallCause {
     Drained = 4,
     /// An injected straggler stall (the §4.4 ablation).
     Injected = 5,
+    /// Chip drained, sync incomplete, and at least one outbound link is
+    /// actively retransmitting a lost packet (reliable delivery layer).
+    Retransmit = 6,
+    /// Chip drained, sync incomplete, all data transmitted but unacked
+    /// packets are still in flight on their first attempt (reliable
+    /// delivery layer).
+    WaitAck = 7,
 }
 
 impl StallCause {
     /// Number of causes.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 8;
 
     /// Every cause, in index order.
     pub const ALL: [StallCause; Self::COUNT] = [
@@ -47,6 +54,8 @@ impl StallCause {
         StallCause::FilterStarved,
         StallCause::Drained,
         StallCause::Injected,
+        StallCause::Retransmit,
+        StallCause::WaitAck,
     ];
 
     /// Stable kebab-case label used by the exporters.
@@ -58,6 +67,8 @@ impl StallCause {
             StallCause::FilterStarved => "filter-starved",
             StallCause::Drained => "drained",
             StallCause::Injected => "injected",
+            StallCause::Retransmit => "retransmit",
+            StallCause::WaitAck => "wait-ack",
         }
     }
 }
