@@ -328,6 +328,39 @@ impl core::ops::AddAssign for FixAcc {
     }
 }
 
+impl fasda_ckpt::Persist for Fix {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_i32(self.0);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(Fix(r.get_i32()?))
+    }
+}
+
+impl fasda_ckpt::Persist for FixVec3 {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_i32(self.x.0);
+        w.put_i32(self.y.0);
+        w.put_i32(self.z.0);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(FixVec3 {
+            x: Fix(r.get_i32()?),
+            y: Fix(r.get_i32()?),
+            z: Fix(r.get_i32()?),
+        })
+    }
+}
+
+impl fasda_ckpt::Persist for FixAcc {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_i64(self.0);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(FixAcc(r.get_i64()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

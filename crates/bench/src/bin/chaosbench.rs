@@ -20,17 +20,31 @@
 //! Results merge into the `chaos` section of `BENCH_engine.json`
 //! (created if absent), preserving the engine benchmark's sections.
 //!
+//! `--recovery` instead measures what *crash recovery* costs: for each
+//! checkpoint interval and drop rate ∈ {0, 5 %}, a run is killed via a
+//! `crash=NODE@STEP` fault at its last step and resumed from the latest
+//! snapshot; the `recovery` section records snapshot size, serialize and
+//! restore wall time, and the replay overhead (fraction of the run
+//! re-simulated because progress past the last checkpoint was lost).
+//! Every resumed run is asserted bit-identical to the uninterrupted
+//! oracle.
+//!
 //! Usage: `chaosbench [--steps N] [--per-cell N] [--seed S]
-//!                    [--out FILE] [--smoke]`
+//!                    [--out FILE] [--smoke] [--recovery]`
 
 use fasda_bench::{rule, Args};
-use fasda_cluster::{Cluster, ClusterConfig, EngineConfig, FaultPlan, RelConfig};
+use fasda_cluster::{
+    resume_latest, run_with_checkpoints, save_checkpoint, CheckpointConfig, Cluster,
+    ClusterConfig, ClusterError, CkptRunError, EngineConfig, FaultPlan, RelConfig,
+    RunAccumulator,
+};
 use fasda_core::config::ChipConfig;
 use fasda_md::element::Element;
 use fasda_md::space::SimulationSpace;
 use fasda_md::system::ParticleSystem;
 use fasda_md::workload::{Placement, WorkloadSpec};
 use fasda_trace::Json;
+use std::time::Instant;
 
 /// One row of the sweep.
 struct Row {
@@ -72,8 +86,45 @@ fn run(sys: &ParticleSystem, cfg: ClusterConfig, steps: u64, engine: &EngineConf
     }
 }
 
+/// The fig16-style 8-FPGA workload shared by both benchmark modes.
+fn workload(per_cell: u32) -> ParticleSystem {
+    WorkloadSpec {
+        space: SimulationSpace::cubic(6),
+        per_cell,
+        placement: Placement::JitteredLattice { jitter: 0.05 },
+        temperature_k: 150.0,
+        seed: 0xFA5DA,
+        element: Element::Na,
+    }
+    .generate()
+}
+
+/// Merge `section` into the JSON document at `out` under `key`,
+/// preserving every other section (created if absent).
+fn merge_section(out: &str, key: &str, section: Json) {
+    let mut doc = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .unwrap_or_else(|| Json::obj().build());
+    match &mut doc {
+        Json::Obj(fields) => {
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = section;
+            } else {
+                fields.push((key.to_string(), section));
+            }
+        }
+        other => *other = Json::Obj(vec![(key.to_string(), section)]),
+    }
+    std::fs::write(out, doc.pretty()).expect("write benchmark result");
+    println!("merged {key} section into {out}");
+}
+
 fn main() {
     let args = Args::parse();
+    if args.flag("recovery") {
+        return recovery(&args);
+    }
     let smoke = args.flag("smoke");
     let steps: u64 = args.get("steps", if smoke { 1 } else { 3 });
     let per_cell: u32 = args.get("per-cell", if smoke { 4 } else { 16 });
@@ -87,15 +138,7 @@ fn main() {
         if smoke { " [smoke]" } else { "" }
     );
 
-    let sys = WorkloadSpec {
-        space: SimulationSpace::cubic(6),
-        per_cell,
-        placement: Placement::JitteredLattice { jitter: 0.05 },
-        temperature_k: 150.0,
-        seed: 0xFA5DA,
-        element: Element::Na,
-    }
-    .generate();
+    let sys = workload(per_cell);
     let cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
     let engine = EngineConfig::parallel();
 
@@ -187,20 +230,160 @@ fn main() {
         .field("sweep", Json::Arr(sweep))
         .build();
 
-    let mut doc = std::fs::read_to_string(&out)
-        .ok()
-        .and_then(|text| Json::parse(&text).ok())
-        .unwrap_or_else(|| Json::obj().build());
-    match &mut doc {
-        Json::Obj(fields) => {
-            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "chaos") {
-                slot.1 = chaos;
+    merge_section(&out, "chaos", chaos);
+}
+
+/// `--recovery`: the cost of checkpointing and of coming back from the
+/// dead, as a function of checkpoint interval and link loss.
+fn recovery(args: &Args) {
+    let smoke = args.flag("smoke");
+    let steps: u64 = args.get("steps", if smoke { 4 } else { 6 });
+    let per_cell: u32 = args.get("per-cell", if smoke { 4 } else { 16 });
+    let seed: u64 = args.get("seed", 0xC4A05);
+    let out: String = args.get("out", "BENCH_engine.json".to_string());
+    let intervals: &[u64] = if smoke { &[1, 2] } else { &[1, 2, 3] };
+    let rates: &[f64] = &[0.0, 0.05];
+    let crash_step = steps - 1;
+
+    println!("FASDA — recovery benchmark (checkpoint + crash-recovery cost)");
+    println!(
+        "6x6x6 cells, {per_cell} Na/cell, 8 nodes, {steps} steps, crash=1@{crash_step}{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let sys = workload(per_cell);
+    let base = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
+    let engine = EngineConfig::parallel();
+    let budget = 2_000_000_000u64;
+    let scratch = std::env::temp_dir().join(format!("fasda-recovery-{}", std::process::id()));
+
+    println!(
+        "{:>6} {:>5} {:>12} {:>10} {:>10} {:>8} {:>12} {:>9}",
+        "drop", "every", "snap-bytes", "ser-ms", "restore-ms", "replayed", "replay-cyc", "overhead"
+    );
+    let mut sweep = Vec::new();
+    for &rate in rates {
+        let faulted = |crash: bool| {
+            let mut plan = if rate > 0.0 {
+                FaultPlan::drop_only(rate, seed)
             } else {
-                fields.push(("chaos".to_string(), chaos));
+                FaultPlan::none()
+            };
+            if crash {
+                plan = plan.with_crash(1, crash_step);
             }
+            let mut c = base.clone();
+            if rate > 0.0 {
+                c = c.with_reliability(RelConfig::new(2_048, 16_384));
+            }
+            if !plan.is_none() || plan.crash.is_some() {
+                c = c.with_faults(plan);
+            }
+            c
+        };
+        for &every in intervals {
+            let tag = format!("r{}-k{every}", (rate * 100.0) as u32);
+            // Separate oracle and victim checkpoint dirs: resume must
+            // only ever see snapshots the *crashed* run got to write.
+            let ckpt = CheckpointConfig::new(every, scratch.join(format!("{tag}-oracle")));
+            let dir = scratch.join(format!("{tag}-crash"));
+            let ckpt_crash = CheckpointConfig::new(every, &dir);
+
+            // Uninterrupted oracle with the same segmentation: the
+            // bit-identity reference and the denominator for overhead.
+            let mut oracle = Cluster::new(faulted(false), &sys);
+            let oracle_run = run_with_checkpoints(
+                &mut oracle,
+                steps,
+                budget,
+                &engine,
+                Some(&ckpt),
+                RunAccumulator::new(),
+            )
+            .expect("oracle run completes");
+            let mut oracle_sys = sys.clone();
+            oracle.store_into(&mut oracle_sys);
+
+            // Serialize cost on the final (densest) machine state.
+            let mut final_acc = RunAccumulator::new();
+            final_acc.fold(&oracle_run.report);
+            let t = Instant::now();
+            let snap_path = save_checkpoint(&oracle, &final_acc, &ckpt).expect("serialize");
+            let serialize_ms = t.elapsed().as_secs_f64() * 1e3;
+            let snapshot_bytes = std::fs::metadata(&snap_path).expect("stat").len();
+
+            // Crash at the last step, losing everything past the most
+            // recent checkpoint boundary.
+            let mut victim = Cluster::new(faulted(true), &sys);
+            let crashed = run_with_checkpoints(
+                &mut victim,
+                steps,
+                budget,
+                &engine,
+                Some(&ckpt_crash),
+                RunAccumulator::new(),
+            );
+            match crashed {
+                Err(CkptRunError::Run(ClusterError::Crashed(_))) => {}
+                other => panic!("expected injected crash, got {:?}", other.map(|r| r.report)),
+            }
+
+            // Recover: restore the latest snapshot and replay to the end.
+            let mut revived = Cluster::new(faulted(false), &sys);
+            let t = Instant::now();
+            let (_, acc) = resume_latest(&mut revived, &dir)
+                .expect("restore")
+                .expect("a checkpoint exists");
+            let restore_ms = t.elapsed().as_secs_f64() * 1e3;
+            let steps_replayed = crash_step + 1 - acc.steps_done.min(crash_step + 1);
+            let resume_cycle = revived.cycle;
+            let run =
+                run_with_checkpoints(&mut revived, steps, budget, &engine, Some(&ckpt_crash), acc)
+                    .expect("resumed run completes");
+            let replay_cycles = revived.cycle - resume_cycle;
+            let overhead = replay_cycles as f64 / run.report.total_cycles.max(1) as f64;
+
+            let mut recovered_sys = sys.clone();
+            revived.store_into(&mut recovered_sys);
+            assert_eq!(recovered_sys.pos, oracle_sys.pos, "recovery drifted (pos)");
+            assert_eq!(recovered_sys.vel, oracle_sys.vel, "recovery drifted (vel)");
+            assert_eq!(
+                run.report.total_cycles, oracle_run.report.total_cycles,
+                "recovery cycle count drifted"
+            );
+
+            println!(
+                "{:>6} {:>5} {:>12} {:>10.2} {:>10.2} {:>8} {:>12} {:>9.3}",
+                rate, every, snapshot_bytes, serialize_ms, restore_ms, steps_replayed,
+                replay_cycles, overhead
+            );
+            sweep.push(
+                Json::obj()
+                    .field("drop_rate", Json::fixed(rate, 3))
+                    .field("checkpoint_every", Json::uint(every))
+                    .field("snapshot_bytes", Json::uint(snapshot_bytes))
+                    .field("serialize_ms", Json::fixed(serialize_ms, 3))
+                    .field("restore_ms", Json::fixed(restore_ms, 3))
+                    .field("steps_replayed", Json::uint(steps_replayed))
+                    .field("replay_cycles", Json::uint(replay_cycles))
+                    .field("replay_overhead", Json::fixed(overhead, 4))
+                    .field("total_cycles", Json::uint(run.report.total_cycles))
+                    .build(),
+            );
         }
-        other => *other = Json::Obj(vec![("chaos".to_string(), chaos)]),
     }
-    std::fs::write(&out, doc.pretty()).expect("write benchmark result");
-    println!("merged chaos section into {out}");
+    println!("\nall recovered runs bit-identical to their uninterrupted oracles");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let recovery = Json::obj()
+        .field("workload", "fig16-6x6x6-8fpga")
+        .field("smoke", smoke)
+        .field("per_cell", per_cell as i64)
+        .field("steps", Json::uint(steps))
+        .field("crash_step", Json::uint(crash_step))
+        .field("fault_seed", Json::uint(seed))
+        .field("bit_identical", true)
+        .field("sweep", Json::Arr(sweep))
+        .build();
+    merge_section(&out, "recovery", recovery);
 }

@@ -12,6 +12,9 @@
 //! fasda info --per-fpga 222 --total 444 [--variant C]
 //! ```
 
+use fasda_cluster::ckpt::{
+    load_checkpoint, resume_latest, run_with_checkpoints, CheckpointConfig, RunAccumulator,
+};
 use fasda_cluster::{
     chrome_trace, stall_json, trace_summary_json, Cluster, ClusterConfig, EngineConfig,
     FaultPlan, HostController, Json, RelConfig, TraceConfig, TraceLevel,
@@ -104,13 +107,18 @@ fn usage() -> ExitCode {
          \x20           [--sync chained|bulk] [--dump-group N] [--per-cell 64] [--seed S]\n\
          \x20           [--threads N] [--serial]\n\
          \x20           [--fault-plan SPEC] [--drop-rate P] [--fault-seed S] [--unreliable]\n\
+         \x20           [--checkpoint-every N --checkpoint-dir DIR] [--checkpoint-keep K]\n\
+         \x20           [--resume FILE|latest] [--dump-state FILE]\n\
          \x20           [--trace-out run.trace.json] [--metrics-out run.metrics.json]\n\
          \x20           [--trace-level off|sync|full]\n\
          \x20 fasda generate --total 444 --out system.pdb [--per-cell 64] [--seed S]\n\
          \x20 fasda info --per-fpga 222 --total 444 [--variant A|B|C]\n\
          \n\
-         fault-plan grammar: drop=P,corrupt=P,dup=P,delay=P:MAX,seed=N,kill=CHAN:SRC->DST:N\n\
-         (faults enable the reliable-delivery layer unless --unreliable is given)"
+         fault-plan grammar: drop=P,corrupt=P,dup=P,delay=P:MAX,seed=N,\n\
+         \x20                   kill=CHAN:SRC->DST:N,crash=NODE@STEP\n\
+         (faults enable the reliable-delivery layer unless --unreliable is given;\n\
+         \x20a crash aborts the run — recover with --resume latest, which strips the\n\
+         \x20crash directive)"
     );
     ExitCode::from(2)
 }
@@ -163,6 +171,160 @@ fn workload(opts: &Opts) -> Result<(SimulationSpace, fasda_md::system::ParticleS
     Ok((space, spec.generate()))
 }
 
+/// `--checkpoint-every` / `--checkpoint-dir` / `--checkpoint-keep` → the
+/// periodic snapshot schedule. Both of the first two are required to
+/// turn checkpointing on.
+fn checkpoint_config(opts: &Opts) -> Result<Option<CheckpointConfig>, String> {
+    match (opts.get("--checkpoint-every"), opts.get("--checkpoint-dir")) {
+        (Some(n), Some(dir)) => {
+            let every: u64 = n.parse().map_err(|_| "bad --checkpoint-every")?;
+            if every == 0 {
+                return Err("--checkpoint-every must be >= 1".into());
+            }
+            let keep: usize = opts
+                .get_or("--checkpoint-keep", "3")
+                .parse()
+                .map_err(|_| "bad --checkpoint-keep")?;
+            Ok(Some(CheckpointConfig::new(every, dir).with_keep(keep)))
+        }
+        (None, None) => Ok(None),
+        _ => Err("--checkpoint-every and --checkpoint-dir must be given together".into()),
+    }
+}
+
+/// Deterministic final-state dump for recovery diffs: one line per
+/// particle with the raw IEEE-754 bits of position/velocity and the raw
+/// fixed-point force-accumulator bank bits, keyed by stable ID. Two runs
+/// are bit-identical iff their dumps are byte-identical.
+fn state_dump(cluster: &Cluster, sys: &fasda_md::system::ParticleSystem) -> String {
+    let mut out = sys.clone();
+    cluster.store_into(&mut out);
+    let mut forces = Vec::new();
+    for chip in &cluster.chips {
+        for cbb in &chip.cbbs {
+            for i in 0..cbb.len() {
+                forces.push((cbb.id[i], cbb.force[i].map(|f| f.0)));
+            }
+        }
+    }
+    forces.sort_by_key(|e| e.0);
+    let mut s = String::with_capacity(forces.len() * 120);
+    for (id, frc) in forces {
+        let p = out.pos[id as usize];
+        let v = out.vel[id as usize];
+        s.push_str(&format!(
+            "{id} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x}\n",
+            p.x.to_bits(),
+            p.y.to_bits(),
+            p.z.to_bits(),
+            v.x.to_bits(),
+            v.y.to_bits(),
+            v.z.to_bits(),
+            frc[0] as u64,
+            frc[1] as u64,
+            frc[2] as u64,
+        ));
+    }
+    s
+}
+
+/// The checkpoint/resume run path: drives the cluster in segments via
+/// `run_with_checkpoints` instead of the host controller. Selected only
+/// when a checkpoint or resume flag is present, so plain runs keep the
+/// exact pre-checkpointing code path.
+#[allow(clippy::too_many_arguments)]
+fn run_checkpointed(
+    opts: &Opts,
+    cfg: ClusterConfig,
+    sys: &fasda_md::system::ParticleSystem,
+    steps: u64,
+    eng: &EngineConfig,
+    ckpt: Option<CheckpointConfig>,
+    resume: Option<&str>,
+) -> Result<(), String> {
+    let mut cluster = Cluster::new(cfg, sys);
+    println!("{} FPGA node(s) configured; running...", cluster.num_nodes());
+    let acc = match resume {
+        None => RunAccumulator::new(),
+        Some("latest") => {
+            let dir = ckpt
+                .as_ref()
+                .map(|c| c.dir.clone())
+                .ok_or("--resume latest needs --checkpoint-dir")?;
+            match resume_latest(&mut cluster, &dir).map_err(|e| e.to_string())? {
+                Some((path, acc)) => {
+                    println!("resumed from {} (step {})", path.display(), acc.steps_done);
+                    acc
+                }
+                None => {
+                    println!("no checkpoint in {}; starting from step 0", dir.display());
+                    RunAccumulator::new()
+                }
+            }
+        }
+        Some(path) => {
+            let acc = load_checkpoint(&mut cluster, std::path::Path::new(path))
+                .map_err(|e| e.to_string())?;
+            println!("resumed from {path} (step {})", acc.steps_done);
+            acc
+        }
+    };
+    let run = run_with_checkpoints(
+        &mut cluster,
+        steps,
+        2_000_000_000,
+        eng,
+        ckpt.as_ref(),
+        acc,
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "\nsimulation rate: {:.2} µs/day ({:.0} cycles/step at 200 MHz)",
+        run.report.us_per_day(),
+        run.report.cycles_per_step()
+    );
+    if !run.checkpoints.is_empty() {
+        println!(
+            "wrote {} checkpoint(s), latest {}",
+            run.checkpoints.len(),
+            run.checkpoints.last().expect("non-empty").display()
+        );
+    }
+    if run.report.faults_injected > 0 {
+        println!("faults injected: {}", run.report.faults_injected);
+    }
+    if let Some(rel) = &run.report.reliability {
+        println!(
+            "reliable delivery: {} retransmits, {} acks, {} duplicates dropped, {} corrupt dropped",
+            rel.retransmits, rel.acks_sent, rel.duplicates_dropped, rel.corrupt_dropped
+        );
+    }
+    if let Some(out) = opts.get("--trace-out") {
+        let trace = run
+            .traces
+            .last()
+            .ok_or("--trace-out needs tracing on (drop --trace-level off)")?;
+        std::fs::write(out, chrome_trace(trace)).map_err(|e| e.to_string())?;
+        println!("wrote final-segment trace to {out} (earlier segments are not retained)");
+    }
+    if let Some(out) = opts.get("--metrics-out") {
+        let mut doc = Json::obj().field("run", run.report.metrics_json());
+        if let Some(trace) = run.traces.last() {
+            doc = doc
+                .field("stalls", stall_json(&trace.stalls))
+                .field("trace", trace_summary_json(trace));
+        }
+        std::fs::write(out, doc.build().pretty()).map_err(|e| e.to_string())?;
+        println!("wrote metrics to {out}");
+    }
+    if let Some(out) = opts.get("--dump-state") {
+        std::fs::write(out, state_dump(&cluster, sys)).map_err(|e| e.to_string())?;
+        println!("wrote state dump to {out}");
+    }
+    Ok(())
+}
+
 fn cmd_run(opts: &Opts) -> Result<(), String> {
     let per_fpga = parse_dims(opts.get("--per-fpga").ok_or("--per-fpga required")?)?;
     let (space, sys) = workload(opts)?;
@@ -178,6 +340,14 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         cfg = cfg.with_faults(plan);
         if !opts.has("--unreliable") {
             cfg = cfg.with_reliability(RelConfig::DEFAULT);
+        }
+    }
+    // A resumed run must not re-fire the crash directive that killed the
+    // original process.
+    let resume = opts.get("--resume");
+    if resume.is_some() {
+        if let Some(plan) = &cfg.faults {
+            cfg.faults = Some(plan.without_crash());
         }
     }
 
@@ -200,6 +370,10 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     );
 
     let eng = engine(opts)?;
+    let ckpt = checkpoint_config(opts)?;
+    if ckpt.is_some() || resume.is_some() {
+        return run_checkpointed(opts, cfg, &sys, steps, &eng, ckpt, resume);
+    }
     let cluster = Cluster::new(cfg, &sys);
     println!("{} FPGA node(s) configured; running...", cluster.num_nodes());
     let mut host = HostController::new(cluster);
@@ -289,6 +463,10 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         if dump.len() > 16 {
             println!("  ... {} more", dump.len() - 16);
         }
+    }
+    if let Some(out) = opts.get("--dump-state") {
+        std::fs::write(out, state_dump(host.cluster(), &sys)).map_err(|e| e.to_string())?;
+        println!("wrote state dump to {out}");
     }
     Ok(())
 }

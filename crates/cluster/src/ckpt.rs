@@ -1,0 +1,345 @@
+//! Deterministic checkpoint/restore and crash recovery for cluster runs.
+//!
+//! A run with checkpointing enabled is driven as a sequence of
+//! *segments* of `every` timesteps: after each segment the cluster is
+//! quiescent (every node `Done`, no flit in any ring, queue, packetizer
+//! or fabric), its full microarchitectural state is serialized through
+//! [`Cluster::snapshot_into`] into a versioned, CRC-framed `fckp`
+//! container ([`fasda_ckpt`]), written atomically (write to a temp file,
+//! then rename), and old checkpoints beyond the retention bound are
+//! pruned. A crashed run — whether a real process death or the fault
+//! plan's `crash=NODE@STEP` directive — recovers by rebuilding the
+//! cluster from the same configuration and particle system, restoring
+//! the latest checkpoint, and re-running the remaining segments; the
+//! recovered run's final particle state, per-step records, merged
+//! statistics, and per-node trace streams are **bit-identical** to an
+//! uninterrupted run with the same segmentation (see `DESIGN.md` §9 for
+//! the argument).
+//!
+//! Segmentation itself is observable (each segment re-arms every node at
+//! a common cycle, like a fresh run), so the recovery oracle is the
+//! *checkpointed* uninterrupted run, not the monolithic one. Physics is
+//! unaffected either way — force accumulation is fixed-point and
+//! order-invariant — only the cycle accounting differs.
+
+use crate::driver::{sections, Cluster, ClusterError, EngineConfig};
+use crate::report::{ClusterRunReport, NodeStepReport, RelSummary};
+use fasda_ckpt::{
+    checkpoint_path, latest_checkpoint, prune_checkpoints, write_atomic, CkptError, Container,
+    ContainerWriter, Persist, Reader, Writer,
+};
+use fasda_core::timed::TrafficCounters;
+use fasda_sim::StatSet;
+use fasda_trace::{Trace, TraceLevel};
+use std::path::{Path, PathBuf};
+
+/// Where and how often to checkpoint a run.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Checkpoint every `every` timesteps (also the segment length).
+    pub every: u64,
+    /// Directory for `ckpt-*.fckp` files (created on first write).
+    pub dir: PathBuf,
+    /// Keep the newest `keep` checkpoints; `0` keeps all.
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint to `dir` every `every` steps, keeping the last 3.
+    pub fn new(every: u64, dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            every: every.max(1),
+            dir: dir.into(),
+            keep: 3,
+        }
+    }
+
+    /// Override the retention bound (`0` = keep all).
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = keep;
+        self
+    }
+}
+
+/// Cross-segment run aggregation. Lives *inside* each checkpoint (the
+/// `runner` section) so a resumed run can report over the whole
+/// trajectory, not just its own segments.
+///
+/// Per-segment quantities (records, merged stats, traffic, cycles) are
+/// summed as segments complete. Fabric packet/bit counters, fault
+/// tallies and reliability counters are cumulative *inside* the cluster
+/// state (they survive snapshot/restore), so the latest segment's report
+/// already carries their run totals — those fields are overwritten, not
+/// summed.
+#[derive(Clone, Debug, Default)]
+pub struct RunAccumulator {
+    /// Steps completed so far (absolute; segment targets are derived
+    /// from this).
+    pub steps_done: u64,
+    /// Wall-clock cycles summed over completed segments.
+    pub total_cycles: u64,
+    /// Per-node per-step records of all completed segments, in
+    /// completion order.
+    pub records: Vec<NodeStepReport>,
+    /// Cluster-merged utilization counters, accumulated across segments.
+    pub stats: StatSet,
+    /// Per-node traffic counters, accumulated across segments.
+    pub per_node_traffic: Vec<TrafficCounters>,
+    /// Cumulative fabric/fault/reliability scalars from the most recent
+    /// segment report.
+    pub pos_packets: u64,
+    /// See [`RunAccumulator::pos_packets`].
+    pub frc_packets: u64,
+    /// See [`RunAccumulator::pos_packets`].
+    pub pos_bits: u64,
+    /// See [`RunAccumulator::pos_packets`].
+    pub frc_bits: u64,
+    /// Fabric clock of the run.
+    pub clock_hz: f64,
+    /// Timestep in femtoseconds.
+    pub dt_fs: f64,
+    /// Node count.
+    pub nodes: usize,
+    /// Faults injected so far (cumulative).
+    pub faults_injected: u64,
+    /// Reliability counters (cumulative), when the layer is on.
+    pub reliability: Option<RelSummary>,
+}
+
+impl RunAccumulator {
+    /// Fresh accumulator for a run starting at step 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one completed segment's report in. `report.steps` is the
+    /// absolute step target the segment ran to.
+    pub fn fold(&mut self, report: &ClusterRunReport) {
+        self.steps_done = report.steps;
+        self.total_cycles += report.total_cycles;
+        self.records.extend_from_slice(&report.records);
+        self.stats.accumulate_from(&report.stats);
+        if self.per_node_traffic.is_empty() {
+            self.per_node_traffic = report.per_node_traffic.clone();
+        } else {
+            for (mine, theirs) in self
+                .per_node_traffic
+                .iter_mut()
+                .zip(report.per_node_traffic.iter())
+            {
+                mine.merge_from(theirs);
+            }
+        }
+        self.pos_packets = report.pos_packets;
+        self.frc_packets = report.frc_packets;
+        self.pos_bits = report.pos_bits;
+        self.frc_bits = report.frc_bits;
+        self.clock_hz = report.clock_hz;
+        self.dt_fs = report.dt_fs;
+        self.nodes = report.nodes;
+        self.faults_injected = report.faults_injected;
+        self.reliability = report.reliability;
+    }
+
+    /// The whole-run report over every folded segment.
+    pub fn into_report(self) -> ClusterRunReport {
+        ClusterRunReport {
+            steps: self.steps_done,
+            total_cycles: self.total_cycles,
+            records: self.records,
+            stats: self.stats,
+            per_node_traffic: self.per_node_traffic,
+            pos_packets: self.pos_packets,
+            frc_packets: self.frc_packets,
+            pos_bits: self.pos_bits,
+            frc_bits: self.frc_bits,
+            clock_hz: self.clock_hz,
+            dt_fs: self.dt_fs,
+            nodes: self.nodes,
+            faults_injected: self.faults_injected,
+            reliability: self.reliability,
+        }
+    }
+}
+
+impl Persist for RunAccumulator {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.steps_done);
+        w.put_u64(self.total_cycles);
+        self.records.save(w);
+        self.stats.save(w);
+        self.per_node_traffic.save(w);
+        w.put_u64(self.pos_packets);
+        w.put_u64(self.frc_packets);
+        w.put_u64(self.pos_bits);
+        w.put_u64(self.frc_bits);
+        w.put_f64(self.clock_hz);
+        w.put_f64(self.dt_fs);
+        w.put_usize(self.nodes);
+        w.put_u64(self.faults_injected);
+        self.reliability.save(w);
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        Ok(RunAccumulator {
+            steps_done: r.get_u64()?,
+            total_cycles: r.get_u64()?,
+            records: Persist::load(r)?,
+            stats: Persist::load(r)?,
+            per_node_traffic: Persist::load(r)?,
+            pos_packets: r.get_u64()?,
+            frc_packets: r.get_u64()?,
+            pos_bits: r.get_u64()?,
+            frc_bits: r.get_u64()?,
+            clock_hz: r.get_f64()?,
+            dt_fs: r.get_f64()?,
+            nodes: r.get_usize()?,
+            faults_injected: r.get_u64()?,
+            reliability: Persist::load(r)?,
+        })
+    }
+}
+
+/// Serialize the cluster + accumulator into a checkpoint file named
+/// after the current step, atomically, then prune to the retention
+/// bound. Returns the path written.
+pub fn save_checkpoint(
+    cluster: &Cluster,
+    acc: &RunAccumulator,
+    cfg: &CheckpointConfig,
+) -> Result<PathBuf, CkptError> {
+    let mut cw = ContainerWriter::new();
+    cluster.snapshot_into(&mut cw);
+    let mut w = Writer::new();
+    acc.save(&mut w);
+    cw.push(sections::RUNNER, w);
+    std::fs::create_dir_all(&cfg.dir)?;
+    let path = checkpoint_path(&cfg.dir, cluster.current_step());
+    write_atomic(&path, &cw.finish())?;
+    if cfg.keep > 0 {
+        prune_checkpoints(&cfg.dir, cfg.keep)?;
+    }
+    Ok(path)
+}
+
+/// Restore `cluster` (freshly built over the same configuration and
+/// particle system) from a checkpoint file; returns the accumulator of
+/// the completed segments. On any error the cluster may be partially
+/// overwritten and must be rebuilt before retrying.
+pub fn load_checkpoint(cluster: &mut Cluster, path: &Path) -> Result<RunAccumulator, CkptError> {
+    let bytes = std::fs::read(path)?;
+    let container = Container::parse(&bytes)?;
+    cluster.restore_from(&container)?;
+    RunAccumulator::load(&mut container.reader(sections::RUNNER)?)
+}
+
+/// [`load_checkpoint`] from the newest checkpoint in `dir`; `Ok(None)`
+/// when the directory holds no checkpoint (the caller starts from
+/// step 0).
+pub fn resume_latest(
+    cluster: &mut Cluster,
+    dir: &Path,
+) -> Result<Option<(PathBuf, RunAccumulator)>, CkptError> {
+    match latest_checkpoint(dir)? {
+        None => Ok(None),
+        Some(path) => {
+            let acc = load_checkpoint(cluster, &path)?;
+            Ok(Some((path, acc)))
+        }
+    }
+}
+
+/// Why a checkpointed run did not complete.
+#[derive(Debug)]
+pub enum CkptRunError {
+    /// The simulation itself failed (stall, deadlock, injected crash).
+    Run(ClusterError),
+    /// A checkpoint could not be written.
+    Ckpt(CkptError),
+}
+
+impl std::fmt::Display for CkptRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptRunError::Run(e) => e.fmt(f),
+            CkptRunError::Ckpt(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CkptRunError {}
+
+impl From<ClusterError> for CkptRunError {
+    fn from(e: ClusterError) -> Self {
+        CkptRunError::Run(e)
+    }
+}
+
+impl From<CkptError> for CkptRunError {
+    fn from(e: CkptError) -> Self {
+        CkptRunError::Ckpt(e)
+    }
+}
+
+/// A completed checkpointed (or resumed) run.
+#[derive(Debug)]
+pub struct CheckpointedRun {
+    /// Whole-run report (all segments, including pre-resume ones).
+    pub report: ClusterRunReport,
+    /// One flight-recorder trace per segment run *in this process*
+    /// (empty when tracing is off). A resumed run's traces align with
+    /// the suffix of the uninterrupted run's segment traces.
+    pub traces: Vec<Trace>,
+    /// Checkpoint files written, oldest first (retention may have
+    /// deleted early ones by the time the run finishes).
+    pub checkpoints: Vec<PathBuf>,
+}
+
+/// Drive `cluster` to `steps` total timesteps in checkpoint-sized
+/// segments, snapshotting after each one. `acc` carries the progress of
+/// any previously completed segments (from [`load_checkpoint`]); pass
+/// [`RunAccumulator::new`] for a fresh run. With `ckpt: None` the run is
+/// a single segment and nothing is written — the driver adds no
+/// per-cycle work either way, so disabled checkpointing is free.
+///
+/// `cycle_budget` bounds the cycles *this call* may simulate across all
+/// its segments.
+pub fn run_with_checkpoints(
+    cluster: &mut Cluster,
+    steps: u64,
+    cycle_budget: u64,
+    engine: &EngineConfig,
+    ckpt: Option<&CheckpointConfig>,
+    mut acc: RunAccumulator,
+) -> Result<CheckpointedRun, CkptRunError> {
+    assert!(
+        acc.steps_done <= steps,
+        "accumulator is already past the requested step count"
+    );
+    let every = match ckpt {
+        Some(c) => c.every,
+        None => steps.saturating_sub(acc.steps_done).max(1),
+    };
+    let start_cycle = cluster.cycle;
+    let mut traces = Vec::new();
+    let mut checkpoints = Vec::new();
+    while acc.steps_done < steps {
+        let target = (acc.steps_done + every).min(steps);
+        let spent = cluster.cycle - start_cycle;
+        let report = cluster.try_run_with(target, cycle_budget.saturating_sub(spent), engine)?;
+        if engine.trace.level != TraceLevel::Off {
+            if let Some(t) = cluster.take_trace() {
+                traces.push(t);
+            }
+        }
+        acc.fold(&report);
+        if let Some(c) = ckpt {
+            checkpoints.push(save_checkpoint(cluster, &acc, c)?);
+        }
+    }
+    Ok(CheckpointedRun {
+        report: acc.into_report(),
+        traces,
+        checkpoints,
+    })
+}

@@ -290,6 +290,36 @@ impl std::fmt::Display for DeadlockDetected {
 
 impl std::error::Error for DeadlockDetected {}
 
+/// A scheduled crash fired: the fault plan's `crash=NODE@STEP` directive
+/// killed the run while the named node was mid-way through the step's
+/// force phase. Unlike a stall or deadlock this is an *injected*
+/// failure — the recovery path restores the cluster from its latest
+/// checkpoint and re-runs from there (see the `ckpt` module).
+#[derive(Clone, Debug)]
+pub struct CrashInjected {
+    /// Cycle at which the crash fired.
+    pub at_cycle: u64,
+    /// The node that "died".
+    pub node: usize,
+    /// Timestep the node was executing.
+    pub step: u64,
+    /// Packets lost by the fabrics so far.
+    pub packets_lost: u64,
+}
+
+impl std::fmt::Display for CrashInjected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node {} crashed at cycle {} during step {} ({} packets lost); \
+             recover by resuming from the latest checkpoint",
+            self.node, self.at_cycle, self.step, self.packets_lost
+        )
+    }
+}
+
+impl std::error::Error for CrashInjected {}
+
 /// Why a fallible cluster run did not complete.
 #[derive(Clone, Debug)]
 pub enum ClusterError {
@@ -298,6 +328,8 @@ pub enum ClusterError {
     /// The run can provably never finish (e.g. a lost sync marker with
     /// reliability off).
     Deadlock(DeadlockDetected),
+    /// A `crash=NODE@STEP` fault directive killed the run mid-step.
+    Crashed(CrashInjected),
 }
 
 impl ClusterError {
@@ -306,6 +338,7 @@ impl ClusterError {
         match self {
             ClusterError::Stalled(s) => s.packets_lost,
             ClusterError::Deadlock(d) => d.packets_lost,
+            ClusterError::Crashed(c) => c.packets_lost,
         }
     }
 
@@ -314,6 +347,7 @@ impl ClusterError {
         match self {
             ClusterError::Stalled(s) => s.at_cycle,
             ClusterError::Deadlock(d) => d.at_cycle,
+            ClusterError::Crashed(c) => c.at_cycle,
         }
     }
 }
@@ -323,11 +357,18 @@ impl std::fmt::Display for ClusterError {
         match self {
             ClusterError::Stalled(s) => s.fmt(f),
             ClusterError::Deadlock(d) => d.fmt(f),
+            ClusterError::Crashed(c) => c.fmt(f),
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
+
+impl From<CrashInjected> for ClusterError {
+    fn from(c: CrashInjected) -> Self {
+        ClusterError::Crashed(c)
+    }
+}
 
 impl From<ClusterStalled> for ClusterError {
     fn from(s: ClusterStalled) -> Self {
@@ -803,8 +844,31 @@ impl Cluster {
         let mut burst_cooldown = 0u64;
         let mut burst_backoff = BURST_RETRY_COOLDOWN;
         let mut idle_streak = 0u64;
+        // `crash=NODE@STEP` directive: the node "dies" once its force
+        // phase for that step is underway. Checked at the cycle-loop top
+        // so a run resumed from a checkpoint taken at the step boundary
+        // (phase still Done/armed, no force cycle executed yet) does not
+        // immediately re-fire; the resume path strips the directive with
+        // `FaultPlan::without_crash` anyway.
+        let crash = self.cfg.faults.as_ref().and_then(|p| p.crash);
 
         while !self.all_done(steps) {
+            if let Some(cp) = crash {
+                let node = cp.node as usize;
+                if node < self.num_nodes()
+                    && self.state[node].phase == NodePhase::Force
+                    && self.state[node].step == cp.step
+                    && self.cycle > self.state[node].phase_start
+                {
+                    return Err(CrashInjected {
+                        at_cycle: self.cycle,
+                        node,
+                        step: cp.step,
+                        packets_lost: self.pos_fabric.packets_lost + self.frc_fabric.packets_lost,
+                    }
+                    .into());
+                }
+            }
             let stepped = self.compute_phase(pool.as_ref());
             if self.tracing {
                 self.attribute_cycle();
@@ -2097,5 +2161,334 @@ impl Cluster {
                 corrupt_dropped: r.corrupt_dropped,
             }),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing (paper-level crash recovery; the `ckpt` module drives the
+// file format, retention and segmented re-execution).
+// ---------------------------------------------------------------------------
+
+impl fasda_ckpt::Persist for NodePhase {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u8(match self {
+            NodePhase::Force => 0,
+            NodePhase::BarrierBeforeMu => 1,
+            NodePhase::Mu => 2,
+            NodePhase::BarrierBeforeForce => 3,
+            NodePhase::Done => 4,
+        });
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        match r.get_u8()? {
+            0 => Ok(NodePhase::Force),
+            1 => Ok(NodePhase::BarrierBeforeMu),
+            2 => Ok(NodePhase::Mu),
+            3 => Ok(NodePhase::BarrierBeforeForce),
+            4 => Ok(NodePhase::Done),
+            t => Err(r.malformed(format!("invalid node phase tag {t}"))),
+        }
+    }
+}
+
+impl fasda_ckpt::Persist for NodeState {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u64(self.step);
+        self.phase.save(w);
+        w.put_u64(self.phase_start);
+        w.put_u64(self.force_cycles);
+        w.put_bool(self.last_pos_flushed);
+        w.put_bool(self.mig_flushed);
+        self.barrier_release.save(w);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(NodeState {
+            step: r.get_u64()?,
+            phase: fasda_ckpt::Persist::load(r)?,
+            phase_start: r.get_u64()?,
+            force_cycles: r.get_u64()?,
+            last_pos_flushed: r.get_bool()?,
+            mig_flushed: r.get_bool()?,
+            barrier_release: fasda_ckpt::Persist::load(r)?,
+        })
+    }
+}
+
+/// Checkpointing: `cfg` is configuration; the per-link sender/receiver
+/// maps (sequence numbers, unacked in-flight frames, retransmission
+/// deadlines, dedup cursors) and the cumulative counters are state.
+impl fasda_ckpt::Snapshot for RelState {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        use fasda_ckpt::Persist;
+        w.put_usize(self.tx.len());
+        for node in &self.tx {
+            for links in node {
+                links.save(w);
+            }
+        }
+        for node in &self.rx {
+            for links in node {
+                links.save(w);
+            }
+        }
+        w.put_u64(self.acks_sent);
+        w.put_u64(self.corrupt_dropped);
+    }
+
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::Persist;
+        let nodes = r.get_usize()?;
+        if nodes != self.tx.len() {
+            return Err(r.malformed(format!(
+                "reliability node count mismatch: snapshot has {nodes}, cluster has {}",
+                self.tx.len()
+            )));
+        }
+        for node in 0..nodes {
+            for chan in 0..3 {
+                self.tx[node][chan] = Persist::load(r)?;
+            }
+        }
+        for node in 0..nodes {
+            for chan in 0..3 {
+                self.rx[node][chan] = Persist::load(r)?;
+            }
+        }
+        self.acks_sent = r.get_u64()?;
+        self.corrupt_dropped = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// Section names of a cluster checkpoint container.
+pub mod sections {
+    /// Configuration fingerprint (guards against restoring into a
+    /// differently-shaped cluster).
+    pub const META: &str = "meta";
+    /// Driver-level state: clock, per-node phase machines, sync.
+    pub const DRIVER: &str = "driver";
+    /// Per-chip microarchitectural state.
+    pub const CHIPS: &str = "chips";
+    /// Network state: packetizers, fabrics, inboxes, faults, reliability.
+    pub const NET: &str = "net";
+    /// Run-accumulator state (records and merged stats of completed
+    /// segments) — written by `ckpt::save_checkpoint`.
+    pub const RUNNER: &str = "runner";
+}
+
+impl Cluster {
+    /// Fingerprint of everything that must match between the snapshotting
+    /// and the restoring cluster. Stored as per-field digests so a
+    /// mismatch can name the offending field. The fault plan is
+    /// fingerprinted **without** any crash directive (and dropped
+    /// entirely when it carries no traffic faults): the resumed run
+    /// strips the crash so it does not re-fire, and that must not read
+    /// as a config change.
+    fn meta_writer(&self) -> fasda_ckpt::Writer {
+        use fasda_ckpt::crc32;
+        let mut w = fasda_ckpt::Writer::new();
+        let dbg = |s: String| crc32(s.as_bytes());
+        w.put_u32(dbg(format!("{:?}", self.cfg.chip)));
+        w.put_u32(self.cfg.block.0);
+        w.put_u32(self.cfg.block.1);
+        w.put_u32(self.cfg.block.2);
+        w.put_u32(dbg(format!("{:?}", self.cfg.sync)));
+        w.put_u32(dbg(format!("{:?}", self.cfg.topology)));
+        w.put_f64(self.cfg.bits_per_cycle);
+        w.put_u32(self.cfg.packet_cooldown);
+        w.put_f64(self.cfg.dt_fs);
+        w.put_u32(dbg(format!("{:?}", self.cfg.straggler)));
+        w.put_u32(dbg(format!("{:?}", self.cfg.loss)));
+        let faults = self
+            .cfg
+            .faults
+            .as_ref()
+            .map(|p| p.without_crash())
+            .filter(|p| !p.is_none());
+        w.put_u32(dbg(format!("{faults:?}")));
+        w.put_u32(dbg(format!("{:?}", self.cfg.reliability)));
+        w.put_u32(dbg(format!("{:?}", self.global)));
+        w.put_usize(self.num_nodes());
+        w.put_usize(self.num_particles());
+        w
+    }
+
+    fn check_meta(&self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        let mine = self.meta_writer().into_bytes();
+        let mut me = fasda_ckpt::Reader::new(&mine, sections::META);
+        const FIELDS: [&str; 16] = [
+            "chip",
+            "block.x",
+            "block.y",
+            "block.z",
+            "sync",
+            "topology",
+            "bits_per_cycle",
+            "packet_cooldown",
+            "dt_fs",
+            "straggler",
+            "loss",
+            "faults",
+            "reliability",
+            "space",
+            "nodes",
+            "particles",
+        ];
+        for field in FIELDS {
+            let (stored, expected): (u64, u64) = match field {
+                "block.x" | "block.y" | "block.z" | "chip" | "sync" | "topology"
+                | "packet_cooldown" | "straggler" | "loss" | "faults" | "reliability"
+                | "space" => (r.get_u32()? as u64, me.get_u32().expect("meta shape") as u64),
+                "bits_per_cycle" | "dt_fs" => {
+                    (r.get_f64()?.to_bits(), me.get_f64().expect("meta shape").to_bits())
+                }
+                _ => (r.get_usize()? as u64, me.get_usize().expect("meta shape") as u64),
+            };
+            if stored != expected {
+                return Err(fasda_ckpt::CkptError::ConfigMismatch {
+                    field: field.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowest in-flight step across nodes; at a step boundary (all nodes
+    /// `Done`) this is the number of completed steps — the step index a
+    /// checkpoint taken here is filed under.
+    pub fn current_step(&self) -> u64 {
+        self.state.iter().map(|s| s.step).min().unwrap_or(0)
+    }
+
+    /// Serialize the full microarchitectural state into `cw` as the
+    /// `meta`/`driver`/`chips`/`net` sections of a checkpoint container.
+    ///
+    /// Only *inter-segment* state is captured: everything the run-start
+    /// arm loop of [`Cluster::try_run_with`] rebuilds (utilization
+    /// counters, traffic tallies, trace recorders, quiescence caches,
+    /// phase-local broadcast schedules) is deliberately excluded, which
+    /// is what keeps snapshots small and resume bit-identical — see
+    /// `DESIGN.md` §9.
+    pub fn snapshot_into(&self, cw: &mut fasda_ckpt::ContainerWriter) {
+        use fasda_ckpt::{Persist, Snapshot};
+        cw.push(sections::META, self.meta_writer());
+
+        let mut w = fasda_ckpt::Writer::new();
+        w.put_u64(self.cycle);
+        w.put_u64(self.skipped_cycles);
+        w.put_u64(self.burst_cycles);
+        w.put_u64(self.burst_count);
+        w.put_u64(self.burst_refused);
+        self.state.save(&mut w);
+        self.stalls.save(&mut w);
+        fasda_ckpt::snapshot_slice(&self.sync, &mut w);
+        self.barrier_mu.snapshot(&mut w);
+        self.barrier_force.snapshot(&mut w);
+        cw.push(sections::DRIVER, w);
+
+        let mut w = fasda_ckpt::Writer::new();
+        w.put_usize(self.chips.len());
+        for chip in &self.chips {
+            chip.snapshot(&mut w);
+        }
+        cw.push(sections::CHIPS, w);
+
+        let mut w = fasda_ckpt::Writer::new();
+        fasda_ckpt::snapshot_slice(&self.pos_pz, &mut w);
+        fasda_ckpt::snapshot_slice(&self.frc_pz, &mut w);
+        fasda_ckpt::snapshot_slice(&self.mig_pz, &mut w);
+        self.pos_fabric.snapshot(&mut w);
+        self.frc_fabric.snapshot(&mut w);
+        self.inbox.save(&mut w);
+        w.put_bool(self.faults.is_some());
+        if let Some(f) = &self.faults {
+            f.snapshot(&mut w);
+        }
+        w.put_bool(self.rel.is_some());
+        if let Some(rel) = &self.rel {
+            rel.snapshot(&mut w);
+        }
+        cw.push(sections::NET, w);
+    }
+
+    /// Restore the cluster from a parsed checkpoint container. The
+    /// receiver must be a freshly built cluster over the *same*
+    /// configuration and particle system (enforced through the `meta`
+    /// fingerprint — a mismatch returns
+    /// [`fasda_ckpt::CkptError::ConfigMismatch`] naming the field).
+    /// On error the cluster may be partially overwritten and must be
+    /// discarded; no method of this type panics on corrupt input.
+    pub fn restore_from(&mut self, c: &fasda_ckpt::Container<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::{Persist, Snapshot};
+        self.check_meta(&mut c.reader(sections::META)?)?;
+
+        let r = &mut c.reader(sections::DRIVER)?;
+        self.cycle = r.get_u64()?;
+        self.skipped_cycles = r.get_u64()?;
+        self.burst_cycles = r.get_u64()?;
+        self.burst_count = r.get_u64()?;
+        self.burst_refused = r.get_u64()?;
+        let state: Vec<NodeState> = Persist::load(r)?;
+        if state.len() != self.state.len() {
+            return Err(r.malformed(format!(
+                "node count mismatch: snapshot has {}, cluster has {}",
+                state.len(),
+                self.state.len()
+            )));
+        }
+        self.state = state;
+        let stalls: Vec<u64> = Persist::load(r)?;
+        if stalls.len() != self.stalls.len() {
+            return Err(r.malformed("stall vector length mismatch"));
+        }
+        self.stalls = stalls;
+        fasda_ckpt::restore_slice(&mut self.sync, r)?;
+        self.barrier_mu.restore(r)?;
+        self.barrier_force.restore(r)?;
+
+        let r = &mut c.reader(sections::CHIPS)?;
+        let n = r.get_usize()?;
+        if n != self.chips.len() {
+            return Err(r.malformed(format!(
+                "chip count mismatch: snapshot has {n}, cluster has {}",
+                self.chips.len()
+            )));
+        }
+        for chip in &mut self.chips {
+            chip.restore(r)?;
+        }
+
+        let r = &mut c.reader(sections::NET)?;
+        fasda_ckpt::restore_slice(&mut self.pos_pz, r)?;
+        fasda_ckpt::restore_slice(&mut self.frc_pz, r)?;
+        fasda_ckpt::restore_slice(&mut self.mig_pz, r)?;
+        self.pos_fabric.restore(r)?;
+        self.frc_fabric.restore(r)?;
+        let inbox: Vec<fasda_sim::MessageQueue<NetMsg>> = Persist::load(r)?;
+        if inbox.len() != self.inbox.len() {
+            return Err(r.malformed("inbox count mismatch"));
+        }
+        self.inbox = inbox;
+        let had_faults = r.get_bool()?;
+        match (&mut self.faults, had_faults) {
+            (Some(f), true) => f.restore(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(r.malformed(
+                    "fault-layer presence disagrees between snapshot and cluster",
+                ))
+            }
+        }
+        let had_rel = r.get_bool()?;
+        match (&mut self.rel, had_rel) {
+            (Some(rel), true) => rel.restore(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(r.malformed(
+                    "reliability-layer presence disagrees between snapshot and cluster",
+                ))
+            }
+        }
+        Ok(())
     }
 }

@@ -13,12 +13,21 @@
 //! straggler ablation measures. A bulk-synchronous mode replaces the
 //! chained handshake with a central barrier for comparison.
 
+pub mod ckpt;
 pub mod driver;
 pub mod host;
 pub mod report;
 pub mod wire;
 
-pub use driver::{Cluster, ClusterConfig, ClusterError, ClusterStalled, DeadlockDetected, EngineConfig};
+pub use ckpt::{
+    load_checkpoint, resume_latest, run_with_checkpoints, save_checkpoint, CheckpointConfig,
+    CheckpointedRun, CkptRunError, RunAccumulator,
+};
+pub use driver::{
+    Cluster, ClusterConfig, ClusterError, ClusterStalled, CrashInjected, DeadlockDetected,
+    EngineConfig,
+};
+pub use fasda_net::fault::CrashPoint;
 pub use fasda_net::fault::{FaultChannel, FaultPlan, LinkFaults, MarkerKill};
 pub use fasda_net::reliable::RelConfig;
 pub use report::RelSummary;

@@ -22,7 +22,7 @@ use fasda_md::space::{CellCoord, CellId, SimulationSpace};
 use serde::{Deserialize, Serialize};
 
 /// Coordinates of a chip (FPGA node) in the logical torus.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ChipCoord {
     pub x: u32,
     pub y: u32,
@@ -33,6 +33,21 @@ impl ChipCoord {
     /// Construct from components.
     pub const fn new(x: u32, y: u32, z: u32) -> Self {
         ChipCoord { x, y, z }
+    }
+}
+
+impl fasda_ckpt::Persist for ChipCoord {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u32(self.x);
+        w.put_u32(self.y);
+        w.put_u32(self.z);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(ChipCoord {
+            x: r.get_u32()?,
+            y: r.get_u32()?,
+            z: r.get_u32()?,
+        })
     }
 }
 

@@ -522,6 +522,103 @@ impl TimedCbb {
     }
 }
 
+impl fasda_ckpt::Persist for Arrival {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u32(self.id);
+        self.elem.save(w);
+        self.offset.save(w);
+        self.vel.save(w);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(Arrival {
+            id: r.get_u32()?,
+            elem: fasda_ckpt::Persist::load(r)?,
+            offset: fasda_ckpt::Persist::load(r)?,
+            vel: fasda_ckpt::Persist::load(r)?,
+        })
+    }
+}
+
+/// Checkpointing: PE shapes and FIFO depths are configuration; the queues
+/// and the round-robin cursor are state.
+impl fasda_ckpt::Snapshot for Spe {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        use fasda_ckpt::Persist;
+        fasda_ckpt::snapshot_slice(&self.pes, w);
+        self.pos_in.snapshot(w);
+        self.frc_out.snapshot(w);
+        self.bcast.save(w);
+        self.home_src.save(w);
+        w.put_usize(self.rr_pe);
+    }
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::Persist;
+        fasda_ckpt::restore_slice(&mut self.pes, r)?;
+        self.pos_in.restore(r)?;
+        self.frc_out.restore(r)?;
+        self.bcast = Persist::load(r)?;
+        self.home_src = Persist::load(r)?;
+        self.rr_pe = r.get_usize()?;
+        if self.rr_pe >= self.pes.len().max(1) {
+            return Err(r.malformed("round-robin PE cursor out of range"));
+        }
+        Ok(())
+    }
+}
+
+/// Checkpointing: the cell assignment (`gcell`) and SPE/PE shapes are
+/// configuration. Particle arrays, SPE queues, the MU pipeline and its
+/// cursor, tombstones, staged arrivals, and the outbound migration queue
+/// are state. Phase-local caches (`home_concat`, the SoA banks) are
+/// rebuilt by [`TimedCbb::begin_force_phase`]; the activity counter is
+/// reset by the driver at every measurement-window start; scratch buffers
+/// carry no state across cycles.
+impl fasda_ckpt::Snapshot for TimedCbb {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        use fasda_ckpt::Persist;
+        self.id.save(w);
+        self.elem.save(w);
+        self.offset.save(w);
+        self.vel.save(w);
+        self.force.save(w);
+        fasda_ckpt::snapshot_slice(&self.spes, w);
+        self.mu_pipe.snapshot(w);
+        w.put_u16(self.mu_cursor);
+        self.alive.save(w);
+        self.arrivals.save(w);
+        self.mig_out.save(w);
+        w.put_u64(self.dispatched);
+        w.put_u64(self.ejected);
+    }
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::Persist;
+        self.id = Persist::load(r)?;
+        self.elem = Persist::load(r)?;
+        self.offset = Persist::load(r)?;
+        self.vel = Persist::load(r)?;
+        self.force = Persist::load(r)?;
+        let n = self.id.len();
+        if self.elem.len() != n
+            || self.offset.len() != n
+            || self.vel.len() != n
+            || self.force.len() != n
+        {
+            return Err(r.malformed("particle array lengths disagree"));
+        }
+        fasda_ckpt::restore_slice(&mut self.spes, r)?;
+        self.mu_pipe.restore(r)?;
+        self.mu_cursor = r.get_u16()?;
+        self.alive = Persist::load(r)?;
+        self.arrivals = Persist::load(r)?;
+        self.mig_out = Persist::load(r)?;
+        self.dispatched = r.get_u64()?;
+        self.ejected = r.get_u64()?;
+        // Phase-local caches are stale until the next phase begins.
+        self.home_concat.clear();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -96,6 +96,47 @@ pub struct TrafficCounters {
     pub mig_sent: HashMap<ChipCoord, u64>,
 }
 
+impl TrafficCounters {
+    /// Fold another window's counters into this one (per-peer sums).
+    pub fn merge_from(&mut self, other: &TrafficCounters) {
+        for (k, v) in &other.pos_sent {
+            *self.pos_sent.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.frc_sent {
+            *self.frc_sent.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.pos_recv {
+            *self.pos_recv.entry(*k).or_default() += v;
+        }
+        self.frc_recv += other.frc_recv;
+        self.frc_recv_remote += other.frc_recv_remote;
+        for (k, v) in &other.mig_sent {
+            *self.mig_sent.entry(*k).or_default() += v;
+        }
+    }
+}
+
+impl fasda_ckpt::Persist for TrafficCounters {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        self.pos_sent.save(w);
+        self.frc_sent.save(w);
+        self.pos_recv.save(w);
+        w.put_u64(self.frc_recv);
+        w.put_u64(self.frc_recv_remote);
+        self.mig_sent.save(w);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(TrafficCounters {
+            pos_sent: fasda_ckpt::Persist::load(r)?,
+            frc_sent: fasda_ckpt::Persist::load(r)?,
+            pos_recv: fasda_ckpt::Persist::load(r)?,
+            frc_recv: r.get_u64()?,
+            frc_recv_remote: r.get_u64()?,
+            mig_sent: fasda_ckpt::Persist::load(r)?,
+        })
+    }
+}
+
 /// The cycle-level model of one FASDA FPGA.
 pub struct TimedChip {
     cfg: ChipConfig,
@@ -1056,5 +1097,61 @@ impl TimedChip {
     /// The unit system in use.
     pub fn units(&self) -> UnitSystem {
         self.units
+    }
+}
+
+/// Checkpointing: the configuration, geometry, datapath tables, and every
+/// mask/peer list derived from them are rebuilt by [`TimedChip::new`].
+/// Captured state is the CBBs, the three ring classes, the cycle counter
+/// and phase, the EX-node queues, and the chained-sync outstanding-work
+/// map (which intentionally survives phase boundaries — the head-start
+/// bookkeeping of §4.4). *Not* captured, by design: utilization/traffic
+/// counters and `frc_issued_to` (reset by [`TimedChip::reset_stats`] at
+/// every measurement-window start, which is where checkpoints are cut),
+/// the broadcast-cooldown clocks and phase-local caches (rebuilt by
+/// [`TimedChip::begin_force_phase`]), the halo-mask cache (a pure
+/// memoization), and the flight recorder (re-armed per window).
+impl fasda_ckpt::Snapshot for TimedChip {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        use fasda_ckpt::Persist;
+        fasda_ckpt::snapshot_slice(&self.cbbs, w);
+        fasda_ckpt::snapshot_slice(&self.pos_rings, w);
+        fasda_ckpt::snapshot_slice(&self.frc_rings, w);
+        self.mig_ring.snapshot(w);
+        w.put_u64(self.cycle);
+        w.put_u8(match self.phase {
+            Phase::Idle => 0,
+            Phase::Force => 1,
+            Phase::MotionUpdate => 2,
+        });
+        self.pos_egress.save(w);
+        self.frc_egress.save(w);
+        self.mig_egress.save(w);
+        self.pos_ingress.save(w);
+        self.frc_ingress.save(w);
+        self.mig_ingress.save(w);
+        self.remote_pos_outstanding.save(w);
+    }
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::Persist;
+        fasda_ckpt::restore_slice(&mut self.cbbs, r)?;
+        fasda_ckpt::restore_slice(&mut self.pos_rings, r)?;
+        fasda_ckpt::restore_slice(&mut self.frc_rings, r)?;
+        self.mig_ring.restore(r)?;
+        self.cycle = r.get_u64()?;
+        self.phase = match r.get_u8()? {
+            0 => Phase::Idle,
+            1 => Phase::Force,
+            2 => Phase::MotionUpdate,
+            t => return Err(r.malformed(format!("invalid phase tag {t}"))),
+        };
+        self.pos_egress = Persist::load(r)?;
+        self.frc_egress = Persist::load(r)?;
+        self.mig_egress = Persist::load(r)?;
+        self.pos_ingress = Persist::load(r)?;
+        self.frc_ingress = Persist::load(r)?;
+        self.mig_ingress = Persist::load(r)?;
+        self.remote_pos_outstanding = Persist::load(r)?;
+        Ok(())
     }
 }

@@ -475,6 +475,154 @@ impl Pe {
     }
 }
 
+impl fasda_ckpt::Persist for NbrKind {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        match *self {
+            NbrKind::Ring {
+                owner_chip,
+                owner_cbb,
+                slot,
+                remote,
+            } => {
+                w.put_u8(0);
+                owner_chip.save(w);
+                w.put_u16(owner_cbb);
+                w.put_u16(slot);
+                w.put_bool(remote);
+            }
+            NbrKind::Internal { slot } => {
+                w.put_u8(1);
+                w.put_u16(slot);
+            }
+        }
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        match r.get_u8()? {
+            0 => Ok(NbrKind::Ring {
+                owner_chip: fasda_ckpt::Persist::load(r)?,
+                owner_cbb: r.get_u16()?,
+                slot: r.get_u16()?,
+                remote: r.get_bool()?,
+            }),
+            1 => Ok(NbrKind::Internal { slot: r.get_u16()? }),
+            t => Err(r.malformed(format!("invalid neighbour kind tag {t}"))),
+        }
+    }
+}
+
+impl fasda_ckpt::Persist for NbrEntry {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        self.concat.save(w);
+        self.elem.save(w);
+        w.put_u16(self.scan_from);
+        self.kind.save(w);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(NbrEntry {
+            concat: fasda_ckpt::Persist::load(r)?,
+            elem: fasda_ckpt::Persist::load(r)?,
+            scan_from: r.get_u16()?,
+            kind: fasda_ckpt::Persist::load(r)?,
+        })
+    }
+}
+
+impl fasda_ckpt::Persist for PipeJob {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u8(self.station);
+        w.put_u16(self.home_slot);
+        self.force.save(w);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(PipeJob {
+            station: r.get_u8()?,
+            home_slot: r.get_u16()?,
+            force: fasda_ckpt::Persist::load(r)?,
+        })
+    }
+}
+
+impl fasda_ckpt::Persist for PlannedHit {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u16(self.slot);
+        self.force.save(w);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(PlannedHit {
+            slot: r.get_u16()?,
+            force: fasda_ckpt::Persist::load(r)?,
+        })
+    }
+}
+
+impl fasda_ckpt::Snapshot for Station {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        use fasda_ckpt::Persist;
+        self.entry.save(w);
+        w.put_u32(self.in_flight);
+        w.put_bool(self.had_pairs);
+        self.acc.save(w);
+        self.pair_fifo.snapshot(w);
+        self.plan.save(w);
+        w.put_usize(self.plan_next);
+    }
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::Persist;
+        self.entry = Persist::load(r)?;
+        self.in_flight = r.get_u32()?;
+        self.had_pairs = r.get_bool()?;
+        self.acc = Persist::load(r)?;
+        self.pair_fifo.restore(r)?;
+        self.plan = Persist::load(r)?;
+        self.plan_next = r.get_usize()?;
+        if self.plan_next > self.plan.len() {
+            return Err(r.malformed("plan cursor past the end of the plan"));
+        }
+        Ok(())
+    }
+}
+
+/// Checkpointing: station count, pipeline latency, and FIFO depths are
+/// configuration; the scan-control arrays, bitmasks, and station/pipeline
+/// contents are state. The activity counters ([`Pe::filter_stats`],
+/// [`Pe::pe_stats`]) are *not* captured — the driver resets every
+/// utilization counter at the start of a measurement window, which is
+/// where checkpoints are cut.
+impl fasda_ckpt::Snapshot for Pe {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        use fasda_ckpt::Persist;
+        fasda_ckpt::snapshot_slice(&self.stations, w);
+        self.pipe.snapshot(w);
+        w.put_usize(self.rr);
+        self.cursors.save(w);
+        self.next_hit.save(w);
+        w.put_u32(self.occupied);
+        w.put_u32(self.planned);
+        w.put_u32(self.done);
+        w.put_u32(self.fifo_full);
+        w.put_u32(self.fifo_nonempty);
+    }
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::Persist;
+        fasda_ckpt::restore_slice(&mut self.stations, r)?;
+        self.pipe.restore(r)?;
+        self.rr = r.get_usize()?;
+        let cursors: Vec<u16> = Persist::load(r)?;
+        let next_hit: Vec<u16> = Persist::load(r)?;
+        if cursors.len() != self.stations.len() || next_hit.len() != self.stations.len() {
+            return Err(r.malformed("scan-control array length disagrees with station count"));
+        }
+        self.cursors = cursors;
+        self.next_hit = next_hit;
+        self.occupied = r.get_u32()?;
+        self.planned = r.get_u32()?;
+        self.done = r.get_u32()?;
+        self.fifo_full = r.get_u32()?;
+        self.fifo_nonempty = r.get_u32()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

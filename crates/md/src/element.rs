@@ -159,6 +159,17 @@ impl Element {
     }
 }
 
+impl fasda_ckpt::Persist for Element {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u8(self.index() as u8);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        let i = r.get_u8()?;
+        Element::from_index(i as usize)
+            .ok_or_else(|| r.malformed(format!("invalid element index {i}")))
+    }
+}
+
 /// Per-element-pair combined LJ coefficients in cell units.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PairCoeffs {

@@ -40,6 +40,17 @@ impl CellCoord {
     }
 }
 
+impl fasda_ckpt::Persist for CellCoord {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_i32(self.x);
+        w.put_i32(self.y);
+        w.put_i32(self.z);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(CellCoord::new(r.get_i32()?, r.get_i32()?, r.get_i32()?))
+    }
+}
+
 /// The periodic simulation box measured in cells.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimulationSpace {

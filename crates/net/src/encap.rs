@@ -126,6 +126,55 @@ impl<P: PartialEq + Clone, T> Packetizer<P, T> {
     }
 }
 
+/// Checkpointing: the kind, peer list, and cooldown are configuration;
+/// staged payloads, formed-but-undeparted packets, the cooldown clock,
+/// and the round-robin cursor are state.
+impl<P, T: fasda_ckpt::Persist> fasda_ckpt::Snapshot for Packetizer<P, T> {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        use fasda_ckpt::Persist;
+        self.staging.save(w);
+        w.put_usize(self.ready.len());
+        for (gate, pkt) in &self.ready {
+            w.put_usize(*gate);
+            pkt.save(w);
+        }
+        w.put_u64(self.next_allowed);
+        w.put_usize(self.rr);
+        w.put_u64(self.packets_sent);
+    }
+
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::Persist;
+        let staging: Vec<Vec<T>> = Persist::load(r)?;
+        if staging.len() != self.peers.len() {
+            return Err(r.malformed(format!(
+                "gate count mismatch: snapshot has {}, packetizer has {}",
+                staging.len(),
+                self.peers.len()
+            )));
+        }
+        let n = r.get_len()?;
+        let mut ready = std::collections::VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let gate = r.get_usize()?;
+            if gate >= self.peers.len() {
+                return Err(r.malformed(format!("gate index {gate} out of range")));
+            }
+            let pkt: Packet<T> = Persist::load(r)?;
+            if pkt.kind != self.kind {
+                return Err(r.malformed("ready packet kind disagrees with packetizer"));
+            }
+            ready.push_back((gate, pkt));
+        }
+        self.staging = staging;
+        self.ready = ready;
+        self.next_allowed = r.get_u64()?;
+        self.rr = r.get_usize()?;
+        self.packets_sent = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

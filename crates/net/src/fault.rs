@@ -15,11 +15,12 @@
 //! burst stepping), which is what lets the chaos harness demand
 //! byte-identical traces across engines.
 
+use fasda_sim::rng;
 use std::collections::HashMap;
 
 /// Traffic classes a fault schedule can target, mirroring the cluster's
 /// three packetizer channels.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultChannel {
     /// Position broadcast traffic.
     Pos,
@@ -111,6 +112,17 @@ pub struct MarkerKill {
     pub nth: u32,
 }
 
+/// A crash directive: kill node `node` mid-step at timestep `step`
+/// (after its force phase has begun but before it completes). Models a
+/// board dying mid-run; recovery restores from the latest checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CrashPoint {
+    /// Node index to kill.
+    pub node: u32,
+    /// Timestep during which the crash fires.
+    pub step: u64,
+}
+
 /// A complete, seeded fault schedule for a run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
@@ -120,6 +132,10 @@ pub struct FaultPlan {
     pub rates: [LinkFaults; 3],
     /// Targeted marker kills.
     pub kills: Vec<MarkerKill>,
+    /// Optional crash directive. Handled by the cluster driver, not by
+    /// [`FaultState`]: a crash aborts the run rather than perturbing
+    /// traffic, so it does not count toward [`FaultPlan::is_none`].
+    pub crash: Option<CrashPoint>,
 }
 
 impl FaultPlan {
@@ -129,6 +145,7 @@ impl FaultPlan {
             seed: 1,
             rates: [LinkFaults::NONE; 3],
             kills: Vec::new(),
+            crash: None,
         }
     }
 
@@ -158,7 +175,23 @@ impl FaultPlan {
         self
     }
 
-    /// True when the plan injects nothing.
+    /// Add a crash directive.
+    pub fn with_crash(mut self, node: u32, step: u64) -> Self {
+        self.crash = Some(CrashPoint { node, step });
+        self
+    }
+
+    /// The same plan with the crash directive removed — what a resumed
+    /// run executes so it does not crash again at the same step.
+    pub fn without_crash(&self) -> Self {
+        let mut plan = self.clone();
+        plan.crash = None;
+        plan
+    }
+
+    /// True when the plan injects no *traffic* faults. A crash directive
+    /// does not count: it is driver-level, needs no per-link fault
+    /// state, and must not force the fault layer on.
     pub fn is_none(&self) -> bool {
         self.kills.is_empty() && self.rates.iter().all(LinkFaults::is_none)
     }
@@ -180,7 +213,9 @@ impl FaultPlan {
     /// * `delay=P:MAX` — delay probability and max extra cycles;
     /// * `seed=N` — RNG seed;
     /// * `kill=CHAN:SRC->DST:N` — drop the Nth marker on that link
-    ///   (`CHAN` ∈ `pos|frc|mig`).
+    ///   (`CHAN` ∈ `pos|frc|mig`);
+    /// * `crash=NODE@STEP` — kill node NODE mid-step at timestep STEP
+    ///   (checkpoint/recovery testing).
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::none();
         for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
@@ -244,6 +279,14 @@ impl FaultPlan {
                         nth,
                     });
                 }
+                "crash" => {
+                    let (node, step) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("`{clause}` needs crash=NODE@STEP"))?;
+                    let node: u32 = node.parse().map_err(|_| format!("bad node in `{clause}`"))?;
+                    let step: u64 = step.parse().map_err(|_| format!("bad step in `{clause}`"))?;
+                    plan = plan.with_crash(node, step);
+                }
                 other => return Err(format!("unknown fault key `{other}`")),
             }
         }
@@ -303,30 +346,20 @@ impl FaultState {
         self.injected.iter().sum()
     }
 
-    /// splitmix64 — derives a well-mixed per-link seed from the plan
-    /// seed and link identity.
+    /// Derive a well-mixed per-link seed from the plan seed and link
+    /// identity (splitmix64 over a golden-ratio sequence position).
     fn derive_seed(&self, channel: FaultChannel, src: u32, dst: u32) -> u64 {
-        let mut z = self
-            .plan
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(
-                1 + (channel as u64) + ((src as u64) << 8) + ((dst as u64) << 24),
-            ));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        (z ^ (z >> 31)) | 1
+        let z = self.plan.seed.wrapping_add(rng::GOLDEN_GAMMA.wrapping_mul(
+            1 + (channel as u64) + ((src as u64) << 8) + ((dst as u64) << 24),
+        ));
+        rng::splitmix64(z) | 1
     }
 
     /// Next uniform draw in [0,1) from the link's stream.
     fn draw(&mut self, channel: FaultChannel, src: u32, dst: u32) -> f64 {
         let seed = self.derive_seed(channel, src, dst);
         let state = self.streams.entry((channel, src, dst)).or_insert(seed);
-        let mut x = *state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        *state = x;
-        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+        rng::xorshift64star_unit(state)
     }
 
     /// Decide the fate of one transmission on a link. `marker` flags a
@@ -383,6 +416,44 @@ impl FaultState {
             return FaultOutcome::Delay(extra);
         }
         FaultOutcome::Deliver
+    }
+}
+
+impl fasda_ckpt::Persist for FaultChannel {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u8(*self as u8);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        let i = r.get_u8()?;
+        FaultChannel::ALL
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| r.malformed(format!("invalid fault channel {i}")))
+    }
+}
+
+/// Checkpointing: the plan is configuration (the resumed run is built
+/// with the same plan, minus any crash directive); the per-link RNG
+/// states, marker counters, and injection tallies are state — persisting
+/// them is what makes the resumed fault schedule continue mid-sequence
+/// exactly where the crashed run left off.
+impl fasda_ckpt::Snapshot for FaultState {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        use fasda_ckpt::Persist;
+        self.streams.save(w);
+        self.markers_sent.save(w);
+        self.injected.save(w);
+    }
+
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::Persist;
+        self.streams = Persist::load(r)?;
+        self.markers_sent = Persist::load(r)?;
+        self.injected = Persist::load(r)?;
+        if self.streams.values().any(|&s| s == 0) {
+            return Err(r.malformed("zero xorshift64* stream state"));
+        }
+        Ok(())
     }
 }
 

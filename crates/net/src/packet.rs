@@ -225,6 +225,48 @@ impl<T: WirePayload> Packet<T> {
     }
 }
 
+impl fasda_ckpt::Persist for PacketKind {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u8(match self {
+            PacketKind::Position => 0,
+            PacketKind::Force => 1,
+            PacketKind::Migration => 2,
+        });
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        match r.get_u8()? {
+            0 => Ok(PacketKind::Position),
+            1 => Ok(PacketKind::Force),
+            2 => Ok(PacketKind::Migration),
+            b => Err(r.malformed(format!("invalid packet kind {b}"))),
+        }
+    }
+}
+
+impl<T: fasda_ckpt::Persist> fasda_ckpt::Persist for Packet<T> {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        self.kind.save(w);
+        self.payloads.save(w);
+        w.put_bool(self.last);
+        w.put_u64(self.step);
+        w.put_u32(self.seq);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        let kind = PacketKind::load(r)?;
+        let payloads: Vec<T> = fasda_ckpt::Persist::load(r)?;
+        if payloads.len() > PAYLOADS_PER_PACKET {
+            return Err(r.malformed(format!("{} payloads in one packet", payloads.len())));
+        }
+        Ok(Packet {
+            kind,
+            payloads,
+            last: r.get_bool()?,
+            step: r.get_u64()?,
+            seq: r.get_u32()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -289,6 +289,104 @@ impl<T> Default for LinkReceiver<T> {
     }
 }
 
+impl fasda_ckpt::Persist for RelConfig {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u64(self.timeout);
+        w.put_u64(self.backoff_cap);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        let timeout = r.get_u64()?;
+        let backoff_cap = r.get_u64()?;
+        if timeout == 0 || backoff_cap < timeout {
+            return Err(r.malformed(format!(
+                "invalid reliability config: timeout {timeout}, cap {backoff_cap}"
+            )));
+        }
+        Ok(RelConfig {
+            timeout,
+            backoff_cap,
+        })
+    }
+}
+
+impl<T: fasda_ckpt::Persist> fasda_ckpt::Persist for Inflight<T> {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u32(self.seq);
+        self.payload.save(w);
+        w.put_u64(self.deadline);
+        w.put_u64(self.timeout);
+        w.put_u32(self.attempts);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(Inflight {
+            seq: r.get_u32()?,
+            payload: T::load(r)?,
+            deadline: r.get_u64()?,
+            timeout: r.get_u64()?,
+            attempts: r.get_u32()?,
+        })
+    }
+}
+
+/// Checkpointing the full sender half: the retransmission window —
+/// unacked payload copies, per-packet deadlines, and backoff state —
+/// must survive a restore so in-flight recovery continues exactly where
+/// the crashed run left it.
+impl<T: fasda_ckpt::Persist> fasda_ckpt::Persist for LinkSender<T> {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        self.cfg.save(w);
+        w.put_u32(self.next_seq);
+        self.window.save(w);
+        w.put_u64(self.retransmits);
+        w.put_u64(self.acks_seen);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        let cfg = RelConfig::load(r)?;
+        let next_seq = r.get_u32()?;
+        let window: BTreeMap<u32, Inflight<T>> = fasda_ckpt::Persist::load(r)?;
+        for (key, inflight) in &window {
+            if *key != inflight.seq || *key >= next_seq {
+                return Err(r.malformed(format!(
+                    "inconsistent sender window entry: key {key}, seq {}, next_seq {next_seq}",
+                    inflight.seq
+                )));
+            }
+        }
+        Ok(LinkSender {
+            cfg,
+            next_seq,
+            window,
+            retransmits: r.get_u64()?,
+            acks_seen: r.get_u64()?,
+        })
+    }
+}
+
+impl<T: fasda_ckpt::Persist> fasda_ckpt::Persist for LinkReceiver<T> {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u32(self.next_seq);
+        self.reorder.save(w);
+        w.put_u64(self.duplicates);
+        w.put_u64(self.delivered);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        let next_seq = r.get_u32()?;
+        if next_seq == 0 {
+            return Err(r.malformed("receiver next_seq must start at 1"));
+        }
+        let reorder: BTreeMap<u32, T> = fasda_ckpt::Persist::load(r)?;
+        if reorder.keys().next().is_some_and(|&k| k <= next_seq) {
+            return Err(r.malformed("reorder window overlaps delivered prefix"));
+        }
+        Ok(LinkReceiver {
+            next_seq,
+            reorder,
+            duplicates: r.get_u64()?,
+            delivered: r.get_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

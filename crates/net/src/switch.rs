@@ -9,6 +9,7 @@
 
 use crate::packet::PACKET_BITS;
 use crate::topology::{NodeId, Topology};
+use fasda_sim::rng;
 use fasda_sim::Cycle;
 
 /// Per-traffic-class link fabric.
@@ -51,7 +52,7 @@ impl SwitchFabric {
             tx_free: vec![0; nodes],
             rx_free: vec![0; nodes],
             loss_probability: 0.0,
-            loss_rng: 0x9E37_79B9_7F4A_7C15,
+            loss_rng: rng::GOLDEN_GAMMA,
             packets_lost: 0,
             bits_sent: 0,
             packets: 0,
@@ -83,13 +84,7 @@ impl SwitchFabric {
     /// or `None` if the fabric dropped it (injected loss).
     pub fn send_lossy(&mut self, cycle: Cycle, src: NodeId, dst: NodeId) -> Option<Cycle> {
         if self.loss_probability > 0.0 {
-            // xorshift64*
-            let mut x = self.loss_rng;
-            x ^= x >> 12;
-            x ^= x << 25;
-            x ^= x >> 27;
-            self.loss_rng = x;
-            let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            let u = rng::xorshift64star_unit(&mut self.loss_rng);
             if u < self.loss_probability {
                 self.packets_lost += 1;
                 // the sender's port time is still consumed
@@ -141,6 +136,46 @@ impl SwitchFabric {
     /// Convert bits/cycle to Gbps for a given clock.
     pub fn to_gbps(bits_per_cycle: f64, clock_hz: f64) -> f64 {
         bits_per_cycle * clock_hz / 1.0e9
+    }
+}
+
+/// Checkpointing: topology, bandwidth, and loss probability are
+/// configuration; per-port next-free times, the loss RNG state, and the
+/// traffic counters are state.
+impl fasda_ckpt::Snapshot for SwitchFabric {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        use fasda_ckpt::Persist;
+        self.tx_free.save(w);
+        self.rx_free.save(w);
+        w.put_u64(self.loss_rng);
+        w.put_u64(self.packets_lost);
+        w.put_u64(self.bits_sent);
+        w.put_u64(self.packets);
+    }
+
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::Persist;
+        let tx_free: Vec<Cycle> = Persist::load(r)?;
+        let rx_free: Vec<Cycle> = Persist::load(r)?;
+        if tx_free.len() != self.tx_free.len() || rx_free.len() != self.rx_free.len() {
+            return Err(r.malformed(format!(
+                "fabric port count mismatch: snapshot has {}/{}, fabric has {}",
+                tx_free.len(),
+                rx_free.len(),
+                self.tx_free.len()
+            )));
+        }
+        let loss_rng = r.get_u64()?;
+        if loss_rng == 0 {
+            return Err(r.malformed("zero xorshift64* loss-RNG state"));
+        }
+        self.tx_free = tx_free;
+        self.rx_free = rx_free;
+        self.loss_rng = loss_rng;
+        self.packets_lost = r.get_u64()?;
+        self.bits_sent = r.get_u64()?;
+        self.packets = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -228,6 +228,67 @@ impl BulkBarrier {
     }
 }
 
+impl<P: fasda_ckpt::Persist + Ord + Hash + Eq> fasda_ckpt::Persist for StepMarkers<P> {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        self.pos.save(w);
+        self.frc.save(w);
+        self.mig.save(w);
+    }
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(StepMarkers {
+            pos: fasda_ckpt::Persist::load(r)?,
+            frc: fasda_ckpt::Persist::load(r)?,
+            mig: fasda_ckpt::Persist::load(r)?,
+        })
+    }
+}
+
+/// Checkpointing: the peer lists are configuration (rebuilt from the
+/// topology); the step counter, sent-marker sets, and buffered received
+/// markers — including markers already credited to *future* steps by
+/// fast neighbours — are state.
+impl<P: fasda_ckpt::Persist + Ord + Eq + Hash + Clone> fasda_ckpt::Snapshot for ChainedSync<P> {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        use fasda_ckpt::Persist;
+        w.put_u64(self.step);
+        self.sent_pos.save(w);
+        self.sent_frc.save(w);
+        self.sent_mig.save(w);
+        self.received.save(w);
+    }
+
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::Persist;
+        self.step = r.get_u64()?;
+        self.sent_pos = Persist::load(r)?;
+        self.sent_frc = Persist::load(r)?;
+        self.sent_mig = Persist::load(r)?;
+        self.received = Persist::load(r)?;
+        Ok(())
+    }
+}
+
+/// Checkpointing: node count and latency are configuration; the arrival
+/// set and slowest-arrival clock are state.
+impl fasda_ckpt::Snapshot for BulkBarrier {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        use fasda_ckpt::Persist;
+        self.arrived.save(w);
+        w.put_u64(self.slowest);
+    }
+
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        use fasda_ckpt::Persist;
+        let arrived: HashSet<usize> = Persist::load(r)?;
+        if arrived.iter().any(|&id| id >= self.n) {
+            return Err(r.malformed("barrier arrival id out of range"));
+        }
+        self.arrived = arrived;
+        self.slowest = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

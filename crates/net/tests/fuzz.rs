@@ -343,3 +343,175 @@ proptest! {
 fn seq_payload(i: usize) -> u32 {
     i as u32 + 1
 }
+
+/// Snapshot/persist round-trips for the net-layer checkpoint surface.
+///
+/// Every stateful unit that `fasda-ckpt` serializes must satisfy
+/// `state → bytes → state' → bytes'` with `bytes == bytes'` (canonical
+/// encoding), and the restored unit must *behave* identically — same
+/// retransmission deadlines, same fault-stream draws — because resume
+/// bit-identity of the whole cluster rests on each unit continuing
+/// exactly where the snapshot left it.
+mod snapshot_roundtrips {
+    use super::*;
+    use fasda_net::encap::Packetizer;
+    use fasda_net::fault::{FaultChannel, FaultPlan, FaultState};
+    use fasda_ckpt::{Persist, Snapshot};
+
+    fn persist_bytes<T: Persist>(v: &T) -> Vec<u8> {
+        let mut w = fasda_ckpt::Writer::new();
+        v.save(&mut w);
+        w.into_bytes()
+    }
+
+    fn snapshot_bytes<S: Snapshot>(v: &S) -> Vec<u8> {
+        let mut w = fasda_ckpt::Writer::new();
+        v.snapshot(&mut w);
+        w.into_bytes()
+    }
+
+    proptest! {
+        /// Sender windows — in-flight payloads, deadlines, backoff —
+        /// survive save/load byte-identically after any op sequence,
+        /// and the reloaded sender schedules the same next deadline.
+        #[test]
+        fn link_sender_roundtrips(
+            timeout in 1u64..80,
+            cap_mult in 1u64..8,
+            ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..60),
+        ) {
+            let cfg = RelConfig::new(timeout, timeout * cap_mult);
+            let mut tx = LinkSender::new(cfg);
+            let mut now = 0u64;
+            for &(op, arg) in &ops {
+                now += arg % 7 + 1;
+                match op % 3 {
+                    0 => { tx.launch(now, arg); }
+                    1 => { tx.on_ack(now, (arg % 64) as u32); }
+                    _ => { tx.poll_retransmit(now); }
+                }
+            }
+            let bytes = persist_bytes(&tx);
+            let mut r = fasda_ckpt::Reader::new(&bytes, "rel.tx");
+            let restored: LinkSender<u64> = Persist::load(&mut r).expect("load");
+            prop_assert_eq!(persist_bytes(&restored), bytes, "re-save differs");
+            prop_assert_eq!(restored.inflight(), tx.inflight());
+            prop_assert_eq!(restored.next_retx_due(), tx.next_retx_due());
+            prop_assert_eq!(restored.current_timeout(), tx.current_timeout());
+        }
+
+        /// Receiver reorder windows and delivery counters round-trip,
+        /// and the restored receiver accepts the next sequence
+        /// identically.
+        #[test]
+        fn link_receiver_roundtrips(
+            arrivals in proptest::collection::vec((1u32..70, any::<u64>()), 0..80),
+        ) {
+            let mut rx: LinkReceiver<u64> = LinkReceiver::new();
+            for &(seq, payload) in &arrivals {
+                rx.accept(seq, payload);
+            }
+            let bytes = persist_bytes(&rx);
+            let mut r = fasda_ckpt::Reader::new(&bytes, "rel.rx");
+            let mut restored: LinkReceiver<u64> = Persist::load(&mut r).expect("load");
+            prop_assert_eq!(persist_bytes(&restored), bytes, "re-save differs");
+            prop_assert_eq!(restored.delivered, rx.delivered);
+            prop_assert_eq!(restored.duplicates, rx.duplicates);
+            // Both must judge a fresh arrival the same way.
+            for seq in 1u32..72 {
+                prop_assert_eq!(rx.accept(seq, 0xAB), restored.accept(seq, 0xAB));
+            }
+        }
+
+        /// Departure gates: staged payloads, formed-but-undeparted
+        /// packets, cooldown deadline, and round-robin cursor restore
+        /// into a config-shaped packetizer and re-snapshot identically.
+        #[test]
+        fn packetizer_roundtrips(
+            n_peers in 1usize..6,
+            cooldown in 0u32..12,
+            kind in any::<u8>(),
+            offers in proptest::collection::vec((0u16..4096, any::<u64>()), 0..60),
+            ticks in 0u64..20,
+        ) {
+            let peers: Vec<u32> = (0..n_peers as u32).collect();
+            let mut pz: Packetizer<u32, u64> =
+                Packetizer::new(kind_of(kind), peers.clone(), cooldown);
+            for &(peer, item) in &offers {
+                pz.offer(&(peer as u32 % n_peers as u32), item, 3);
+            }
+            for cycle in 0..ticks {
+                pz.tick(cycle);
+            }
+            let bytes = snapshot_bytes(&pz);
+            let mut fresh: Packetizer<u32, u64> =
+                Packetizer::new(kind_of(kind), peers, cooldown);
+            let mut r = fasda_ckpt::Reader::new(&bytes, "net.packetizer");
+            fresh.restore(&mut r).expect("restore");
+            prop_assert_eq!(snapshot_bytes(&fresh), bytes, "re-snapshot differs");
+            prop_assert_eq!(fresh.pending(), pz.pending());
+            // Identical continuation: same departures from here on.
+            for cycle in ticks..ticks + 8 {
+                prop_assert_eq!(pz.tick(cycle), fresh.tick(cycle));
+            }
+        }
+
+        /// Fault-injection streams resume mid-sequence: a restored
+        /// `FaultState` re-snapshots byte-identically and draws the
+        /// same outcomes as the original continuing uninterrupted.
+        #[test]
+        fn fault_state_roundtrips_and_continues(
+            drop_p in 0.0f64..0.9,
+            seed in any::<u64>(),
+            warmup in proptest::collection::vec((any::<u8>(), 0u32..3, 0u32..3), 0..60),
+        ) {
+            let plan = FaultPlan::drop_only(drop_p, seed);
+            let mut fs = FaultState::new(plan.clone());
+            for &(ch, src, dst) in &warmup {
+                let channel = FaultChannel::ALL[ch as usize % FaultChannel::ALL.len()];
+                fs.on_transmit(channel, src, dst, ch % 5 == 0);
+            }
+            let bytes = snapshot_bytes(&fs);
+            let mut restored = FaultState::new(plan);
+            let mut r = fasda_ckpt::Reader::new(&bytes, "net.faults");
+            restored.restore(&mut r).expect("restore");
+            prop_assert_eq!(snapshot_bytes(&restored), bytes, "re-snapshot differs");
+            prop_assert_eq!(restored.injected, fs.injected);
+            // The resumed schedule must continue exactly where the
+            // original left off, on every link.
+            for src in 0..3u32 {
+                for dst in 0..3u32 {
+                    for i in 0..10u8 {
+                        let channel = FaultChannel::ALL[i as usize % FaultChannel::ALL.len()];
+                        prop_assert_eq!(
+                            fs.on_transmit(channel, src, dst, false),
+                            restored.on_transmit(channel, src, dst, false)
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Bit-flipped persisted state must load as a typed error or a
+        /// (possibly different) valid value — never panic, never hang,
+        /// never allocate absurdly.
+        #[test]
+        fn corrupted_state_never_panics(
+            timeout in 1u64..50,
+            launches in 1usize..20,
+            flips in proptest::collection::vec((0u16..4096, 0u8..8), 1..4),
+        ) {
+            let mut tx = LinkSender::new(RelConfig::new(timeout, timeout * 4));
+            for i in 0..launches {
+                tx.launch(i as u64, i as u64);
+            }
+            let mut bytes = persist_bytes(&tx);
+            for &(pos, bit) in &flips {
+                let idx = pos as usize % bytes.len();
+                bytes[idx] ^= 1 << bit;
+            }
+            let mut r = fasda_ckpt::Reader::new(&bytes, "rel.tx");
+            let _ = <LinkSender<u64> as Persist>::load(&mut r);
+        }
+    }
+}

@@ -102,6 +102,45 @@ impl<M> MessageQueue<M> {
     }
 }
 
+/// Checkpointing. A binary heap iterates in arbitrary order, so the
+/// in-flight messages are written sorted by `(deliver_at, seq)` — the
+/// byte stream is a pure function of logical queue contents.
+impl<M: fasda_ckpt::Persist> fasda_ckpt::Persist for MessageQueue<M> {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u64(self.next_seq);
+        let mut msgs: Vec<&TimedMsg<M>> = self.heap.iter().map(|Reverse(m)| m).collect();
+        msgs.sort_by_key(|m| (m.deliver_at, m.seq));
+        w.put_usize(msgs.len());
+        for m in msgs {
+            w.put_u64(m.deliver_at);
+            w.put_u64(m.seq);
+            m.msg.save(w);
+        }
+    }
+
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        let next_seq = r.get_u64()?;
+        let n = r.get_len()?;
+        let mut heap = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let deliver_at = r.get_u64()?;
+            let seq = r.get_u64()?;
+            if seq >= next_seq {
+                return Err(r.malformed(format!(
+                    "message seq {seq} not below next_seq {next_seq}"
+                )));
+            }
+            let msg = M::load(r)?;
+            heap.push(Reverse(TimedMsg {
+                deliver_at,
+                seq,
+                msg,
+            }));
+        }
+        Ok(MessageQueue { heap, next_seq })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

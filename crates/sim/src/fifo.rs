@@ -1,5 +1,6 @@
 //! Bounded FIFOs with hardware semantics.
 
+use fasda_ckpt::Persist;
 use std::collections::VecDeque;
 
 /// A bounded FIFO modelling an on-chip buffer between pipeline stages.
@@ -95,6 +96,29 @@ impl<T> Fifo<T> {
     /// Iterate items front (oldest) to back.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.items.iter()
+    }
+}
+
+/// Checkpointing: the capacity is configuration (kept from the live
+/// structure); occupancy and the high-water mark are state.
+impl<T: fasda_ckpt::Persist> fasda_ckpt::Snapshot for Fifo<T> {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        self.items.save(w);
+        w.put_usize(self.high_water);
+    }
+
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        let items = std::collections::VecDeque::<T>::load(r)?;
+        if items.len() > self.capacity {
+            return Err(r.malformed(format!(
+                "FIFO occupancy {} exceeds capacity {}",
+                items.len(),
+                self.capacity
+            )));
+        }
+        self.items = items;
+        self.high_water = r.get_usize()?;
+        Ok(())
     }
 }
 

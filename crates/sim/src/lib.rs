@@ -22,11 +22,13 @@
 pub mod bus;
 pub mod fifo;
 pub mod pipeline;
+pub mod rng;
 pub mod stats;
 
 pub use bus::{MessageQueue, TimedMsg};
 pub use fifo::Fifo;
 pub use pipeline::Pipeline;
+pub use rng::XorShift64Star;
 pub use stats::{Activity, StatSet};
 
 /// Clock cycle count. All component models advance in units of one cycle.

@@ -1,6 +1,7 @@
 //! Fixed-latency, initiation-interval-1 pipeline models.
 
 use crate::Cycle;
+use fasda_ckpt::Persist;
 use std::collections::VecDeque;
 
 /// A hardware pipeline with fixed latency and one issue slot per cycle.
@@ -87,6 +88,23 @@ impl<T> Pipeline<T> {
     #[inline]
     pub fn issued_total(&self) -> u64 {
         self.issued_total
+    }
+}
+
+/// Checkpointing: the latency is configuration; in-flight items, the
+/// last-issue cycle and the issue counter are state.
+impl<T: fasda_ckpt::Persist> fasda_ckpt::Snapshot for Pipeline<T> {
+    fn snapshot(&self, w: &mut fasda_ckpt::Writer) {
+        self.in_flight.save(w);
+        self.last_issue.save(w);
+        w.put_u64(self.issued_total);
+    }
+
+    fn restore(&mut self, r: &mut fasda_ckpt::Reader<'_>) -> Result<(), fasda_ckpt::CkptError> {
+        self.in_flight = fasda_ckpt::Persist::load(r)?;
+        self.last_issue = fasda_ckpt::Persist::load(r)?;
+        self.issued_total = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -167,6 +167,54 @@ impl StatSet {
             e.1 += n;
         }
     }
+
+    /// Accumulate the *same* components observed over a later window
+    /// (work/busy add; replica counts and capacities describe the
+    /// hardware and must not double). Used by checkpointed runs to fold
+    /// per-segment stats into run totals.
+    pub fn accumulate_from(&mut self, other: &StatSet) {
+        for (name, (act, n)) in &other.entries {
+            match self.entries.get_mut(name) {
+                Some(e) => {
+                    debug_assert_eq!(e.1, *n, "replica count changed across windows");
+                    debug_assert_eq!(e.0.capacity_per_cycle, act.capacity_per_cycle);
+                    e.0.work += act.work;
+                    e.0.busy_cycles += act.busy_cycles;
+                }
+                None => {
+                    self.entries.insert(name.clone(), (*act, *n));
+                }
+            }
+        }
+    }
+}
+
+impl fasda_ckpt::Persist for Activity {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        w.put_u64(self.work);
+        w.put_u64(self.busy_cycles);
+        w.put_u64(self.capacity_per_cycle);
+    }
+
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(Activity {
+            work: r.get_u64()?,
+            busy_cycles: r.get_u64()?,
+            capacity_per_cycle: r.get_u64()?,
+        })
+    }
+}
+
+impl fasda_ckpt::Persist for StatSet {
+    fn save(&self, w: &mut fasda_ckpt::Writer) {
+        self.entries.save(w);
+    }
+
+    fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
+        Ok(StatSet {
+            entries: fasda_ckpt::Persist::load(r)?,
+        })
+    }
 }
 
 #[cfg(test)]
