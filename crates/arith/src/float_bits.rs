@@ -56,6 +56,36 @@ pub fn section_bin(r2: f32, n_sections: u32, log2_bins: u32) -> SectionBin {
     }
 }
 
+/// Branchless flattened `(section << log2_bins) | bin` index for an `r²`
+/// already proven inside the covered domain `[2^-n_sections, 1)` — the
+/// guarantee the fixed-point filter provides. Pure bit-slicing of the
+/// IEEE-754 word, no range branches: the hot fused filter→force kernel
+/// uses this so the table fetch never mispredicts, while the scalar
+/// [`section_bin`] keeps the checked decode as the oracle.
+///
+/// Produces exactly `section << log2_bins | bin` of the
+/// [`SectionBin::In`] arm of [`section_bin`] for every in-domain value
+/// (debug-asserted).
+#[inline]
+pub fn fused_index(r2: f32, n_sections: u32, log2_bins: u32) -> u32 {
+    let bits = r2.to_bits();
+    // Unbiased exponent + n_sections = Eq. 9's section, guaranteed in
+    // [0, n_sections) by the filter; wrapping arithmetic on the raw
+    // field is safe because the guarantee makes it non-negative.
+    let section = (((bits >> 23) & 0xff) as i32 - 127 + n_sections as i32) as u32;
+    let bin = (bits >> (23 - log2_bins)) & ((1u32 << log2_bins) - 1);
+    let idx = (section << log2_bins) | bin;
+    debug_assert_eq!(
+        match section_bin(r2, n_sections, log2_bins) {
+            SectionBin::In { section, bin } => Some((section << log2_bins) | bin),
+            _ => None,
+        },
+        Some(idx),
+        "fused_index called with out-of-domain r2={r2}"
+    );
+    idx
+}
+
 /// Lower edge of a `(section, bin)` cell in `r²` space.
 #[inline]
 pub fn bin_lower_edge(section: u32, bin: u32, n_sections: u32, log2_bins: u32) -> f64 {
@@ -135,6 +165,31 @@ mod tests {
                 panic!("expected in-range");
             }
         }
+    }
+
+    #[test]
+    fn fused_index_matches_checked_decode() {
+        // Sweep the whole covered domain [2^-NS, 1): every in-range value
+        // must produce the identical flattened index by both decoders.
+        let mut r2 = (2.0f32).powi(-(NS as i32));
+        while r2 < 1.0 {
+            match section_bin(r2, NS, LB) {
+                SectionBin::In { section, bin } => {
+                    assert_eq!(fused_index(r2, NS, LB), (section << LB) | bin, "r2={r2}");
+                }
+                other => panic!("r2={r2} should be in range: {other:?}"),
+            }
+            // Step by ~1/3 bin so every section/bin cell is visited.
+            r2 *= 1.0 + 1.0 / (3.0 * (1u32 << LB) as f32);
+        }
+        // Both domain edges exactly.
+        let lo = (2.0f32).powi(-(NS as i32));
+        assert_eq!(fused_index(lo, NS, LB), 0);
+        let below_one = f32::from_bits(1.0f32.to_bits() - 1);
+        assert_eq!(
+            fused_index(below_one, NS, LB),
+            ((NS - 1) << LB) | ((1 << LB) - 1)
+        );
     }
 
     #[test]

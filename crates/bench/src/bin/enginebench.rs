@@ -5,11 +5,12 @@
 //! * `engine` — the parallel + idle fast-forward + gated fast-path
 //!   engine, burst stepping and SoA kernels **off** (the previous
 //!   engine generation's feature set).
-//! * `engine+burst` — the default `EngineConfig::parallel()`: force-phase
-//!   burst stepping on top of the above.
-//! * `engine+burst+soa` — the opt-in SoA batch-kernel scan as well
-//!   (`with_soa(true)`), reported so the cost/benefit of dispatch-time
-//!   planning stays visible in the record.
+//! * `engine+burst` — burst stepping on, the fused SoA scan forced
+//!   **off** (`with_soa(false)`): the default engine's scalar fallback,
+//!   kept measured so `soa_vs_default` stays an apples-to-apples ratio.
+//! * `engine+burst+soa` — the default `EngineConfig::parallel()`:
+//!   burst stepping plus the fused SoA filter→force scan, both on by
+//!   default.
 //!
 //! Two scenarios, both on the fig16 particle workload (6x6x6 cells,
 //! 64 Na/cell, 8 nodes of 3x3x3 cells):
@@ -34,7 +35,9 @@
 //!                     [--out FILE] [--smoke]`
 //!
 //! `--smoke` runs a single rep of one step on a tiny workload — a CI
-//! gate for the bit-identity asserts, not a measurement.
+//! gate for the bit-identity asserts, not a measurement. Full runs also
+//! sweep `--threads` over {1, 2, 4, 8} on the dense scenario and record
+//! the per-kernel datapath throughput (`datapath_kernels`).
 
 use fasda_bench::{rule, Args};
 use fasda_cluster::{Cluster, ClusterConfig, ClusterRunReport, EngineConfig};
@@ -99,35 +102,40 @@ struct Outcome {
     name: &'static str,
     serial: Timing,
     engine: Timing,
+    nosoa: Timing,
     full: Timing,
-    soa: Timing,
     cycles: u64,
     skipped: u64,
     burst_cycles: u64,
     burst_count: u64,
     burst_refused: u64,
+    burst_refused_interface: u64,
+    burst_refused_idle: u64,
+    burst_refused_small: u64,
 }
 
 impl Outcome {
-    /// Default engine vs serial oracle.
+    /// Default engine (burst + fused SoA scan) vs serial oracle.
     fn speedup(&self) -> f64 {
         self.full.ratio_over(self.serial)
     }
 
-    /// Previous-generation engine mode (no burst) vs serial oracle.
+    /// Previous-generation engine mode (no burst, no SoA) vs serial.
     fn speedup_engine(&self) -> f64 {
         self.engine.ratio_over(self.serial)
     }
 
-    /// What burst stepping adds on top of the previous engine mode.
+    /// What burst stepping adds on top of the previous engine mode
+    /// (SoA off on both sides).
     fn burst_gain(&self) -> f64 {
-        self.full.ratio_over(self.engine)
+        self.nosoa.ratio_over(self.engine)
     }
 
-    /// The opt-in SoA scan relative to the default engine (< 1 means the
-    /// batch path costs more than it saves on this host).
+    /// The default fused SoA hot path relative to its scalar fallback
+    /// (< 1 would mean dispatch-time planning costs more than it saves
+    /// on this host).
     fn soa_gain(&self) -> f64 {
-        self.soa.ratio_over(self.full)
+        self.full.ratio_over(self.nosoa)
     }
 }
 
@@ -136,10 +144,11 @@ impl Outcome {
 struct Engines {
     /// Previous generation's feature set: no burst, no SoA.
     engine: EngineConfig,
-    /// The `EngineConfig::parallel()` default (burst on).
+    /// Burst on, fused SoA scan forced off — the default's scalar
+    /// fallback.
+    nosoa: EngineConfig,
+    /// The `EngineConfig::parallel()` default: burst + fused SoA scan.
     full: EngineConfig,
-    /// Default plus the opt-in SoA batch-kernel scan.
-    soa: EngineConfig,
 }
 
 struct RunStats {
@@ -147,6 +156,9 @@ struct RunStats {
     burst_cycles: u64,
     burst_count: u64,
     burst_refused: u64,
+    burst_refused_interface: u64,
+    burst_refused_idle: u64,
+    burst_refused_small: u64,
 }
 
 /// One fresh run under `engine`: timing, engine statistics, report.
@@ -169,14 +181,18 @@ fn run_once(
         burst_cycles: cluster.burst_cycles,
         burst_count: cluster.burst_count,
         burst_refused: cluster.burst_refused,
+        burst_refused_interface: cluster.burst_refused_interface,
+        burst_refused_idle: cluster.burst_refused_idle,
+        burst_refused_small: cluster.burst_refused_small,
     };
     (timing, stats, r)
 }
 
 /// Best-of-`reps` for all four engines, reps interleaved (serial,
-/// engine, full, soa, serial, ...) so slow host-load windows hit every
-/// side alike. Asserts each optimized report equal to the serial
-/// oracle's.
+/// engine, nosoa, full, serial, ...) so slow host-load windows hit
+/// every side alike. Asserts each optimized report equal to the serial
+/// oracle's, and returns that oracle report so the threads sweep can
+/// reuse it.
 fn measure(
     sys: &ParticleSystem,
     cfg: ClusterConfig,
@@ -184,38 +200,46 @@ fn measure(
     reps: u32,
     name: &'static str,
     engines: &Engines,
-) -> Outcome {
+) -> (Outcome, ClusterRunReport) {
     let mut o = Outcome {
         name,
         serial: Timing::WORST,
         engine: Timing::WORST,
+        nosoa: Timing::WORST,
         full: Timing::WORST,
-        soa: Timing::WORST,
         cycles: 0,
         skipped: 0,
         burst_cycles: 0,
         burst_count: 0,
         burst_refused: 0,
+        burst_refused_interface: 0,
+        burst_refused_idle: 0,
+        burst_refused_small: 0,
     };
+    let mut oracle = None;
     for _ in 0..reps {
         let (ts, _, rs) = run_once(sys, cfg.clone(), steps, &EngineConfig::serial());
         let (te, _, re) = run_once(sys, cfg.clone(), steps, &engines.engine);
+        let (tn, _, rn) = run_once(sys, cfg.clone(), steps, &engines.nosoa);
         let (tf, sf, rf) = run_once(sys, cfg.clone(), steps, &engines.full);
-        let (ta, _, ra) = run_once(sys, cfg.clone(), steps, &engines.soa);
         assert_eq!(re, rs, "{name}: engine must stay bit-identical");
-        assert_eq!(rf, rs, "{name}: burst engine must stay bit-identical");
-        assert_eq!(ra, rs, "{name}: soa engine must stay bit-identical");
+        assert_eq!(rn, rs, "{name}: burst engine must stay bit-identical");
+        assert_eq!(rf, rs, "{name}: default engine must stay bit-identical");
         o.serial.fold_best(ts);
         o.engine.fold_best(te);
+        o.nosoa.fold_best(tn);
         o.full.fold_best(tf);
-        o.soa.fold_best(ta);
         o.cycles = rs.total_cycles;
         o.skipped = sf.skipped;
         o.burst_cycles = sf.burst_cycles;
         o.burst_count = sf.burst_count;
         o.burst_refused = sf.burst_refused;
+        o.burst_refused_interface = sf.burst_refused_interface;
+        o.burst_refused_idle = sf.burst_refused_idle;
+        o.burst_refused_small = sf.burst_refused_small;
+        oracle = Some(rs);
     }
-    o
+    (o, oracle.expect("reps >= 1"))
 }
 
 fn main() {
@@ -259,19 +283,23 @@ fn main() {
 
     // Previous engine generation's feature set: threads + fast-forward +
     // fast path, burst stepping and SoA scan kernels disabled; the
-    // default engine (burst on); and the default plus the opt-in SoA
-    // batch-kernel scan.
+    // default minus the fused SoA scan (its scalar fallback); and the
+    // default engine itself (burst + fused SoA scan on).
     let full = EngineConfig::parallel().with_threads(threads);
     let engines = Engines {
         engine: full.with_soa(false).with_burst(false),
+        nosoa: full.with_soa(false),
         full,
-        soa: full.with_soa(true),
     };
 
     let mut outcomes = Vec::new();
+    let mut dense_oracle = None;
     for sc in &scenarios {
         rule(sc.name);
-        let o = measure(&sys, sc.cfg.clone(), steps, reps, sc.name, &engines);
+        let (o, oracle) = measure(&sys, sc.cfg.clone(), steps, reps, sc.name, &engines);
+        if sc.name == "dense" {
+            dense_oracle = Some(oracle);
+        }
         println!(
             "{:<22}{:>10.3} s wall {:>8.2} s cpu",
             "serial reference", o.serial.wall, o.serial.cpu
@@ -281,12 +309,21 @@ fn main() {
             "engine", o.engine.wall, o.engine.cpu, engines.engine.threads
         );
         println!(
-            "{:<22}{:>10.3} s wall {:>8.2} s cpu   (+ burst stepping: {} bursts / {} cycles, {} refused)",
-            "engine+burst", o.full.wall, o.full.cpu, o.burst_count, o.burst_cycles, o.burst_refused
+            "{:<22}{:>10.3} s wall {:>8.2} s cpu   (+ burst stepping: {} bursts / {} cycles, \
+             {} refused: {} interface / {} idle / {} small)",
+            "engine+burst",
+            o.nosoa.wall,
+            o.nosoa.cpu,
+            o.burst_count,
+            o.burst_cycles,
+            o.burst_refused,
+            o.burst_refused_interface,
+            o.burst_refused_idle,
+            o.burst_refused_small
         );
         println!(
-            "{:<22}{:>10.3} s wall {:>8.2} s cpu   (+ opt-in SoA scan kernels)",
-            "engine+burst+soa", o.soa.wall, o.soa.cpu
+            "{:<22}{:>10.3} s wall {:>8.2} s cpu   (+ fused SoA scan — the default engine)",
+            "engine+burst+soa", o.full.wall, o.full.cpu
         );
         println!(
             "{:<22}{:>9.2}x   vs serial ({:.2}x vs engine; {} cycles, {} fast-forwarded)",
@@ -306,13 +343,56 @@ fn main() {
     let headline = dense_o.speedup();
     println!("\nheadline: dense default-engine speedup vs serial: {headline:.2}x");
     println!(
-        "          dense burst gain over previous engine mode: {:.2}x, opt-in soa: {:.2}x",
+        "          dense burst gain over previous engine mode: {:.2}x, fused soa vs scalar fallback: {:.2}x",
         dense_o.burst_gain(),
         dense_o.soa_gain()
     );
     println!(
         "          straggler default-engine speedup vs serial: {:.2}x",
         outcomes[1].speedup()
+    );
+
+    // Threads sweep over the dense scenario: the default engine at 1,
+    // 2, 4 and 8 rayon threads, each asserted bit-identical to the
+    // serial oracle. One rep per point — the curve's shape (does the
+    // compute phase scale past the host's cores?) is the signal, not
+    // the absolute numbers.
+    let mut sweep = Vec::new();
+    if !smoke {
+        rule("threads sweep (dense)");
+        let oracle = dense_oracle.as_ref().expect("dense scenario measured");
+        let dense_serial = outcomes[0].serial;
+        for t in [1usize, 2, 4, 8] {
+            let engine = EngineConfig::parallel().with_threads(t);
+            let (timing, _, report) =
+                run_once(&sys, scenarios[0].cfg.clone(), steps, &engine);
+            assert_eq!(
+                &report, oracle,
+                "threads={t}: default engine must stay bit-identical"
+            );
+            let speedup = timing.ratio_over(dense_serial);
+            println!(
+                "threads={t:<3}{:>10.3} s wall {:>8.2} s cpu {:>8.2}x vs serial",
+                timing.wall, timing.cpu, speedup
+            );
+            sweep.push((t, timing, speedup));
+        }
+    }
+
+    // Per-kernel datapath throughput (shared with datapathbench): the
+    // raw cost of the scalar walk vs the fused filter→force kernel the
+    // default engine dispatches through.
+    let kmin = std::time::Duration::from_millis(if smoke { 60 } else { 300 });
+    let kernels = fasda_bench::kernels::measure_kernels(kmin);
+    rule("datapath kernels");
+    println!(
+        "scalar {:>10.1} Mpairs/s   fused {:>10.1} Mpairs/s   ratio {:.2}x \
+         ({} hits per {}-particle scan)",
+        kernels.scalar_pairs_per_sec / 1e6,
+        kernels.fused_pairs_per_sec / 1e6,
+        kernels.fused_vs_scalar(),
+        kernels.hits_per_scan,
+        kernels.home_len
     );
 
     // JSON via the shared fasda-trace writer — the workspace
@@ -342,8 +422,8 @@ fn main() {
             Json::obj()
                 .field("serial_cpu_seconds", Json::fixed(o.serial.cpu, 6))
                 .field("engine_cpu_seconds", Json::fixed(o.engine.cpu, 6))
-                .field("engine_burst_cpu_seconds", Json::fixed(o.full.cpu, 6))
-                .field("engine_burst_soa_cpu_seconds", Json::fixed(o.soa.cpu, 6))
+                .field("engine_burst_cpu_seconds", Json::fixed(o.nosoa.cpu, 6))
+                .field("engine_burst_soa_cpu_seconds", Json::fixed(o.full.cpu, 6))
                 .field("speedup_engine", Json::fixed(o.speedup_engine(), 3))
                 .field("speedup_burst", Json::fixed(o.speedup(), 3))
                 .field("burst_vs_engine", Json::fixed(o.burst_gain(), 3))
@@ -351,6 +431,9 @@ fn main() {
                 .field("burst_cycles", Json::uint(o.burst_cycles))
                 .field("burst_count", Json::uint(o.burst_count))
                 .field("burst_refused", Json::uint(o.burst_refused))
+                .field("burst_refused_interface", Json::uint(o.burst_refused_interface))
+                .field("burst_refused_idle", Json::uint(o.burst_refused_idle))
+                .field("burst_refused_small", Json::uint(o.burst_refused_small))
                 .build(),
         );
     }
@@ -368,7 +451,35 @@ fn main() {
         )
         .field("bit_identical", true)
         .field("scenarios", scenarios.build())
-        .field("datapath", datapath.build())
+        .field("datapath", datapath.build());
+    let mut doc = doc;
+    if !sweep.is_empty() {
+        let mut sw = Json::obj();
+        for (t, timing, speedup) in &sweep {
+            sw = sw.field(
+                &t.to_string(),
+                Json::obj()
+                    .field("wall_seconds", Json::fixed(timing.wall, 6))
+                    .field("cpu_seconds", Json::fixed(timing.cpu, 6))
+                    .field("speedup", Json::fixed(*speedup, 3))
+                    .build(),
+            );
+        }
+        doc = doc.field("threads_sweep", sw.build());
+    }
+    let doc = doc
+        .field(
+            "datapath_kernels",
+            Json::obj()
+                .field("home_len", kernels.home_len as i64)
+                .field("hits_per_scan", kernels.hits_per_scan as i64)
+                .field("scalar_pairs_per_sec", Json::fixed(kernels.scalar_pairs_per_sec, 0))
+                .field("fused_pairs_per_sec", Json::fixed(kernels.fused_pairs_per_sec, 0))
+                .field("scalar_forces_per_sec", Json::fixed(kernels.scalar_forces_per_sec, 0))
+                .field("fused_forces_per_sec", Json::fixed(kernels.fused_forces_per_sec, 0))
+                .field("fused_vs_scalar", Json::fixed(kernels.fused_vs_scalar(), 3))
+                .build(),
+        )
         .build();
     std::fs::write(&out, doc.pretty()).expect("write benchmark result");
     println!("wrote {out}");

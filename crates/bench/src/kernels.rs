@@ -1,0 +1,156 @@
+//! Shared datapath-kernel throughput measurement.
+//!
+//! One measurement routine used by both `datapathbench` (per-kernel
+//! report + the `--smoke` perf-regression gate) and `enginebench` (the
+//! `datapath_kernels` section of `BENCH_engine.json`): the scalar
+//! `filter()`/`force()` walk vs the fused SIMD filter→force kernel
+//! (`ForceDatapath::fused_scan_into`) over the fig16-density 64-particle
+//! home cell.
+//!
+//! Absolute throughput numbers move with the host, so the regression
+//! gate compares the **fused/scalar ratio** — both kernels run the same
+//! arithmetic on the same machine in the same process, which cancels
+//! machine speed and leaves only the kernels' relative shape (the thing
+//! a vectorization regression actually changes).
+
+use fasda_arith::fixed::FixVec3;
+use fasda_arith::interp::TableConfig;
+use fasda_core::datapath::{ForceDatapath, HomeSoa, ScanHit};
+use fasda_md::element::{Element, PairTable};
+use fasda_md::units::UnitSystem;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput of the two scan kernels over the reference home cell.
+pub struct KernelThroughput {
+    /// Particles in the scanned home cell.
+    pub home_len: usize,
+    /// Filter hits per scan (the mix the adjacent-cell neighbour sees).
+    pub hits_per_scan: usize,
+    /// Pairs filtered per second by the scalar `filter()`+`force()` walk.
+    pub scalar_pairs_per_sec: f64,
+    /// Pairs filtered per second by the fused filter→force kernel.
+    pub fused_pairs_per_sec: f64,
+    /// Forces evaluated per second by the scalar walk.
+    pub scalar_forces_per_sec: f64,
+    /// Forces evaluated per second by the fused kernel.
+    pub fused_forces_per_sec: f64,
+}
+
+impl KernelThroughput {
+    /// Fused-over-scalar pairs/sec ratio — the machine-speed-independent
+    /// quantity the regression gate tracks.
+    pub fn fused_vs_scalar(&self) -> f64 {
+        self.fused_pairs_per_sec / self.scalar_pairs_per_sec
+    }
+}
+
+/// Deterministic jittered home cell of `n` particles (fig16 density is
+/// 64/cell) concatenated at the home RCID.
+pub fn reference_home(n: usize) -> (Vec<Element>, Vec<FixVec3>) {
+    let mut state = 0x5DA_F00Du64;
+    let mut rnd = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let elems = (0..n).map(|i| Element::ALL[i % Element::ALL.len()]).collect();
+    let concat = (0..n)
+        .map(|_| ForceDatapath::concat((2, 2, 2), FixVec3::from_f64(rnd(), rnd(), rnd())))
+        .collect();
+    (elems, concat)
+}
+
+/// The adjacent-cell neighbour every kernel scans against: a realistic
+/// mix of hits and misses.
+pub fn reference_neighbour() -> FixVec3 {
+    ForceDatapath::concat((3, 2, 2), FixVec3::from_f64(0.12, 0.43, 0.77))
+}
+
+/// Time one batch of `iters` calls of `f`, returning seconds/iter.
+fn time_batch<R>(iters: u64, f: &mut impl FnMut() -> R) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    t.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Measure both scan kernels over the reference 64-particle cell.
+/// `min` is the total measurement budget.
+///
+/// The reference host is a 1-core VM whose hypervisor steals the core
+/// for tens of milliseconds at a time, so a single timed run of each
+/// kernel can be off by 40%. The kernels are instead timed in short
+/// **interleaved rounds** (scalar batch, fused batch, scalar batch, …)
+/// and each keeps its *minimum* seconds/iter across rounds: a steal
+/// window inflates one batch of one round, and the minimum discards it,
+/// while interleaving guarantees neither kernel systematically gets the
+/// colder machine.
+pub fn measure_kernels(min: Duration) -> KernelThroughput {
+    let dp = ForceDatapath::new(&PairTable::new(UnitSystem::PAPER), TableConfig::PAPER);
+    let (elems, concat) = reference_home(64);
+    let mut soa = HomeSoa::new();
+    soa.rebuild(&elems, &concat);
+    let nbr = reference_neighbour();
+    let nbr_elem = Element::Na;
+
+    let mut hits: Vec<ScanHit> = Vec::with_capacity(64);
+    dp.fused_scan_into(&soa, nbr, nbr_elem, 0, &mut hits);
+    let hits_per_scan = hits.len();
+
+    let mut scalar = || {
+        let mut acc = [0.0f32; 3];
+        for i in 0..concat.len() {
+            if let Some(pair) = dp.filter(concat[i], nbr) {
+                let f = dp.force(elems[i], nbr_elem, pair);
+                for k in 0..3 {
+                    acc[k] += f[k];
+                }
+            }
+        }
+        acc
+    };
+    let mut fused = || {
+        hits.clear();
+        dp.fused_scan_into(&soa, nbr, nbr_elem, 0, &mut hits);
+        let mut acc = [0.0f32; 3];
+        for h in &hits {
+            for k in 0..3 {
+                acc[k] += h.force[k];
+            }
+        }
+        acc
+    };
+
+    // Calibrate a batch size on the scalar kernel so each of the
+    // ROUNDS×2 batches takes roughly min/(ROUNDS×2)·(3/4) — a quarter
+    // of the budget warms the calibration itself.
+    const ROUNDS: u32 = 8;
+    let t = Instant::now();
+    let mut calib = 0u64;
+    while t.elapsed() < min / 4 {
+        black_box(scalar());
+        calib += 1;
+    }
+    let batch = (calib * 3 / (u64::from(ROUNDS) * 2)).max(1);
+
+    let mut scalar_s = f64::INFINITY;
+    let mut fused_s = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        scalar_s = scalar_s.min(time_batch(batch, &mut scalar));
+        fused_s = fused_s.min(time_batch(batch, &mut fused));
+    }
+
+    let n = concat.len() as f64;
+    let h = hits_per_scan as f64;
+    KernelThroughput {
+        home_len: concat.len(),
+        hits_per_scan,
+        scalar_pairs_per_sec: n / scalar_s,
+        fused_pairs_per_sec: n / fused_s,
+        scalar_forces_per_sec: h / scalar_s,
+        fused_forces_per_sec: h / fused_s,
+    }
+}

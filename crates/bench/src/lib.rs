@@ -19,6 +19,8 @@
 use fasda_cluster::EngineConfig;
 use std::collections::HashMap;
 
+pub mod kernels;
+
 /// Tiny `--key value` / `--flag` argument parser (no external deps).
 pub struct Args {
     flags: Vec<String>,

@@ -43,6 +43,18 @@ const BURST_RETRY_COOLDOWN: u64 = 8;
 /// Upper bound for the exponential refusal backoff.
 const BURST_RETRY_COOLDOWN_MAX: u64 = 1024;
 
+/// Why a burst window failed to open (feeds the named refusal
+/// counters on [`Cluster`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BurstBlock {
+    /// A window opened; it may still be refused as too small.
+    Open,
+    /// Some node's external interface could fire within the window.
+    Interface,
+    /// No force-phase chip was computing at all.
+    Idle,
+}
+
 /// Idle-streak length between deadlock scans on engines without
 /// fast-forward (which detect deadlock through their own event scan).
 /// The scan is O(nodes · peers); every 256 idle cycles it is noise.
@@ -68,16 +80,15 @@ pub struct EngineConfig {
     /// stays the plain per-cycle interpretation the optimized engine is
     /// validated against.
     pub fast_path: bool,
-    /// Evaluate filter-station scans through the chips' SoA batch kernels
-    /// (`HomeSoa` banks + `ForceDatapath::filter_scan_into`/`force_batch`)
-    /// instead of one virtual comparison per cycle. Bit-identical: the
-    /// per-cycle `Pe` state machine still consumes one comparison per
-    /// architectural cycle. Off by default even in the optimized engine:
-    /// with the fused interpolation fetch the scalar per-comparison cost
-    /// is small enough that the batch path's hit materialization costs
-    /// more than it saves (~10% on dense workloads; see `DESIGN.md`).
-    /// Kept as an opt-in because the kernels are the validated substrate
-    /// for wider (SIMD / accelerator) backends.
+    /// Evaluate filter-station scans through the chips' fused SoA kernel
+    /// (`HomeSoa` banks + `ForceDatapath::fused_scan_into`) instead of
+    /// one virtual comparison per cycle. Bit-identical: the per-cycle
+    /// `Pe` state machine still consumes one comparison per architectural
+    /// cycle. **On by default** in the optimized engine since the fused
+    /// filter→force kernel eliminated the hit-materialization overhead
+    /// that used to make the batch path lose on dense workloads (see
+    /// `DESIGN.md` §10); the scalar per-comparison walk stays the serial
+    /// oracle it is validated against.
     pub soa: bool,
     /// Burst-step the force phase: when every node's external interfaces
     /// are provably quiet for the next W cycles (no deliveries, packet
@@ -109,15 +120,16 @@ impl EngineConfig {
     }
 
     /// The optimized engine: parallel compute phase over all available
-    /// cores, idle fast-forward, the chips' fast-path execution, and
-    /// force-phase burst stepping. The SoA batch-kernel scan stays
-    /// opt-in ([`EngineConfig::with_soa`]) — see the `soa` field docs.
+    /// cores, idle fast-forward, the chips' fast-path execution,
+    /// force-phase burst stepping, and the fused SoA scan kernels
+    /// (default-on since the fused filter→force kernel wins on dense
+    /// workloads; opt out with [`EngineConfig::with_soa`]).
     pub fn parallel() -> Self {
         EngineConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             fast_forward: true,
             fast_path: true,
-            soa: false,
+            soa: true,
             burst: true,
             trace: TraceConfig::OFF,
         }
@@ -574,8 +586,41 @@ pub struct Cluster {
     pub burst_cycles: u64,
     /// Number of bursts that ran.
     pub burst_count: u64,
-    /// Burst attempts refused (window below [`MIN_BURST`]).
+    /// Burst attempts refused (window below [`MIN_BURST`]); always the
+    /// sum of the three named reason counters below.
+    ///
+    /// On the reference workloads every refusal is `interface` or
+    /// `idle` — measured by sampling the window on *every* engine
+    /// cycle: each time a chip's rings and SPE queues were observed
+    /// fully drained, its stations had already finished too
+    /// (completion bound 0). Every ring-kind scan ends with a
+    /// chip-boundary event (a force flit or a remote-completion
+    /// record), and staggered stations space those events closer than
+    /// [`MIN_BURST`], so a quiet-but-busy span never materializes: the
+    /// chip boundary stays occupied for exactly as long as the chip
+    /// computes. Burst therefore cannot engage on dense (or sparse)
+    /// force phases of this model; these counters exist so benchmark
+    /// reports say *why* rather than silently printing zeros.
     pub burst_refused: u64,
+    /// Refusals because some node's external interface (a delivery,
+    /// departure, barrier release, marker flush, ring traffic, or an
+    /// imminent boundary ejection) could fire within [`MIN_BURST`].
+    pub burst_refused_interface: u64,
+    /// Refusals because no force-phase chip was computing at all — the
+    /// span is idle and belongs to fast-forward, not burst.
+    pub burst_refused_idle: u64,
+    /// Refusals because a window opened but was shorter than
+    /// [`MIN_BURST`] (the eligibility scan would cost more than the
+    /// per-cycle loop it skips).
+    pub burst_refused_small: u64,
+    /// Monotonic count of node phase transitions. The burst retry
+    /// throttle resets its exponential backoff whenever this changes:
+    /// a transition (e.g. a node entering its force phase) creates a
+    /// fresh burst opportunity that the backoff from the *previous*
+    /// phase's refusals must not starve. Not checkpointed — it is a
+    /// throttle heuristic, and burst throttling never affects the
+    /// simulated state (only which wall-clock path computes it).
+    phase_epoch: u64,
     /// Per-node quiescence cache (optimized engines only): `quiet[n]`
     /// means node `n`'s chip was observed locally idle and nothing has
     /// been injected into it since, so its O(CBBs) idle predicates need
@@ -717,6 +762,10 @@ impl Cluster {
             burst_cycles: 0,
             burst_count: 0,
             burst_refused: 0,
+            burst_refused_interface: 0,
+            burst_refused_idle: 0,
+            burst_refused_small: 0,
+            phase_epoch: 0,
             quiet: vec![false; n],
             use_quiet: false,
             records: Vec::new(),
@@ -816,6 +865,7 @@ impl Cluster {
         for node in 0..self.num_nodes() {
             self.sync[node].begin_step(self.state[node].step);
             self.chips[node].begin_force_phase();
+            self.phase_epoch += 1;
             self.state[node].phase = NodePhase::Force;
             self.state[node].phase_start = self.cycle;
             self.state[node].last_pos_flushed = false;
@@ -840,9 +890,14 @@ impl Cluster {
         // (W below the worthwhile threshold) the blocking condition — a
         // filling FIFO, a packet in flight, an imminent barrier — rarely
         // clears within a cycle or two, so don't pay the O(nodes · PEs)
-        // scan again immediately.
+        // scan again immediately. The backoff resets whenever any node
+        // transitions phase (`phase_epoch`): windows cluster in the
+        // force-phase tail, and a backoff inflated to hundreds of cycles
+        // by mid-phase refusals would sleep straight through the next
+        // phase's tail.
         let mut burst_cooldown = 0u64;
         let mut burst_backoff = BURST_RETRY_COOLDOWN;
+        let mut burst_epoch = self.phase_epoch;
         let mut idle_streak = 0u64;
         // `crash=NODE@STEP` directive: the node "dies" once its force
         // phase for that step is underway. Checked at the cycle-loop top
@@ -924,6 +979,11 @@ impl Cluster {
             // the following cycle) — the same rule the fast-forward scan
             // uses below.
             if engine.burst && !delivered && stepped {
+                if self.phase_epoch != burst_epoch {
+                    burst_epoch = self.phase_epoch;
+                    burst_cooldown = 0;
+                    burst_backoff = BURST_RETRY_COOLDOWN;
+                }
                 if burst_cooldown > 0 {
                     burst_cooldown -= 1;
                 } else {
@@ -1287,6 +1347,7 @@ impl Cluster {
             match self.cfg.sync {
                 SyncMode::Chained => self.enter_mu(node),
                 SyncMode::Bulk { .. } => {
+                    self.phase_epoch += 1;
                     self.state[node].phase = NodePhase::BarrierBeforeMu;
                     // Re-base `phase_start` at barrier entry so the wait
                     // duration is reportable (engine-invariant; nothing
@@ -1331,6 +1392,7 @@ impl Cluster {
             tr.push(cycle, EventKind::PhaseBegin { phase: PhaseId::MotionUpdate, step });
         }
         self.chips[node].begin_mu_phase();
+        self.phase_epoch += 1;
         self.state[node].phase = NodePhase::Mu;
         self.state[node].phase_start = self.cycle;
         self.state[node].mig_flushed = false;
@@ -1391,12 +1453,14 @@ impl Cluster {
             }
             self.state[node].step += 1;
             if self.state[node].step >= steps {
+                self.phase_epoch += 1;
                 self.state[node].phase = NodePhase::Done;
                 return;
             }
             match self.cfg.sync {
                 SyncMode::Chained => self.enter_next_force(node),
                 SyncMode::Bulk { .. } => {
+                    self.phase_epoch += 1;
                     self.state[node].phase = NodePhase::BarrierBeforeForce;
                     self.state[node].phase_start = self.cycle;
                     if self.tracing {
@@ -1437,6 +1501,7 @@ impl Cluster {
         }
         self.sync[node].begin_step(step);
         self.chips[node].begin_force_phase();
+        self.phase_epoch += 1;
         self.state[node].phase = NodePhase::Force;
         self.state[node].phase_start = self.cycle;
         self.state[node].last_pos_flushed = false;
@@ -1558,16 +1623,19 @@ impl Cluster {
     /// no inbox delivery, packetizer departure, barrier release, stall
     /// expiry, marker flush, or phase transition can fire before cycle
     /// `self.cycle + W`. `busy` collects the nodes whose chips actually
-    /// tick during the window. Returns 0 whenever any node's upcoming
-    /// exchange cannot be proven frozen.
-    fn burst_window(&self, busy: &mut Vec<usize>) -> u64 {
+    /// tick during the window. Returns `(0, Interface)` whenever any
+    /// node's upcoming exchange cannot be proven frozen, and
+    /// `(0, Idle)` when no force-phase chip is computing at all (the
+    /// span is idle and belongs to fast-forward); the reason feeds the
+    /// named refusal counters.
+    fn burst_window(&self, busy: &mut Vec<usize>) -> (u64, BurstBlock) {
         let mut w = u64::MAX;
         let bound = |w: &mut u64, c: u64| *w = (*w).min(c);
         for node in 0..self.num_nodes() {
             // Scheduled network events bound every node alike.
             if let Some(d) = self.inbox[node].next_due() {
                 if d <= self.cycle {
-                    return 0;
+                    return (0, BurstBlock::Interface);
                 }
                 bound(&mut w, d - self.cycle);
             }
@@ -1576,7 +1644,7 @@ impl Cluster {
             if let Some(rel) = &self.rel {
                 if let Some(d) = rel.next_retx_due(node) {
                     if d <= self.cycle {
-                        return 0;
+                        return (0, BurstBlock::Interface);
                     }
                     bound(&mut w, d - self.cycle);
                 }
@@ -1590,7 +1658,7 @@ impl Cluster {
             .flatten()
             {
                 if d <= self.cycle {
-                    return 0;
+                    return (0, BurstBlock::Interface);
                 }
                 bound(&mut w, d - self.cycle);
             }
@@ -1609,7 +1677,7 @@ impl Cluster {
                     // released one fires at its release cycle.
                     if let Some(r) = self.state[node].barrier_release {
                         if r <= self.cycle {
-                            return 0;
+                            return (0, BurstBlock::Interface);
                         }
                         bound(&mut w, r - self.cycle);
                     }
@@ -1619,7 +1687,7 @@ impl Cluster {
                     // chip would fall behind: require the node quiescent
                     // and its phase completion still blocked on a marker.
                     if !self.quiet[node] || self.sync[node].mu_phase_complete() {
-                        return 0;
+                        return (0, BurstBlock::Interface);
                     }
                 }
                 NodePhase::Force => {
@@ -1628,13 +1696,13 @@ impl Cluster {
                         // unless the sync already completed (transition
                         // pending next cycle).
                         if self.sync[node].force_phase_complete() {
-                            return 0;
+                            return (0, BurstBlock::Interface);
                         }
                         continue;
                     }
                     let cw = self.chips[node].force_burst_window();
                     if cw == 0 {
-                        return 0;
+                        return (0, BurstBlock::Interface);
                     }
                     // Marker flushes that could fire on an upcoming
                     // exchange (reachable when this node's stall expired
@@ -1642,7 +1710,7 @@ impl Cluster {
                     if !self.state[node].last_pos_flushed
                         && self.chips[node].all_positions_departed()
                     {
-                        return 0;
+                        return (0, BurstBlock::Interface);
                     }
                     for i in 0..self.sync[node].recv_peers.len() {
                         let p = self.sync[node].recv_peers[i];
@@ -1652,14 +1720,14 @@ impl Cluster {
                                 && self.chips[node].frc_drained_to(pc)
                                 && self.chips[node].frc_egress_empty()
                             {
-                                return 0;
+                                return (0, BurstBlock::Interface);
                             }
                         }
                     }
                     if self.sync[node].force_phase_complete()
                         && self.chips[node].force_phase_local_idle()
                     {
-                        return 0;
+                        return (0, BurstBlock::Interface);
                     }
                     bound(&mut w, cw);
                     busy.push(node);
@@ -1668,9 +1736,9 @@ impl Cluster {
         }
         if busy.is_empty() || w == u64::MAX {
             // Nothing computing: idle spans belong to fast-forward.
-            return 0;
+            return (0, BurstBlock::Idle);
         }
-        w
+        (w, BurstBlock::Open)
     }
 
     /// Attempt one burst. Returns whether a burst (of at least
@@ -1678,9 +1746,15 @@ impl Cluster {
     /// a refusal.
     fn try_burst(&mut self, pool: Option<&ThreadPool>, cap: u64) -> bool {
         let mut busy = Vec::new();
-        let w = self.burst_window(&mut busy).min(cap - self.cycle);
+        let (scanned, block) = self.burst_window(&mut busy);
+        let w = scanned.min(cap - self.cycle);
         if w < MIN_BURST {
             self.burst_refused += 1;
+            match block {
+                BurstBlock::Interface => self.burst_refused_interface += 1,
+                BurstBlock::Idle => self.burst_refused_idle += 1,
+                BurstBlock::Open => self.burst_refused_small += 1,
+            }
             if self.tracing {
                 self.tr_engine
                     .push(self.cycle, EventKind::BurstRefused { window: w });
@@ -2379,6 +2453,9 @@ impl Cluster {
         w.put_u64(self.burst_cycles);
         w.put_u64(self.burst_count);
         w.put_u64(self.burst_refused);
+        w.put_u64(self.burst_refused_interface);
+        w.put_u64(self.burst_refused_idle);
+        w.put_u64(self.burst_refused_small);
         self.state.save(&mut w);
         self.stalls.save(&mut w);
         fasda_ckpt::snapshot_slice(&self.sync, &mut w);
@@ -2428,6 +2505,9 @@ impl Cluster {
         self.burst_cycles = r.get_u64()?;
         self.burst_count = r.get_u64()?;
         self.burst_refused = r.get_u64()?;
+        self.burst_refused_interface = r.get_u64()?;
+        self.burst_refused_idle = r.get_u64()?;
+        self.burst_refused_small = r.get_u64()?;
         let state: Vec<NodeState> = Persist::load(r)?;
         if state.len() != self.state.len() {
             return Err(r.malformed(format!(

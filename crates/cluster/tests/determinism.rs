@@ -83,6 +83,25 @@ fn engines_bit_identical_bulk_sync() {
 }
 
 #[test]
+fn burst_refusals_carry_a_named_reason() {
+    // Burst windows cannot open on these workloads (every ring-kind
+    // scan ends in a chip-boundary event, so quiet chips are finished
+    // chips); what the engine owes instead is an accounting of *why*.
+    // Every refusal must land in exactly one named reason bucket.
+    let sys = workload(31);
+    let mut cluster = Cluster::new(cfg(SyncMode::Chained), &sys);
+    cluster
+        .try_run_with(3, 2_000_000_000, &EngineConfig::parallel())
+        .expect("run converges");
+    assert!(cluster.burst_refused > 0, "burst was never even attempted");
+    assert_eq!(
+        cluster.burst_refused,
+        cluster.burst_refused_interface + cluster.burst_refused_idle + cluster.burst_refused_small,
+        "refusal reasons must partition the refusal count"
+    );
+}
+
+#[test]
 fn fast_forward_preserves_straggler_stalls() {
     // Stall injection exercises the stall-expiry event path.
     let sys = workload(33);

@@ -17,7 +17,7 @@
 //! point forces", §3.1).
 
 use fasda_arith::fixed::{Fix, FixVec3, FRAC_BITS};
-use fasda_arith::float_bits::{section_bin, SectionBin};
+use fasda_arith::float_bits::{fused_index, section_bin, SectionBin};
 use fasda_arith::interp::{InterpTable, LjForceTable, LjPotentialTable, TableConfig};
 use fasda_md::element::{Element, PairTable};
 use fasda_md::ewald::EwaldParams;
@@ -30,6 +30,20 @@ pub struct FilteredPair {
     pub delta: FixVec3,
     /// `|delta|²` in fixed point, guaranteed inside the table domain.
     pub r2: Fix,
+}
+
+/// One survivor of a fused filter→force scan: the home slot the
+/// comparison landed on and the finished force words, ready to retire.
+/// This is the *only* per-hit state the fused kernel
+/// ([`ForceDatapath::fused_scan_into`]) materializes — no intermediate
+/// [`FilteredPair`] vector exists on that path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScanHit {
+    /// Home slot of the passing pair.
+    pub slot: u16,
+    /// Force on the home particle (neighbour gets the negation),
+    /// bit-identical to the scalar [`ForceDatapath::force`] result.
+    pub force: [f32; 3],
 }
 
 /// Structure-of-arrays snapshot of one cell's home particles: the
@@ -91,6 +105,11 @@ struct CoulombPath {
     pot_table: InterpTable,
     charge: [f32; Element::COUNT],
 }
+
+/// Largest `f32` below `1.0`: the clamp target for filtered `r²` that
+/// the 24-bit mantissa rounds up to exactly `Rc² = 1` (see
+/// [`ForceDatapath::r2_to_f32`]).
+const BELOW_ONE: f32 = 0.999_999_94;
 
 /// The bit-faithful filter + force-pipeline arithmetic.
 #[derive(Clone, Debug)]
@@ -289,6 +308,165 @@ impl ForceDatapath {
         }
     }
 
+    /// The fused filter→force kernel: scan home slots `scan_from..` of
+    /// the SoA banks against one neighbour and append a finished
+    /// [`ScanHit`] — slot *and* force words — for every passing pair.
+    /// Returns the number of comparisons performed (`len − scan_from`).
+    ///
+    /// This is the streaming-pipeline shape of the paper's hardware
+    /// (filter bank feeding the force pipeline with no buffered
+    /// intermediate): the `r²` reduction runs branchless over fixed-point
+    /// lanes in chunks of 64 (LLVM vectorizes the `i64` squares 8 wide),
+    /// the pass predicate is compressed into one `u64` mask per chunk,
+    /// and survivors — extracted by bit-iteration, so the dense lane loop
+    /// never branches — flow straight into the interpolation: branchless
+    /// section/bin decode ([`fused_index`]) into the `[a14, b14, a8, b8]`
+    /// fused coefficient record, two interpolation FMAs, element
+    /// coefficients, delta scaling. Nothing is materialized between the
+    /// stages: no [`FilteredPair`] vector, no second pass over hits.
+    ///
+    /// Bit-identical to the scalar `filter()` + `force()` composition:
+    /// the same wrapping subtracts, DSP-truncating squares and wrapping
+    /// sums on the raw `Q5.26` bits, the same threshold compares, and the
+    /// same `f32` operations in the same order as [`ForceDatapath::force`]
+    /// (pinned by the `soa_kernels` property tests).
+    pub fn fused_scan_into(
+        &self,
+        home: &HomeSoa,
+        nbr: FixVec3,
+        nbr_elem: Element,
+        scan_from: u16,
+        hits: &mut Vec<ScanHit>,
+    ) -> u64 {
+        const CHUNK: usize = 64;
+        let n = home.len();
+        let from = (scan_from as usize).min(n);
+        let (nx, ny, nz) = (nbr.x.to_bits(), nbr.y.to_bits(), nbr.z.to_bits());
+        let lo = self.min_r2.to_bits();
+        let hi = self.cutoff_r2.to_bits();
+        let cfg = self.force_table.config();
+        let (n_sections, log2_bins) = (cfg.n_sections, cfg.log2_bins);
+        let sq = |d: i32| (((d as i64) * (d as i64)) >> FRAC_BITS) as i32;
+        let mut r2s = [0i32; CHUNK];
+        let mut base = from;
+        while base < n {
+            let len = (n - base).min(CHUNK);
+            let xs = &home.x[base..base + len];
+            let ys = &home.y[base..base + len];
+            let zs = &home.z[base..base + len];
+            // Stage 1: branchless r² lanes + compressed pass mask. The
+            // predicate is folded into the mask instead of a conditional
+            // push, so the loop has no data-dependent control flow.
+            let mut mask = 0u64;
+            for i in 0..len {
+                let r2 = sq(xs[i].wrapping_sub(nx))
+                    .wrapping_add(sq(ys[i].wrapping_sub(ny)))
+                    .wrapping_add(sq(zs[i].wrapping_sub(nz)));
+                r2s[i] = r2;
+                mask |= u64::from(r2 >= lo && r2 < hi) << i;
+            }
+            if mask == 0 {
+                base += len;
+                continue;
+            }
+            // Stage 2a, dense chunks on the LJ-only pipeline: evaluate
+            // the force on **every** lane unconditionally — clamp,
+            // branchless section/bin decode, coefficient gather, the two
+            // interpolation FMAs, element coefficients, delta scaling —
+            // then compress through the pass mask. The lane loop has no
+            // data-dependent control flow at all, so it vectorizes like
+            // the r² pass; discarded lanes compute garbage that the mask
+            // walk never reads (their table index is clamped into range
+            // purely for memory safety). Surviving lanes execute exactly
+            // the scalar op sequence of [`ForceDatapath::force`], so the
+            // words pushed are bit-identical to the survivor walk below.
+            //
+            // Below ~1/4 occupancy the unconditional evaluation wastes
+            // more than the mask walk's serial chain costs, so sparse
+            // chunks (and the electrostatic pipeline, whose `eval_filtered`
+            // call does not flatten into lanes) keep the survivor walk.
+            // Both paths produce identical bits; the choice is pure
+            // throughput and depends only on deterministic state.
+            if self.coulomb.is_none() && mask.count_ones() as usize * 4 >= len {
+                let mut rfs = [0.0f32; CHUNK];
+                let mut idxs = [0u32; CHUNK];
+                let mut scales = [0.0f32; CHUNK];
+                let bin_mask = (1u32 << log2_bins) - 1;
+                let top = (self.fused_force.len() - 1) as u32;
+                let nbr_col = nbr_elem.index();
+                let elems = &home.elem[base..base + len];
+                // Clamp + branchless section/bin decode, pure int/float
+                // lane ops (no loads beyond the lane arrays).
+                for i in 0..len {
+                    let v = Fix::from_bits(r2s[i]).to_f32();
+                    let rf = if v >= 1.0 { BELOW_ONE } else { v };
+                    let bits = rf.to_bits();
+                    // Inline [`fused_index`]: identical bit-slicing for
+                    // in-domain lanes, wrapping + clamped for the
+                    // discarded ones (whose r² can be anything).
+                    let section = (((bits >> 23) & 0xff) as i32)
+                        .wrapping_sub(127)
+                        .wrapping_add(n_sections as i32) as u32;
+                    let bin = (bits >> (23 - log2_bins)) & bin_mask;
+                    rfs[i] = rf;
+                    idxs[i] = ((section << log2_bins) | bin).min(top);
+                }
+                // The two table gathers + interpolation FMAs, isolated so
+                // the indexed loads don't stop the other loops from
+                // vectorizing.
+                for i in 0..len {
+                    let c = self.fused_force[idxs[i] as usize];
+                    let (r14, r8) = (c[0] * rfs[i] + c[1], c[2] * rfs[i] + c[3]);
+                    let (c14, c8) = self.force_coeff[elems[i].index()][nbr_col];
+                    scales[i] = c14 * r14 - c8 * r8;
+                }
+                // Delta scaling: subtract/convert/multiply lanes.
+                let (fx, fy, fz) = (&mut rfs, &mut [0.0f32; CHUNK], &mut [0.0f32; CHUNK]);
+                for i in 0..len {
+                    fx[i] = scales[i] * Fix::from_bits(xs[i].wrapping_sub(nx)).to_f32();
+                    fy[i] = scales[i] * Fix::from_bits(ys[i].wrapping_sub(ny)).to_f32();
+                    fz[i] = scales[i] * Fix::from_bits(zs[i].wrapping_sub(nz)).to_f32();
+                }
+                while mask != 0 {
+                    let i = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    hits.push(ScanHit {
+                        slot: (base + i) as u16,
+                        force: [fx[i], fy[i], fz[i]],
+                    });
+                }
+                base += len;
+                continue;
+            }
+            // Stage 2b: survivors only, straight into the interpolation.
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let slot = base + i;
+                let r2 = self.r2_to_f32(Fix::from_bits(r2s[i]));
+                let c = self.fused_force[fused_index(r2, n_sections, log2_bins) as usize];
+                let (r14, r8) = (c[0] * r2 + c[1], c[2] * r2 + c[3]);
+                let (c14, c8) = self.force_coeff[home.elem[slot].index()][nbr_elem.index()];
+                let mut scale = c14 * r14 - c8 * r8;
+                if let Some(cl) = &self.coulomb {
+                    let qq = cl.charge[home.elem[slot].index()] * cl.charge[nbr_elem.index()];
+                    if qq != 0.0 {
+                        scale += qq * cl.force_table.eval_filtered(r2);
+                    }
+                }
+                let dx = Fix::from_bits(xs[i].wrapping_sub(nx)).to_f32();
+                let dy = Fix::from_bits(ys[i].wrapping_sub(ny)).to_f32();
+                let dz = Fix::from_bits(zs[i].wrapping_sub(nz)).to_f32();
+                hits.push(ScanHit {
+                    slot: slot as u16,
+                    force: [scale * dx, scale * dy, scale * dz],
+                });
+            }
+            base += len;
+        }
+        (n - from) as u64
+    }
+
     /// Convert a filtered fixed-point `r²` to the force pipeline's `f32`.
     /// The filter guarantees `r² < Rc²` on the `Q5.26` grid, but `f32` has
     /// only a 24-bit mantissa, so a passing value within `2⁻²⁶` of the
@@ -297,7 +475,6 @@ impl ForceDatapath {
     /// table addressing does.
     #[inline]
     fn r2_to_f32(&self, r2: Fix) -> f32 {
-        const BELOW_ONE: f32 = 0.999_999_94; // largest f32 < 1.0
         let v = r2.to_f32();
         if v >= 1.0 {
             BELOW_ONE

@@ -464,10 +464,25 @@ impl TimedChip {
     /// queue empty. Under *P*, ring rotation records zero occupancy
     /// (`Activity::record(0, false)` is a no-op), no deliveries or
     /// captures can trigger, and the injection stage has nothing to
-    /// inject — so the only live work is [`TimedCbb::step_force_collect`],
-    /// and each CBB's [`TimedCbb::force_burst_bound`] guarantees no
-    /// `frc_out` push, completion record, or phase completion for W
-    /// cycles, keeping *P* invariant across the whole window.
+    /// inject — so the only live work is [`TimedCbb::step_force_collect`].
+    ///
+    /// W combines the CBBs' per-kind bounds
+    /// ([`TimedCbb::force_burst_bound`]):
+    ///
+    /// * min over CBBs of the *boundary* bound — no `frc_out` push or
+    ///   remote completion record for W cycles, keeping *P* invariant
+    ///   across the whole window. Home-internal ejections (local FC
+    ///   accumulations, recordless discards) are chip-internal and are
+    ///   free to happen inside the window — the per-cycle walk the burst
+    ///   replaces handles them in exactly the same place.
+    /// * max over CBBs of the *completion* bound — while any CBB provably
+    ///   still holds work, the chip cannot be `force_phase_local_idle`,
+    ///   so the reference walk would have stepped it on every one of
+    ///   these W cycles. This keeps the burst from running idle cycles
+    ///   the per-cycle engines never execute (which would skew chip-local
+    ///   cycle counts and stall ledgers). In the force-phase tail —
+    ///   ring traffic drained, only home-internal `i < j` scans left —
+    ///   this is the bound that actually opens wide windows.
     pub fn force_burst_window(&self) -> u64 {
         let quiet = self.pos_rings.iter().all(Ring::is_empty)
             && self.frc_rings.iter().all(Ring::is_empty)
@@ -483,11 +498,14 @@ impl TimedChip {
         if !quiet {
             return 0;
         }
-        self.cbbs
-            .iter()
-            .map(TimedCbb::force_burst_bound)
-            .min()
-            .unwrap_or(0)
+        let mut boundary = u64::MAX;
+        let mut completion = 0u64;
+        for cbb in &self.cbbs {
+            let (b, c) = cbb.force_burst_bound();
+            boundary = boundary.min(b);
+            completion = completion.max(c);
+        }
+        boundary.min(completion)
     }
 
     /// Advance the force phase `w` cycles in one burst, `w ≤`

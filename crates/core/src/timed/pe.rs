@@ -16,7 +16,7 @@
 
 // Componentwise `for k in 0..3` loops mirror the per-lane datapath.
 #![allow(clippy::needless_range_loop)]
-use crate::datapath::{FilteredPair, ForceDatapath, HomeSoa};
+use crate::datapath::{ForceDatapath, HomeSoa, ScanHit};
 use fasda_arith::fixed::FixVec3;
 use fasda_md::element::Element;
 use fasda_sim::{Activity, Cycle, Fifo, Pipeline};
@@ -71,14 +71,6 @@ pub struct PipeJob {
     pub force: [f32; 3],
 }
 
-/// One precomputed hit of a station's scan (SoA fast path): the slot the
-/// comparison lands on and the already-evaluated force words.
-#[derive(Clone, Copy, Debug)]
-struct PlannedHit {
-    slot: u16,
-    force: [f32; 3],
-}
-
 /// One filter station — the wide, *cold* half of its state.
 ///
 /// The scan-control fields the per-cycle loops touch every cycle
@@ -94,9 +86,9 @@ struct Station {
     acc: [f32; 3],
     pair_fifo: Fifo<PipeJob>,
     /// Precomputed scan results (ascending slot) when the entry was
-    /// dispatched through the SoA batch kernels; the scalar per-cycle
+    /// dispatched through the fused SoA kernel; the scalar per-cycle
     /// filter path leaves it empty.
-    plan: Vec<PlannedHit>,
+    plan: Vec<ScanHit>,
     plan_next: usize,
 }
 
@@ -141,9 +133,6 @@ pub struct Pe {
     stations: Vec<Station>,
     pipe: Pipeline<PipeJob>,
     rr: usize,
-    /// Scratch for the dispatch-time batch scan (reused; no steady-state
-    /// allocation).
-    scan_buf: Vec<(u16, FilteredPair)>,
     /// Per-station scan cursor: next home slot to compare.
     cursors: Vec<u16>,
     /// Per-station slot of the next planned hit (`u16::MAX`: none
@@ -174,7 +163,6 @@ impl Pe {
             stations: (0..filters).map(|_| Station::new(pair_fifo_depth)).collect(),
             pipe: Pipeline::new(pipe_latency as u64),
             rr: 0,
-            scan_buf: Vec::new(),
             cursors: vec![0; filters as usize],
             next_hit: vec![u16::MAX; filters as usize],
             occupied: 0,
@@ -228,52 +216,72 @@ impl Pe {
         self.load_station(si, entry);
     }
 
-    /// [`Pe::dispatch`] through the SoA batch kernels: run the station's
-    /// whole scan against the home banks now ([`ForceDatapath::
-    /// filter_scan_into`] + [`ForceDatapath::force_batch`]) and store the
-    /// hits as a plan the per-cycle state machine consumes one comparison
-    /// at a time. Cycle-for-cycle and bit-for-bit identical to the scalar
-    /// path: the station still advances one home slot per cycle, stalls on
-    /// a full pair FIFO, and pushes the same jobs on the same cycles —
-    /// only the arithmetic is hoisted out of the cycle loop.
+    /// [`Pe::dispatch`] through the fused SoA kernel: run the station's
+    /// whole scan against the home banks now
+    /// ([`ForceDatapath::fused_scan_into`]) and store the finished
+    /// [`ScanHit`]s — written *directly* into the station's plan, no
+    /// intermediate `FilteredPair` buffer — as a plan the per-cycle state
+    /// machine consumes one comparison at a time. Cycle-for-cycle and
+    /// bit-for-bit identical to the scalar path: the station still
+    /// advances one home slot per cycle, stalls on a full pair FIFO, and
+    /// pushes the same jobs on the same cycles — only the arithmetic is
+    /// hoisted out of the cycle loop.
     pub fn dispatch_planned(&mut self, entry: NbrEntry, dp: &ForceDatapath, home: &HomeSoa) {
         let si = self.free_station().expect("dispatch requires a free station");
         self.load_station(si, entry);
-        self.scan_buf.clear();
-        dp.filter_scan_into(home, entry.concat, entry.scan_from, &mut self.scan_buf);
         let st = &mut self.stations[si];
-        st.plan.reserve(self.scan_buf.len());
-        for &(slot, pair) in &self.scan_buf {
-            let force = dp.force(home.elem[slot as usize], entry.elem, pair);
-            st.plan.push(PlannedHit { slot, force });
-        }
+        dp.fused_scan_into(home, entry.concat, entry.elem, entry.scan_from, &mut st.plan);
         self.next_hit[si] = st.plan.first().map_or(u16::MAX, |h| h.slot);
         self.planned |= 1u32 << si;
     }
 
-    /// Conservative lower bound on the number of cycles before this PE can
-    /// produce another station ejection (of any kind), used by the burst
-    /// window computation. A station whose scan is unfinished needs at
-    /// least `home_len − cursor` more comparison cycles before it can
-    /// drain (the ejection can land on the final comparison's cycle, hence
+    /// Conservative per-station drain bound for the burst window
+    /// computation: a station whose scan is unfinished needs at least
+    /// `home_len − cursor` more comparison cycles before it can drain
+    /// (the ejection can land on the final comparison's cycle, hence
     /// `− 1`); a finished station still needs its `in_flight` pairs to
-    /// retire at one per cycle. `u64::MAX` when no station is occupied.
-    pub fn burst_bound(&self, home_len: u16) -> u64 {
+    /// retire at one per cycle.
+    fn station_bound(&self, si: usize, hl: u64) -> u64 {
+        let c = self.cursors[si] as u64;
+        if c < hl {
+            hl - c - 1
+        } else {
+            (self.stations[si].in_flight as u64).saturating_sub(1)
+        }
+    }
+
+    /// Burst bounds of this PE, split by what the eventual ejection does
+    /// to the chip's external interfaces:
+    ///
+    /// * `boundary` — min drain bound over stations whose ejection is a
+    ///   chip-boundary event: [`NbrKind::Ring`] entries push a force flit
+    ///   into `frc_out` (or emit a completion record when the origin is
+    ///   remote), so the window must close strictly before the earliest
+    ///   one. `u64::MAX` when no such station is occupied.
+    /// * `completion` — max drain bound over *all* occupied stations: a
+    ///   lower bound on when this PE (and therefore its chip) can next go
+    ///   force-idle. [`NbrKind::Internal`] ejections (a local FC
+    ///   accumulation, or a discard with no sync record) are chip-internal
+    ///   and may happen *inside* a burst — they only matter through this
+    ///   completion bound, which keeps the window from running past the
+    ///   cycle where the reference walk would have stopped stepping an
+    ///   idle chip. `0` when no station is occupied.
+    pub fn burst_bound(&self, home_len: u16) -> (u64, u64) {
         let hl = home_len as u64;
-        let mut w = u64::MAX;
+        let mut boundary = u64::MAX;
+        let mut completion = 0u64;
         let mut m = self.occupied;
         while m != 0 {
             let si = m.trailing_zeros() as usize;
             m &= m - 1;
-            let c = self.cursors[si] as u64;
-            let b = if c < hl {
-                hl - c - 1
-            } else {
-                (self.stations[si].in_flight as u64).saturating_sub(1)
-            };
-            w = w.min(b);
+            let b = self.station_bound(si, hl);
+            let entry = self.stations[si].entry.expect("occupied bit tracks entries");
+            if matches!(entry.kind, NbrKind::Ring { .. }) {
+                boundary = boundary.min(b);
+            }
+            completion = completion.max(b);
         }
-        w
+        (boundary, completion)
     }
 
     /// True when the PE holds no work at all.
@@ -542,13 +550,13 @@ impl fasda_ckpt::Persist for PipeJob {
     }
 }
 
-impl fasda_ckpt::Persist for PlannedHit {
+impl fasda_ckpt::Persist for ScanHit {
     fn save(&self, w: &mut fasda_ckpt::Writer) {
         w.put_u16(self.slot);
         self.force.save(w);
     }
     fn load(r: &mut fasda_ckpt::Reader<'_>) -> Result<Self, fasda_ckpt::CkptError> {
-        Ok(PlannedHit {
+        Ok(ScanHit {
             slot: r.get_u16()?,
             force: fasda_ckpt::Persist::load(r)?,
         })
