@@ -32,15 +32,27 @@
 //! written to `BENCH_engine.json` in the current directory.
 //!
 //! Usage: `enginebench [--steps N] [--reps N] [--threads N] [--stall N]
-//!                     [--out FILE] [--smoke]`
+//!                     [--shards N] [--out FILE] [--smoke]`
 //!
 //! `--smoke` runs a single rep of one step on a tiny workload — a CI
 //! gate for the bit-identity asserts, not a measurement. Full runs also
 //! sweep `--threads` over {1, 2, 4, 8} on the dense scenario and record
 //! the per-kernel datapath throughput (`datapath_kernels`).
+//!
+//! Every run also sweeps the sharded engine over {1, 2, 4} worker
+//! shards (or just `--shards N` when given) on the dense scenario:
+//! per-shard compute with real socket frame exchange, asserted
+//! bit-identical to the serial oracle. Wall clock is the speedup signal
+//! on multi-core hosts; CPU seconds are recorded alongside so a 1-core
+//! host can still gate on identity and protocol overhead (sharding
+//! cannot beat one process on one core). A final `auto_engine` section
+//! documents the CLI's `EngineConfig::auto` default against the old
+//! unconditional `parallel()` it replaced.
 
 use fasda_bench::{rule, Args};
-use fasda_cluster::{Cluster, ClusterConfig, ClusterRunReport, EngineConfig};
+use fasda_cluster::{
+    run_sharded, Cluster, ClusterConfig, ClusterRunReport, EngineConfig, ShardOpts,
+};
 use fasda_trace::Json;
 use fasda_core::config::ChipConfig;
 use fasda_md::element::Element;
@@ -379,6 +391,70 @@ fn main() {
         }
     }
 
+    // Shards sweep over the dense scenario: the full sharded protocol —
+    // per-shard local engines plus CRC-framed socket exchange every
+    // global cycle — at 1, 2 and 4 worker shards, each folded run
+    // asserted bit-identical to the serial oracle. The 1-shard point
+    // isolates pure protocol overhead (one worker, no mesh peers).
+    let mut shards_sweep = Vec::new();
+    {
+        rule("shards sweep (dense)");
+        let only: usize = args.get("shards", 0);
+        let shard_counts: Vec<usize> = if only == 0 { vec![1, 2, 4] } else { vec![only] };
+        let oracle = dense_oracle.as_ref().expect("dense scenario measured");
+        let one_process = outcomes[0].full;
+        let engine = EngineConfig::parallel().with_threads(threads);
+        for s in shard_counts {
+            let t0 = Instant::now();
+            let c0 = cpu_seconds();
+            let run = run_sharded(&scenarios[0].cfg, &sys, steps, &engine, s, ShardOpts::default())
+                .expect("sharded run completes");
+            let timing = Timing {
+                wall: t0.elapsed().as_secs_f64(),
+                cpu: cpu_seconds() - c0,
+            };
+            assert_eq!(
+                &run.report, oracle,
+                "shards={s}: sharded run must stay bit-identical"
+            );
+            let wall_speedup = one_process.wall / timing.wall;
+            let cpu_overhead = timing.cpu / one_process.cpu;
+            println!(
+                "shards={s:<3}{:>10.3} s wall {:>8.2} s cpu {:>8.2}x wall vs 1-process \
+                 (cpu overhead {:.2}x)",
+                timing.wall, timing.cpu, wall_speedup, cpu_overhead
+            );
+            shards_sweep.push((s, timing, wall_speedup, cpu_overhead));
+        }
+    }
+
+    // EngineConfig::auto — the CLI's new default engine choice. Before:
+    // the old unconditional `parallel()` default, whose rayon pool costs
+    // coordination on a single-core host. After: `auto()`, which probes
+    // the host and keeps single-core machines on the serial loop with
+    // idle fast-forward.
+    rule("auto engine (dense)");
+    let auto_gain;
+    let (auto_before, auto_after) = {
+        let oracle = dense_oracle.as_ref().expect("dense scenario measured");
+        let (tb, _, rb) = run_once(&sys, scenarios[0].cfg.clone(), steps, &EngineConfig::parallel());
+        let (ta, _, ra) = run_once(&sys, scenarios[0].cfg.clone(), steps, &EngineConfig::auto());
+        assert_eq!(&rb, oracle, "parallel default must stay bit-identical");
+        assert_eq!(&ra, oracle, "auto engine must stay bit-identical");
+        auto_gain = ta.ratio_over(tb);
+        println!(
+            "before (parallel)  {:>10.3} s wall {:>8.2} s cpu\n\
+             after  (auto)      {:>10.3} s wall {:>8.2} s cpu   ({:.2}x, chose {})",
+            tb.wall,
+            tb.cpu,
+            ta.wall,
+            ta.cpu,
+            auto_gain,
+            if host_cores > 1 { "parallel" } else { "serial+fast-forward" }
+        );
+        (tb, ta)
+    };
+
     // Per-kernel datapath throughput (shared with datapathbench): the
     // raw cost of the scalar walk vs the fused filter→force kernel the
     // default engine dispatches through.
@@ -467,6 +543,35 @@ fn main() {
         }
         doc = doc.field("threads_sweep", sw.build());
     }
+    if !shards_sweep.is_empty() {
+        let mut sw = Json::obj();
+        for (s, timing, wall_speedup, cpu_overhead) in &shards_sweep {
+            sw = sw.field(
+                &s.to_string(),
+                Json::obj()
+                    .field("wall_seconds", Json::fixed(timing.wall, 6))
+                    .field("cpu_seconds", Json::fixed(timing.cpu, 6))
+                    .field("wall_speedup_vs_one_process", Json::fixed(*wall_speedup, 3))
+                    .field("cpu_overhead_vs_one_process", Json::fixed(*cpu_overhead, 3))
+                    .build(),
+            );
+        }
+        doc = doc.field("shards_sweep", sw.build());
+    }
+    doc = doc.field(
+        "auto_engine",
+        Json::obj()
+            .field("before_wall_seconds", Json::fixed(auto_before.wall, 6))
+            .field("before_cpu_seconds", Json::fixed(auto_before.cpu, 6))
+            .field("after_wall_seconds", Json::fixed(auto_after.wall, 6))
+            .field("after_cpu_seconds", Json::fixed(auto_after.cpu, 6))
+            .field("auto_vs_parallel", Json::fixed(auto_gain, 3))
+            .field(
+                "chose",
+                if host_cores > 1 { "parallel" } else { "serial+fast-forward" },
+            )
+            .build(),
+    );
     let doc = doc
         .field(
             "datapath_kernels",

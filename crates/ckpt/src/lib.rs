@@ -167,6 +167,97 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 // ---------------------------------------------------------------------------
+// Shared CRC frame: length prefix + checksum + payload
+// ---------------------------------------------------------------------------
+
+/// Length- and CRC-framed payload encoding shared by the checkpoint
+/// container's section framing and the shard transport's socket frames:
+/// `payload_len u64 | crc32 u32 | payload`, little-endian.
+///
+/// Every decode path enforces [`frame::MAX_FRAME_BYTES`] **before**
+/// allocating, so a corrupt or hostile length prefix can never become an
+/// allocation bomb, and validates the CRC before handing the payload out.
+pub mod frame {
+    use super::{crc32, CkptError, Reader};
+    use std::io::{Read, Write};
+
+    /// Hard cap on a single frame payload (1 GiB). Checkpoint sections
+    /// and shard exchange frames are both far below this; anything above
+    /// it is a corrupt or malicious length prefix.
+    pub const MAX_FRAME_BYTES: u64 = 1 << 30;
+
+    /// Bytes of framing overhead per frame (length + CRC).
+    pub const HEADER_BYTES: usize = 12;
+
+    fn check_len(payload_len: u64, section: &str) -> Result<usize, CkptError> {
+        if payload_len > MAX_FRAME_BYTES {
+            return Err(CkptError::Malformed {
+                section: section.to_string(),
+                what: format!(
+                    "frame length {payload_len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+                ),
+            });
+        }
+        usize::try_from(payload_len).map_err(|_| CkptError::Malformed {
+            section: section.to_string(),
+            what: format!("frame length {payload_len} overflows usize"),
+        })
+    }
+
+    fn check_crc(payload: &[u8], stored: u32, section: &str) -> Result<(), CkptError> {
+        let computed = crc32(payload);
+        if computed != stored {
+            return Err(CkptError::CrcMismatch {
+                section: section.to_string(),
+                stored,
+                computed,
+            });
+        }
+        Ok(())
+    }
+
+    /// Append one frame to a byte buffer.
+    pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+
+    /// Decode one frame through a [`Reader`], borrowing the payload.
+    /// `section` names the frame in errors.
+    pub fn read_frame<'a>(r: &mut Reader<'a>, section: &str) -> Result<&'a [u8], CkptError> {
+        let payload_len = check_len(r.get_u64()?, section)?;
+        let stored = r.get_u32()?;
+        let payload = r.take(payload_len).map_err(|_| CkptError::Truncated {
+            section: section.to_string(),
+        })?;
+        check_crc(payload, stored, section)?;
+        Ok(payload)
+    }
+
+    /// Write one frame to a byte stream (socket, pipe, file).
+    pub fn write_frame_to(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
+        w.write_all(&crc32(payload).to_le_bytes())?;
+        w.write_all(payload)
+    }
+
+    /// Read one frame from a byte stream, validating length bound and
+    /// CRC before returning the payload.
+    pub fn read_frame_from(rd: &mut impl Read, section: &str) -> Result<Vec<u8>, CkptError> {
+        let mut hdr = [0u8; HEADER_BYTES];
+        rd.read_exact(&mut hdr)?;
+        let payload_len = u64::from_le_bytes(hdr[..8].try_into().expect("8 bytes"));
+        let stored = u32::from_le_bytes(hdr[8..].try_into().expect("4 bytes"));
+        let payload_len = check_len(payload_len, section)?;
+        let mut payload = vec![0u8; payload_len];
+        rd.read_exact(&mut payload)?;
+        check_crc(&payload, stored, section)?;
+        Ok(payload)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Writer / Reader
 // ---------------------------------------------------------------------------
 
@@ -726,9 +817,7 @@ impl ContainerWriter {
         for (name, payload) in &self.sections {
             out.push(name.len() as u8);
             out.extend_from_slice(name.as_bytes());
-            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-            out.extend_from_slice(&crc32(payload).to_le_bytes());
-            out.extend_from_slice(payload);
+            frame::write_frame(&mut out, payload);
         }
         out
     }
@@ -766,21 +855,7 @@ impl<'a> Container<'a> {
             let name = std::str::from_utf8(name_bytes)
                 .map_err(|_| r.malformed("section name is not UTF-8"))?
                 .to_string();
-            let payload_len = r.get_u64()?;
-            let payload_len = usize::try_from(payload_len)
-                .map_err(|_| r.malformed(format!("section `{name}` length overflow")))?;
-            let stored = r.get_u32()?;
-            let payload = r.take(payload_len).map_err(|_| CkptError::Truncated {
-                section: name.clone(),
-            })?;
-            let computed = crc32(payload);
-            if computed != stored {
-                return Err(CkptError::CrcMismatch {
-                    section: name,
-                    stored,
-                    computed,
-                });
-            }
+            let payload = frame::read_frame(&mut r, &name)?;
             if sections.iter().any(|(n, _)| *n == name) {
                 return Err(CkptError::Malformed {
                     section: name.clone(),

@@ -13,11 +13,13 @@
 //! ```
 
 use fasda_cluster::ckpt::{
-    load_checkpoint, resume_latest, run_with_checkpoints, CheckpointConfig, RunAccumulator,
+    latest_checkpoint, load_checkpoint, resume_latest, run_with_checkpoints, CheckpointConfig,
+    RunAccumulator,
 };
 use fasda_cluster::{
-    chrome_trace, stall_json, trace_summary_json, Cluster, ClusterConfig, EngineConfig,
-    FaultPlan, HostController, Json, RelConfig, TraceConfig, TraceLevel,
+    chrome_trace, coordinator_main, stall_json, trace_summary_json, worker_main, Cluster,
+    ClusterConfig, EngineConfig, FaultPlan, HostController, Json, RelConfig, ShardOpts,
+    TraceConfig, TraceLevel,
 };
 use fasda_core::config::{ChipConfig, DesignVariant};
 use fasda_core::geometry::{ChipCoord, ChipGeometry};
@@ -64,14 +66,17 @@ impl Opts {
     }
 }
 
-/// `--serial` / `--threads N` → engine configuration. The default is the
-/// full engine (idle fast-forward plus all cores); every choice yields a
-/// bit-identical run, only wall-clock time differs.
+/// `--serial` / `--threads N` → engine configuration. The default is
+/// [`EngineConfig::auto`], which probes the host: multi-core machines
+/// get the full parallel engine, single-core ones skip the thread pool
+/// (whose coordination overhead costs more than it buys there) but keep
+/// idle fast-forward. Every choice yields a bit-identical run, only
+/// wall-clock time differs.
 fn engine(opts: &Opts) -> Result<EngineConfig, String> {
     let mut e = if opts.has("--serial") {
         EngineConfig::serial()
     } else {
-        let mut e = EngineConfig::parallel();
+        let mut e = EngineConfig::auto();
         if let Some(t) = opts.get("--threads") {
             e = e.with_threads(t.parse().map_err(|_| "bad --threads")?);
         }
@@ -105,7 +110,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  fasda run --per-fpga 222 --total 444 [--steps N] [--variant A|B|C]\n\
          \x20           [--sync chained|bulk] [--dump-group N] [--per-cell 64] [--seed S]\n\
-         \x20           [--threads N] [--serial]\n\
+         \x20           [--threads N] [--serial] [--shards S] [--shard-dir DIR]\n\
          \x20           [--fault-plan SPEC] [--drop-rate P] [--fault-seed S] [--unreliable]\n\
          \x20           [--checkpoint-every N --checkpoint-dir DIR] [--checkpoint-keep K]\n\
          \x20           [--resume FILE|latest] [--dump-state FILE]\n\
@@ -118,7 +123,12 @@ fn usage() -> ExitCode {
          \x20                   kill=CHAN:SRC->DST:N,crash=NODE@STEP\n\
          (faults enable the reliable-delivery layer unless --unreliable is given;\n\
          \x20a crash aborts the run — recover with --resume latest, which strips the\n\
-         \x20crash directive)"
+         \x20crash directive)\n\
+         \n\
+         --shards S partitions the nodes across S worker processes exchanging\n\
+         boundary traffic over Unix-domain sockets; the run is bit-identical to a\n\
+         single process. --worker I --shard-dir DIR is the internal re-invocation\n\
+         the coordinator spawns — not for direct use."
     );
     ExitCode::from(2)
 }
@@ -325,6 +335,106 @@ fn run_checkpointed(
     Ok(())
 }
 
+/// The `--shards S` run path: spawn S worker processes (re-invoking our
+/// own argv with `--worker I --shard-dir DIR` appended), drive the
+/// global step barrier over the control socket, and fold their reports,
+/// traces, and checkpoints into the same artifacts a one-process run
+/// writes.
+fn run_sharded_cli(
+    opts: &Opts,
+    cfg: ClusterConfig,
+    sys: &fasda_md::system::ParticleSystem,
+    steps: u64,
+    shards: usize,
+    ckpt: Option<CheckpointConfig>,
+    resume: Option<&str>,
+) -> Result<(), String> {
+    let resume_path = match resume {
+        None => None,
+        Some("latest") => {
+            let dir = ckpt
+                .as_ref()
+                .map(|c| c.dir.clone())
+                .ok_or("--resume latest needs --checkpoint-dir")?;
+            match latest_checkpoint(&dir).map_err(|e| e.to_string())? {
+                Some(path) => {
+                    println!("resuming from {}", path.display());
+                    Some(path)
+                }
+                None => {
+                    println!("no checkpoint in {}; starting from step 0", dir.display());
+                    None
+                }
+            }
+        }
+        Some(path) => Some(std::path::PathBuf::from(path)),
+    };
+    let dir = match opts.get("--shard-dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("fasda-shard-{}", std::process::id())),
+    };
+    // Workers rebuild config and workload by replaying this exact argv.
+    let mut worker_argv = vec!["run".to_string()];
+    worker_argv.extend(opts.args.iter().cloned());
+
+    println!("sharding across {shards} worker process(es); rendezvous in {}", dir.display());
+    let run = coordinator_main(
+        &cfg,
+        sys,
+        steps,
+        shards,
+        ShardOpts { budget: 2_000_000_000, ckpt, resume: resume_path },
+        &dir,
+        &worker_argv,
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "\nsimulation rate: {:.2} µs/day ({:.0} cycles/step at 200 MHz)",
+        run.report.us_per_day(),
+        run.report.cycles_per_step()
+    );
+    if !run.checkpoints.is_empty() {
+        println!(
+            "wrote {} checkpoint(s), latest {}",
+            run.checkpoints.len(),
+            run.checkpoints.last().expect("non-empty").display()
+        );
+    }
+    if run.report.faults_injected > 0 {
+        println!("faults injected: {}", run.report.faults_injected);
+    }
+    if let Some(rel) = &run.report.reliability {
+        println!(
+            "reliable delivery: {} retransmits, {} acks, {} duplicates dropped, {} corrupt dropped",
+            rel.retransmits, rel.acks_sent, rel.duplicates_dropped, rel.corrupt_dropped
+        );
+    }
+    if let Some(out) = opts.get("--trace-out") {
+        let trace = run
+            .traces
+            .last()
+            .ok_or("--trace-out needs tracing on (drop --trace-level off)")?;
+        std::fs::write(out, chrome_trace(trace)).map_err(|e| e.to_string())?;
+        println!("wrote final-segment trace to {out} (earlier segments are not retained)");
+    }
+    if let Some(out) = opts.get("--metrics-out") {
+        let mut doc = Json::obj().field("run", run.report.metrics_json());
+        if let Some(trace) = run.traces.last() {
+            doc = doc
+                .field("stalls", stall_json(&trace.stalls))
+                .field("trace", trace_summary_json(trace));
+        }
+        std::fs::write(out, doc.build().pretty()).map_err(|e| e.to_string())?;
+        println!("wrote metrics to {out}");
+    }
+    if let Some(out) = opts.get("--dump-state") {
+        std::fs::write(out, state_dump(&run.replica, sys)).map_err(|e| e.to_string())?;
+        println!("wrote state dump to {out}");
+    }
+    Ok(())
+}
+
 fn cmd_run(opts: &Opts) -> Result<(), String> {
     let per_fpga = parse_dims(opts.get("--per-fpga").ok_or("--per-fpga required")?)?;
     let (space, sys) = workload(opts)?;
@@ -351,6 +461,22 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         }
     }
 
+    // Shard-worker mode: this process was spawned by a `--shards`
+    // coordinator re-invoking its own argv. Rendezvous and serve — all
+    // output belongs to the coordinator.
+    if let Some(w) = opts.get("--worker") {
+        let index: usize = w.parse().map_err(|_| "bad --worker")?;
+        let shards: usize = opts
+            .get("--shards")
+            .ok_or("--worker needs --shards")?
+            .parse()
+            .map_err(|_| "bad --shards")?;
+        let dir = opts.get("--shard-dir").ok_or("--worker needs --shard-dir")?;
+        let eng = engine(opts)?;
+        return worker_main(&cfg, &sys, &eng, index, shards, std::path::Path::new(dir))
+            .map_err(|e| e.to_string());
+    }
+
     println!(
         "FASDA: {}x{}x{} cells ({} atoms) on {}x{}x{} cells/FPGA, variant {} ({}), {} steps",
         space.dx,
@@ -371,6 +497,10 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
 
     let eng = engine(opts)?;
     let ckpt = checkpoint_config(opts)?;
+    if let Some(s) = opts.get("--shards") {
+        let shards: usize = s.parse().map_err(|_| "bad --shards")?;
+        return run_sharded_cli(opts, cfg, &sys, steps, shards, ckpt, resume);
+    }
     if ckpt.is_some() || resume.is_some() {
         return run_checkpointed(opts, cfg, &sys, steps, &eng, ckpt, resume);
     }

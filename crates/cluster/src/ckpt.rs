@@ -25,9 +25,10 @@
 use crate::driver::{sections, Cluster, ClusterError, EngineConfig};
 use crate::report::{ClusterRunReport, NodeStepReport, RelSummary};
 use fasda_ckpt::{
-    checkpoint_path, latest_checkpoint, prune_checkpoints, write_atomic, CkptError, Container,
-    ContainerWriter, Persist, Reader, Writer,
+    checkpoint_path, prune_checkpoints, write_atomic, CkptError, Container, ContainerWriter,
+    Persist, Reader, Writer,
 };
+pub use fasda_ckpt::latest_checkpoint;
 use fasda_core::timed::TrafficCounters;
 use fasda_sim::StatSet;
 use fasda_trace::{Trace, TraceLevel};

@@ -25,7 +25,7 @@ use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::collections::BTreeMap;
 
 /// Safety cap on the global cycle loop.
-const MAX_RUN_CYCLES: u64 = 2_000_000_000;
+pub(crate) const MAX_RUN_CYCLES: u64 = 2_000_000_000;
 
 /// Smallest force-phase burst worth taking: below this the burst's
 /// eligibility scan costs more than the per-cycle loop it skips.
@@ -58,7 +58,7 @@ enum BurstBlock {
 /// Idle-streak length between deadlock scans on engines without
 /// fast-forward (which detect deadlock through their own event scan).
 /// The scan is O(nodes · peers); every 256 idle cycles it is noise.
-const DEADLOCK_SCAN_INTERVAL: u64 = 256;
+pub(crate) const DEADLOCK_SCAN_INTERVAL: u64 = 256;
 
 /// How the cluster's cycle loop is executed. The serial reference path
 /// ([`Cluster::try_run`]) and every engine configuration produce
@@ -132,6 +132,20 @@ impl EngineConfig {
             soa: true,
             burst: true,
             trace: TraceConfig::OFF,
+        }
+    }
+
+    /// Pick an engine for the host automatically: the full optimized
+    /// engine on multi-core machines, and on a single hardware thread the
+    /// serial oracle compute path with idle fast-forward kept on (a rayon
+    /// pool on one core only adds dispatch overhead, while fast-forward
+    /// still wins big on straggler-style idle phases and costs nothing on
+    /// dense ones). Used by the CLI when no engine is requested
+    /// explicitly.
+    pub fn auto() -> Self {
+        match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => Self::parallel(),
+            _ => Self::serial().with_fast_forward(true),
         }
     }
 
@@ -396,7 +410,7 @@ impl From<DeadlockDetected> for ClusterError {
 
 /// Per-node execution state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum NodePhase {
+pub(crate) enum NodePhase {
     Force,
     /// Waiting at the bulk barrier before entering MU.
     BarrierBeforeMu,
@@ -408,7 +422,7 @@ enum NodePhase {
 
 /// Outcome of the fast-forward scan (see [`Cluster::try_run_with`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum NextEvent {
+pub(crate) enum NextEvent {
     /// Some chip still has local work: every cycle matters.
     Busy,
     /// All nodes quiescent; the next state change is at this cycle.
@@ -418,19 +432,19 @@ enum NextEvent {
 }
 
 #[derive(Clone, Debug)]
-struct NodeState {
-    step: u64,
-    phase: NodePhase,
-    phase_start: u64,
-    force_cycles: u64,
-    last_pos_flushed: bool,
-    mig_flushed: bool,
-    barrier_release: Option<u64>,
+pub(crate) struct NodeState {
+    pub(crate) step: u64,
+    pub(crate) phase: NodePhase,
+    pub(crate) phase_start: u64,
+    pub(crate) force_cycles: u64,
+    pub(crate) last_pos_flushed: bool,
+    pub(crate) mig_flushed: bool,
+    pub(crate) barrier_release: Option<u64>,
 }
 
 /// Channel index for the per-node reliability link maps (pos, frc, mig).
 #[inline]
-fn chan_index(kind: PacketKind) -> usize {
+pub(crate) fn chan_index(kind: PacketKind) -> usize {
     match kind {
         PacketKind::Position => 0,
         PacketKind::Force => 1,
@@ -439,7 +453,7 @@ fn chan_index(kind: PacketKind) -> usize {
 }
 
 #[inline]
-fn chan_of(kind: PacketKind) -> FaultChannel {
+pub(crate) fn chan_of(kind: PacketKind) -> FaultChannel {
     match kind {
         PacketKind::Position => FaultChannel::Pos,
         PacketKind::Force => FaultChannel::Frc,
@@ -448,7 +462,7 @@ fn chan_of(kind: PacketKind) -> FaultChannel {
 }
 
 #[inline]
-fn channel_id(kind: PacketKind) -> ChannelId {
+pub(crate) fn channel_id(kind: PacketKind) -> ChannelId {
     match kind {
         PacketKind::Position => ChannelId::Pos,
         PacketKind::Force => ChannelId::Frc,
@@ -462,16 +476,16 @@ fn channel_id(kind: PacketKind) -> ChannelId {
 /// serial network/delivery phases, so the state (and everything derived
 /// from it — stall classes, retransmit deadlines) is engine-invariant.
 #[derive(Clone, Debug)]
-struct RelState {
+pub(crate) struct RelState {
     cfg: RelConfig,
     /// `tx[node][channel][peer]` — outbound link senders.
-    tx: Vec<[BTreeMap<usize, LinkSender<Delivery>>; 3]>,
+    pub(crate) tx: Vec<[BTreeMap<usize, LinkSender<Delivery>>; 3]>,
     /// `rx[node][channel][peer]` — inbound link receivers.
-    rx: Vec<[BTreeMap<usize, LinkReceiver<Delivery>>; 3]>,
+    pub(crate) rx: Vec<[BTreeMap<usize, LinkReceiver<Delivery>>; 3]>,
     /// Cumulative acks put on the fabric.
-    acks_sent: u64,
+    pub(crate) acks_sent: u64,
     /// Corrupted frames discarded at receivers (checksum failures).
-    corrupt_dropped: u64,
+    pub(crate) corrupt_dropped: u64,
 }
 
 impl RelState {
@@ -527,7 +541,7 @@ impl RelState {
             .any(|s| s.inflight() > 0)
     }
 
-    fn total_retransmits(&self) -> u64 {
+    pub(crate) fn total_retransmits(&self) -> u64 {
         self.tx
             .iter()
             .flat_map(|n| n.iter())
@@ -536,7 +550,7 @@ impl RelState {
             .sum()
     }
 
-    fn total_duplicates(&self) -> u64 {
+    pub(crate) fn total_duplicates(&self) -> u64 {
         self.rx
             .iter()
             .flat_map(|n| n.iter())
@@ -548,33 +562,33 @@ impl RelState {
 
 /// The multi-FPGA FASDA system.
 pub struct Cluster {
-    cfg: ClusterConfig,
-    global: SimulationSpace,
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) global: SimulationSpace,
     /// One timed chip per node, indexed in Eq.-7 order over the node
     /// grid.
     pub chips: Vec<TimedChip>,
-    node_coord: Vec<ChipCoord>,
+    pub(crate) node_coord: Vec<ChipCoord>,
     /// Node grid dimensions; node ids are dense in Eq.-7 order, so the
     /// coordinate → node mapping is pure arithmetic (no hash lookup on
     /// the per-cycle path).
     grid: (u32, u32, u32),
-    sync: Vec<ChainedSync<usize>>,
-    pos_pz: Vec<Packetizer<usize, PosFlit>>,
-    frc_pz: Vec<Packetizer<usize, FrcFlit>>,
-    mig_pz: Vec<Packetizer<usize, MigFlit>>,
+    pub(crate) sync: Vec<ChainedSync<usize>>,
+    pub(crate) pos_pz: Vec<Packetizer<usize, PosFlit>>,
+    pub(crate) frc_pz: Vec<Packetizer<usize, FrcFlit>>,
+    pub(crate) mig_pz: Vec<Packetizer<usize, MigFlit>>,
     /// Position-port fabric (positions + migration).
     pub pos_fabric: SwitchFabric,
     /// Force-port fabric.
     pub frc_fabric: SwitchFabric,
-    inbox: Vec<MessageQueue<NetMsg>>,
+    pub(crate) inbox: Vec<MessageQueue<NetMsg>>,
     /// Seeded fault injection (None = clean fabric).
-    faults: Option<FaultState>,
+    pub(crate) faults: Option<FaultState>,
     /// Reliable-delivery layer (None = raw UDP semantics).
-    rel: Option<RelState>,
-    state: Vec<NodeState>,
-    stalls: Vec<u64>,
-    barrier_mu: BulkBarrier,
-    barrier_force: BulkBarrier,
+    pub(crate) rel: Option<RelState>,
+    pub(crate) state: Vec<NodeState>,
+    pub(crate) stalls: Vec<u64>,
+    pub(crate) barrier_mu: BulkBarrier,
+    pub(crate) barrier_force: BulkBarrier,
     /// Global wall-clock cycle.
     pub cycle: u64,
     /// Cycles the fast-forward engine jumped over instead of simulating
@@ -629,21 +643,64 @@ pub struct Cluster {
     quiet: Vec<bool>,
     /// Whether the current run maintains (and may trust) `quiet`.
     use_quiet: bool,
-    records: Vec<NodeStepReport>,
+    pub(crate) records: Vec<NodeStepReport>,
     /// Flight-recorder configuration of the current/last run.
-    trace_cfg: TraceConfig,
+    pub(crate) trace_cfg: TraceConfig,
     /// Hot-path gate: `trace_cfg.level != Off` for the current run.
-    tracing: bool,
+    pub(crate) tracing: bool,
     /// Engine-level event stream (burst windows, fast-forward jumps) —
     /// deliberately separate from the per-node streams, which stay
     /// byte-identical across engines.
-    tr_engine: NodeRecorder,
+    pub(crate) tr_engine: NodeRecorder,
     /// Per-(node, step) force-phase stall attribution.
-    tr_stalls: StallLedger,
+    pub(crate) tr_stalls: StallLedger,
     /// Which chips ticked in the current compute phase (tracing only);
     /// engine-invariant because a `quiet`-skipped chip is idle and would
     /// not have ticked under the serial reference either.
     ticked: Vec<bool>,
+    /// Sharded-engine capture hook. `None` (the default) keeps the
+    /// in-process oracle path: sends go straight onto the fabrics and
+    /// into destination inboxes. `Some` diverts every wire crossing into
+    /// a per-cycle event buffer for the cross-shard merge — see the
+    /// `shard` module and `DESIGN.md` §11.
+    pub(crate) exchange: Option<ExchangeBuf>,
+}
+
+/// One captured wire crossing: a data frame or ack that left an owned
+/// node's port this cycle. `arrive` is the post-serialization arrival
+/// cycle at the destination port (source-side state already advanced);
+/// the destination shard completes the send with
+/// [`SwitchFabric::rx_admit`] during the merge. `extra` carries a fault
+/// layer delay applied *after* port admission, exactly as the oracle
+/// adds it after `SwitchFabric::send`.
+#[derive(Clone, Debug)]
+pub(crate) struct WireEvent {
+    pub(crate) stage: u8,
+    pub(crate) src: u32,
+    pub(crate) dst: u32,
+    pub(crate) arrive: u64,
+    pub(crate) extra: u64,
+    pub(crate) msg: NetMsg,
+}
+
+/// Per-cycle wire-event capture state for one shard worker.
+///
+/// `stage` stamps each event with its generation phase — 0 for fresh
+/// sends in [`Cluster::network_cycle`], 1 for retransmissions, 2 for
+/// acks emitted inside [`Cluster::deliver_due`]. The oracle generates
+/// events in (stage, src) order (each phase walks nodes in ascending
+/// order), so a stable sort by that key over the concatenated per-shard
+/// buffers reproduces the oracle's exact per-inbox admission order —
+/// including the destination-port contention trajectory and the inbox
+/// sequence numbers that tie-break simultaneous deliveries.
+#[derive(Debug)]
+pub(crate) struct ExchangeBuf {
+    /// Contiguous node range this worker owns.
+    pub(crate) owned: std::ops::Range<usize>,
+    /// Generation stage stamped onto captured events.
+    pub(crate) stage: u8,
+    /// Events captured since the last [`Cluster::take_wire_events`].
+    pub(crate) events: Vec<WireEvent>,
 }
 
 impl Cluster {
@@ -774,6 +831,59 @@ impl Cluster {
             tr_engine: NodeRecorder::off(),
             tr_stalls: StallLedger::new(n),
             ticked: vec![false; n],
+            exchange: None,
+        }
+    }
+
+    /// The node range the current execution context owns: the shard
+    /// worker's slice in sharded mode, every node otherwise. All
+    /// per-node driver loops iterate this range, which is what lets one
+    /// code path serve both the in-process oracle and the shard workers.
+    #[inline]
+    pub(crate) fn owned_range(&self) -> std::ops::Range<usize> {
+        match &self.exchange {
+            Some(ex) => ex.owned.clone(),
+            None => 0..self.num_nodes(),
+        }
+    }
+
+    /// Whether every owned node has completed `steps` timesteps.
+    pub(crate) fn owned_done(&self, steps: u64) -> bool {
+        self.owned_range()
+            .all(|n| self.state[n].phase == NodePhase::Done && self.state[n].step >= steps)
+    }
+
+    /// Drain the wire events captured since the last call (sharded mode;
+    /// empty in oracle mode).
+    pub(crate) fn take_wire_events(&mut self) -> Vec<WireEvent> {
+        self.exchange
+            .as_mut()
+            .map_or_else(Vec::new, |ex| std::mem::take(&mut ex.events))
+    }
+
+    /// Merge-admit one cycle's wire events (own + every peer shard's):
+    /// stable-sort by (stage, src) to reconstruct the oracle's global
+    /// generation order, then complete destination-port admission and
+    /// inbox insertion for the events whose destination this worker
+    /// owns. Events for other shards' nodes are skipped — their owners
+    /// admit them from their own copy of the same merged list.
+    pub(crate) fn admit_wire_events(&mut self, mut events: Vec<WireEvent>) {
+        events.sort_by_key(|e| (e.stage, e.src));
+        let owned = self.owned_range();
+        for e in events {
+            let dst = e.dst as usize;
+            if !owned.contains(&dst) {
+                continue;
+            }
+            let kind = match &e.msg {
+                NetMsg::Data(d) => d.cargo.kind(),
+                NetMsg::Ack { channel, .. } => *channel,
+            };
+            let at = match kind {
+                PacketKind::Force => self.frc_fabric.rx_admit(e.arrive, dst),
+                _ => self.pos_fabric.rx_admit(e.arrive, dst),
+            };
+            self.inbox[dst].send(at + e.extra, e.msg);
         }
     }
 
@@ -848,43 +958,7 @@ impl Cluster {
         } else {
             None
         };
-        for chip in &mut self.chips {
-            chip.reset_stats();
-            chip.set_fast_path(engine.fast_path);
-            chip.set_soa_scan(engine.soa);
-            chip.set_trace(engine.trace);
-        }
-        self.trace_cfg = engine.trace;
-        self.tracing = engine.trace.level != TraceLevel::Off;
-        self.tr_engine = NodeRecorder::new(engine.trace);
-        self.tr_stalls = StallLedger::new(self.num_nodes());
-        self.use_quiet = engine.fast_forward || engine.fast_path || engine.burst;
-        self.quiet.iter_mut().for_each(|q| *q = false);
-        self.records.clear();
-        // arm step 0
-        for node in 0..self.num_nodes() {
-            self.sync[node].begin_step(self.state[node].step);
-            self.chips[node].begin_force_phase();
-            self.phase_epoch += 1;
-            self.state[node].phase = NodePhase::Force;
-            self.state[node].phase_start = self.cycle;
-            self.state[node].last_pos_flushed = false;
-            if let Some((s, d)) = self.cfg.straggler {
-                if s == node {
-                    self.stalls[node] = d;
-                }
-            }
-            if self.tracing {
-                let cycle = self.cycle;
-                let step = self.state[node].step;
-                let stall = self.stalls[node];
-                let tr = self.chips[node].trace_mut();
-                tr.push(cycle, EventKind::PhaseBegin { phase: PhaseId::Force, step });
-                if stall > 0 {
-                    tr.push(cycle, EventKind::StallInjected { cycles: stall });
-                }
-            }
-        }
+        self.arm_run(engine);
 
         // Retry throttle for burst attempts: after a failed window scan
         // (W below the worthwhile threshold) the blocking condition — a
@@ -928,27 +1002,7 @@ impl Cluster {
             if self.tracing {
                 self.attribute_cycle();
             }
-            for node in 0..self.num_nodes() {
-                if self.stalls[node] > 0 {
-                    self.stalls[node] -= 1;
-                    continue;
-                }
-                match self.state[node].phase {
-                    NodePhase::Force => self.force_exchange(node),
-                    NodePhase::Mu => self.mu_exchange(node, steps),
-                    NodePhase::BarrierBeforeMu => {
-                        if self.state[node].barrier_release.is_some_and(|r| self.cycle >= r) {
-                            self.enter_mu(node);
-                        }
-                    }
-                    NodePhase::BarrierBeforeForce => {
-                        if self.state[node].barrier_release.is_some_and(|r| self.cycle >= r) {
-                            self.enter_next_force(node);
-                        }
-                    }
-                    NodePhase::Done => {}
-                }
-            }
+            self.exchange_actions(steps);
             self.network_cycle();
             let delivered = self.deliver_due();
             self.cycle += 1;
@@ -1024,6 +1078,82 @@ impl Cluster {
         Ok(self.assemble_report(steps, self.cycle - run_start))
     }
 
+    /// Run prologue: reset per-run chip statistics and execution flags,
+    /// initialize the flight recorder, and arm every owned node's force
+    /// phase for its current step. Extracted from
+    /// [`Cluster::try_run_with`] so a shard worker — which arms only the
+    /// nodes it owns — executes the identical sequence.
+    pub(crate) fn arm_run(&mut self, engine: &EngineConfig) {
+        let owned = self.owned_range();
+        for node in owned.clone() {
+            let chip = &mut self.chips[node];
+            chip.reset_stats();
+            chip.set_fast_path(engine.fast_path);
+            chip.set_soa_scan(engine.soa);
+            chip.set_trace(engine.trace);
+        }
+        self.trace_cfg = engine.trace;
+        self.tracing = engine.trace.level != TraceLevel::Off;
+        self.tr_engine = NodeRecorder::new(engine.trace);
+        self.tr_stalls = StallLedger::new(self.num_nodes());
+        self.use_quiet = engine.fast_forward || engine.fast_path || engine.burst;
+        self.quiet.iter_mut().for_each(|q| *q = false);
+        self.records.clear();
+        // arm step 0
+        for node in owned {
+            self.sync[node].begin_step(self.state[node].step);
+            self.chips[node].begin_force_phase();
+            self.phase_epoch += 1;
+            self.state[node].phase = NodePhase::Force;
+            self.state[node].phase_start = self.cycle;
+            self.state[node].last_pos_flushed = false;
+            if let Some((s, d)) = self.cfg.straggler {
+                if s == node {
+                    self.stalls[node] = d;
+                }
+            }
+            if self.tracing {
+                let cycle = self.cycle;
+                let step = self.state[node].step;
+                let stall = self.stalls[node];
+                let tr = self.chips[node].trace_mut();
+                tr.push(cycle, EventKind::PhaseBegin { phase: PhaseId::Force, step });
+                if stall > 0 {
+                    tr.push(cycle, EventKind::StallInjected { cycles: stall });
+                }
+            }
+        }
+    }
+
+    /// Exchange phase for every owned node: decrement injected stalls,
+    /// drain packetizers and flush sync markers, and fire barrier /
+    /// phase transitions. Extracted from the [`Cluster::try_run_with`]
+    /// cycle loop for reuse by the shard workers; touches only owned
+    /// node state, so shard-local execution is oracle-identical.
+    pub(crate) fn exchange_actions(&mut self, steps: u64) {
+        for node in self.owned_range() {
+            if self.stalls[node] > 0 {
+                self.stalls[node] -= 1;
+                continue;
+            }
+            match self.state[node].phase {
+                NodePhase::Force => self.force_exchange(node),
+                NodePhase::Mu => self.mu_exchange(node, steps),
+                NodePhase::BarrierBeforeMu => {
+                    if self.state[node].barrier_release.is_some_and(|r| self.cycle >= r) {
+                        self.enter_mu(node);
+                    }
+                }
+                NodePhase::BarrierBeforeForce => {
+                    if self.state[node].barrier_release.is_some_and(|r| self.cycle >= r) {
+                        self.enter_next_force(node);
+                    }
+                }
+                NodePhase::Done => {}
+            }
+        }
+    }
+
     fn stalled(&self) -> ClusterStalled {
         ClusterStalled {
             at_cycle: self.cycle,
@@ -1060,7 +1190,7 @@ impl Cluster {
     /// its own state only. Fans out over the pool when one is configured;
     /// chip independence makes the result order-invariant. Returns whether
     /// any chip ticked this cycle.
-    fn compute_phase(&mut self, pool: Option<&ThreadPool>) -> bool {
+    pub(crate) fn compute_phase(&mut self, pool: Option<&ThreadPool>) -> bool {
         let tracing = self.tracing;
         let now = self.cycle;
         if tracing {
@@ -1069,7 +1199,7 @@ impl Cluster {
         match pool {
             None => {
                 let mut stepped = false;
-                for node in 0..self.num_nodes() {
+                for node in self.owned_range() {
                     if self.stalls[node] > 0 || (self.use_quiet && self.quiet[node]) {
                         continue;
                     }
@@ -1107,9 +1237,13 @@ impl Cluster {
             }
             Some(pool) => {
                 use rayon::prelude::*;
+                let owned = self.owned_range();
                 let Cluster { chips, state, stalls, quiet, use_quiet, ticked, .. } = self;
                 let mut jobs: Vec<(&mut TimedChip, bool)> = Vec::with_capacity(chips.len());
                 for (node, chip) in chips.iter_mut().enumerate() {
+                    if !owned.contains(&node) {
+                        continue;
+                    }
                     if stalls[node] > 0 || (*use_quiet && quiet[node]) {
                         continue;
                     }
@@ -1164,8 +1298,8 @@ impl Cluster {
     /// injected stalls are observed before their per-cycle decrement, and
     /// skips a node's phase-arming cycle (`cycle == phase_start`) so the
     /// per-step totals sum exactly to the node's recorded `force_cycles`.
-    fn attribute_cycle(&mut self) {
-        for node in 0..self.num_nodes() {
+    pub(crate) fn attribute_cycle(&mut self) {
+        for node in self.owned_range() {
             let st = &self.state[node];
             if st.phase != NodePhase::Force || self.cycle <= st.phase_start {
                 continue;
@@ -1227,7 +1361,7 @@ impl Cluster {
     /// whole window, so its single-cycle cause holds `w` times. `busy` is
     /// ascending (node-order scan).
     fn attribute_burst(&mut self, busy: &[usize], w: u64) {
-        for node in 0..self.num_nodes() {
+        for node in self.owned_range() {
             let st = &self.state[node];
             if st.phase != NodePhase::Force {
                 continue;
@@ -1248,7 +1382,7 @@ impl Cluster {
     /// Must run before the jump's stall decrement (classification reads
     /// pre-decrement stalls, exactly like the per-cycle path).
     fn attribute_jump(&mut self, delta: u64) {
-        for node in 0..self.num_nodes() {
+        for node in self.owned_range() {
             let st = &self.state[node];
             if st.phase != NodePhase::Force {
                 continue;
@@ -1536,10 +1670,10 @@ impl Cluster {
     /// deliveries — and the caller never invokes this scan on a cycle
     /// that delivered something, so every delivery-enabled exchange
     /// action gets its follow-up cycle before any jump is considered.
-    fn next_event_cycle(&self) -> NextEvent {
+    pub(crate) fn next_event_cycle(&self) -> NextEvent {
         let mut next: Option<u64> = None;
         let mut note = |c: u64| next = Some(next.map_or(c, |n: u64| n.min(c)));
-        for node in 0..self.num_nodes() {
+        for node in self.owned_range() {
             if self.stalls[node] > 0 {
                 note(self.cycle + self.stalls[node]);
             } else {
@@ -1596,7 +1730,7 @@ impl Cluster {
 
     /// Jump the global clock to `target`, emulating the only side effect
     /// the skipped cycles would have had: one stall decrement per cycle.
-    fn jump_to(&mut self, target: u64) {
+    pub(crate) fn jump_to(&mut self, target: u64) {
         if target <= self.cycle {
             return;
         }
@@ -1806,8 +1940,11 @@ impl Cluster {
 
     // ------------------------------------------------------------------
 
-    fn network_cycle(&mut self) {
-        for node in 0..self.num_nodes() {
+    pub(crate) fn network_cycle(&mut self) {
+        if let Some(ex) = &mut self.exchange {
+            ex.stage = 0;
+        }
+        for node in self.owned_range() {
             if let Some((peer, pkt)) = self.pos_pz[node].tick(self.cycle) {
                 self.note_packet_sent(node, ChannelId::Pos, peer, pkt.payloads.len(), pkt.last);
                 self.transmit(
@@ -1855,6 +1992,9 @@ impl Cluster {
             }
         }
         if self.rel.is_some() {
+            if let Some(ex) = &mut self.exchange {
+                ex.stage = 1;
+            }
             self.poll_retransmits();
         }
     }
@@ -1885,6 +2025,45 @@ impl Cluster {
         let channel = channel_id(kind);
         let to = peer as u32;
         let seq = d.seq;
+        if self.exchange.is_some() {
+            // Sharded capture: serialize on the owned source port now,
+            // defer destination-port admission to the cross-shard merge
+            // so every worker admits the same global (stage, src) order
+            // the oracle produces. Sharded runs refuse the legacy
+            // `ClusterConfig::loss` model (its global RNG draw order
+            // cannot be partitioned), so plain tx serialization matches
+            // the oracle's `send_lossy` exactly.
+            match outcome {
+                FaultOutcome::Deliver => {
+                    let arrive = self.fabric_tx(kind, node, peer);
+                    self.push_wire(node, peer, arrive, 0, NetMsg::Data(d));
+                }
+                FaultOutcome::Drop | FaultOutcome::Kill => {
+                    let kill = outcome == FaultOutcome::Kill;
+                    self.fabric_drop(kind, node);
+                    self.trace_node_event(node, EventKind::FaultDrop { channel, to, seq, kill });
+                }
+                FaultOutcome::Corrupt => {
+                    let arrive = self.fabric_tx(kind, node, peer);
+                    d.corrupt = true;
+                    self.push_wire(node, peer, arrive, 0, NetMsg::Data(d));
+                    self.trace_node_event(node, EventKind::FaultCorrupt { channel, to, seq });
+                }
+                FaultOutcome::Duplicate => {
+                    let at1 = self.fabric_tx(kind, node, peer);
+                    let at2 = self.fabric_tx(kind, node, peer);
+                    self.push_wire(node, peer, at1, 0, NetMsg::Data(d.clone()));
+                    self.push_wire(node, peer, at2, 0, NetMsg::Data(d));
+                    self.trace_node_event(node, EventKind::FaultDuplicate { channel, to, seq });
+                }
+                FaultOutcome::Delay(extra) => {
+                    let arrive = self.fabric_tx(kind, node, peer);
+                    self.push_wire(node, peer, arrive, extra, NetMsg::Data(d));
+                    self.trace_node_event(node, EventKind::FaultDelay { channel, to, seq, extra });
+                }
+            }
+            return;
+        }
         match outcome {
             FaultOutcome::Deliver => {
                 // `send_lossy` preserves the legacy `ClusterConfig::loss`
@@ -1925,7 +2104,7 @@ impl Cluster {
     fn poll_retransmits(&mut self) {
         const KINDS: [PacketKind; 3] =
             [PacketKind::Position, PacketKind::Force, PacketKind::Migration];
-        for node in 0..self.num_nodes() {
+        for node in self.owned_range() {
             let due = self.rel.as_ref().and_then(|r| r.next_retx_due(node));
             if due.is_none_or(|d| d > self.cycle) {
                 continue;
@@ -1978,6 +2157,47 @@ impl Cluster {
         };
         let channel = channel_id(kind);
         let msg = NetMsg::Ack { channel: kind, from: node, seq };
+        if self.exchange.is_some() {
+            match outcome {
+                FaultOutcome::Deliver => {
+                    let arrive = self.fabric_tx(kind, node, peer);
+                    self.push_wire(node, peer, arrive, 0, msg);
+                }
+                FaultOutcome::Drop | FaultOutcome::Kill => {
+                    self.fabric_drop(kind, node);
+                    self.trace_node_event(
+                        node,
+                        EventKind::FaultDrop { channel, to: peer as u32, seq, kill: false },
+                    );
+                }
+                FaultOutcome::Corrupt => {
+                    self.fabric_drop(kind, node);
+                    self.trace_node_event(
+                        node,
+                        EventKind::FaultCorrupt { channel, to: peer as u32, seq },
+                    );
+                }
+                FaultOutcome::Duplicate => {
+                    let at1 = self.fabric_tx(kind, node, peer);
+                    let at2 = self.fabric_tx(kind, node, peer);
+                    self.push_wire(node, peer, at1, 0, msg.clone());
+                    self.push_wire(node, peer, at2, 0, msg);
+                    self.trace_node_event(
+                        node,
+                        EventKind::FaultDuplicate { channel, to: peer as u32, seq },
+                    );
+                }
+                FaultOutcome::Delay(extra) => {
+                    let arrive = self.fabric_tx(kind, node, peer);
+                    self.push_wire(node, peer, arrive, extra, msg);
+                    self.trace_node_event(
+                        node,
+                        EventKind::FaultDelay { channel, to: peer as u32, seq, extra },
+                    );
+                }
+            }
+            return;
+        }
         match outcome {
             FaultOutcome::Deliver => {
                 let at = self.fabric_send(kind, node, peer);
@@ -2046,6 +2266,31 @@ impl Cluster {
         }
     }
 
+    /// Source half of a sharded fabric send: burn the tx port and return
+    /// the store-and-forward arrival cycle at the destination port. The
+    /// destination's owner completes admission in
+    /// [`Cluster::admit_wire_events`].
+    #[inline]
+    fn fabric_tx(&mut self, kind: PacketKind, src: usize, dst: usize) -> u64 {
+        match kind {
+            PacketKind::Force => self.frc_fabric.tx_serialize(self.cycle, src, dst),
+            _ => self.pos_fabric.tx_serialize(self.cycle, src, dst),
+        }
+    }
+
+    /// Capture one wire crossing into the shard exchange buffer.
+    fn push_wire(&mut self, src: usize, dst: usize, arrive: u64, extra: u64, msg: NetMsg) {
+        let ex = self.exchange.as_mut().expect("wire capture requires sharded mode");
+        ex.events.push(WireEvent {
+            stage: ex.stage,
+            src: src as u32,
+            dst: dst as u32,
+            arrive,
+            extra,
+            msg,
+        });
+    }
+
     /// Record a sync-tier event on a node's stream at the current cycle.
     #[inline]
     fn trace_node_event(&mut self, node: usize, ev: EventKind) {
@@ -2079,9 +2324,12 @@ impl Cluster {
     /// completing a sync phase, a flit re-awakening a chip) that only
     /// executes on the *next* cycle's exchange phase, so the fast-forward
     /// scan must never jump over the cycle that follows a delivery.
-    fn deliver_due(&mut self) -> bool {
+    pub(crate) fn deliver_due(&mut self) -> bool {
+        if let Some(ex) = &mut self.exchange {
+            ex.stage = 2;
+        }
         let mut delivered = false;
-        for node in 0..self.num_nodes() {
+        for node in self.owned_range() {
             while let Some(msg) = self.inbox[node].pop_due(self.cycle) {
                 delivered = true;
                 match msg {
@@ -2358,7 +2606,7 @@ impl Cluster {
     /// entirely when it carries no traffic faults): the resumed run
     /// strips the crash so it does not re-fire, and that must not read
     /// as a config change.
-    fn meta_writer(&self) -> fasda_ckpt::Writer {
+    pub(crate) fn meta_writer(&self) -> fasda_ckpt::Writer {
         use fasda_ckpt::crc32;
         let mut w = fasda_ckpt::Writer::new();
         let dbg = |s: String| crc32(s.as_bytes());

@@ -17,11 +17,12 @@ pub mod ckpt;
 pub mod driver;
 pub mod host;
 pub mod report;
+pub mod shard;
 pub mod wire;
 
 pub use ckpt::{
-    load_checkpoint, resume_latest, run_with_checkpoints, save_checkpoint, CheckpointConfig,
-    CheckpointedRun, CkptRunError, RunAccumulator,
+    latest_checkpoint, load_checkpoint, resume_latest, run_with_checkpoints, save_checkpoint,
+    CheckpointConfig, CheckpointedRun, CkptRunError, RunAccumulator,
 };
 pub use driver::{
     Cluster, ClusterConfig, ClusterError, ClusterStalled, CrashInjected, DeadlockDetected,
@@ -33,6 +34,10 @@ pub use fasda_net::reliable::RelConfig;
 pub use report::RelSummary;
 pub use host::{HostController, HostRun};
 pub use report::{ClusterRunReport, NodeStepReport};
+pub use shard::{
+    coordinator_main, run_sharded, shard_ranges, validate_sharding, worker_main, ShardError,
+    ShardOpts, ShardedRun,
+};
 
 // Re-export the flight-recorder vocabulary so downstream users can
 // configure tracing and consume traces without a direct `fasda-trace`

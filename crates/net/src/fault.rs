@@ -346,6 +346,24 @@ impl FaultState {
         self.injected.iter().sum()
     }
 
+    /// Adopt the per-link RNG streams and marker counters of every link
+    /// whose **source** node satisfies `owns` from `other`, leaving other
+    /// links untouched. Fault decisions are taken at transmit time by the
+    /// shard owning the source node, so the source-sliced link state is
+    /// exactly what a checkpoint splice must take from each worker. The
+    /// `injected` tallies are cross-link sums and are reconciled
+    /// separately by the caller.
+    pub fn adopt_links_from(&mut self, other: &FaultState, owns: impl Fn(u32) -> bool) {
+        self.streams.retain(|&(_, src, _), _| !owns(src));
+        self.markers_sent.retain(|&(_, src, _), _| !owns(src));
+        for (&k, &v) in other.streams.iter().filter(|(&(_, src, _), _)| owns(src)) {
+            self.streams.insert(k, v);
+        }
+        for (&k, &v) in other.markers_sent.iter().filter(|(&(_, src, _), _)| owns(src)) {
+            self.markers_sent.insert(k, v);
+        }
+    }
+
     /// Derive a well-mixed per-link seed from the plan seed and link
     /// identity (splitmix64 over a golden-ratio sequence position).
     fn derive_seed(&self, channel: FaultChannel, src: u32, dst: u32) -> u64 {

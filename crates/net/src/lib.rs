@@ -36,6 +36,7 @@ pub mod reliable;
 pub mod switch;
 pub mod sync;
 pub mod topology;
+pub mod transport;
 
 pub use encap::Packetizer;
 pub use fault::{FaultChannel, FaultOutcome, FaultPlan, FaultState, LinkFaults, MarkerKill};
@@ -44,3 +45,4 @@ pub use reliable::{Accept, LinkReceiver, LinkSender, RelConfig};
 pub use switch::SwitchFabric;
 pub use sync::{BulkBarrier, ChainedSync, SyncMode};
 pub use topology::Topology;
+pub use transport::{FrameLink, LinkError, MemLink, SocketLink};

@@ -107,21 +107,55 @@ impl SwitchFabric {
     }
 
     /// Send one 512-bit packet at `cycle`; returns its delivery cycle.
+    ///
+    /// Equivalent to [`SwitchFabric::tx_serialize`] followed by
+    /// [`SwitchFabric::rx_admit`] — the sharded engine performs the two
+    /// halves on different processes (the source shard serializes, the
+    /// destination shard admits) and this in-process composition is the
+    /// oracle they must reproduce bit for bit.
     pub fn send(&mut self, cycle: Cycle, src: NodeId, dst: NodeId) -> Cycle {
+        let arrive = self.tx_serialize(cycle, src, dst);
+        self.rx_admit(arrive, dst)
+    }
+
+    /// Source-side half of a send: serialize on the source port and fly
+    /// to `dst`. Returns the arrival cycle at the destination port, the
+    /// input to [`SwitchFabric::rx_admit`]. Mutates only source-port
+    /// state, so a shard owning `src` can run it without seeing `dst`'s
+    /// port.
+    pub fn tx_serialize(&mut self, cycle: Cycle, src: NodeId, dst: NodeId) -> Cycle {
         let ser = (PACKET_BITS as f64 / self.bits_per_cycle).ceil() as u64;
-        // serialization on the source port
         let tx_start = cycle.max(self.tx_free[src]);
         let tx_done = tx_start + ser;
         self.tx_free[src] = tx_done;
-        // flight
-        let arrive = tx_done + self.topology.path_latency(src, dst);
-        // destination-port contention
+        tx_done + self.topology.path_latency(src, dst)
+    }
+
+    /// Destination-side half of a send: contend for the destination port
+    /// from `arrive` onward. Returns the delivery cycle. Counts the
+    /// packet (traffic accounting lives on the admitting side, so shard
+    /// tallies sum to the oracle's counters).
+    pub fn rx_admit(&mut self, arrive: Cycle, dst: NodeId) -> Cycle {
+        let ser = (PACKET_BITS as f64 / self.bits_per_cycle).ceil() as u64;
         let rx_start = arrive.max(self.rx_free[dst]);
         let rx_done = rx_start + ser;
         self.rx_free[dst] = rx_done;
         self.bits_sent += PACKET_BITS;
         self.packets += 1;
         rx_done
+    }
+
+    /// One node's (tx_free, rx_free) port clocks — the per-node slice of
+    /// fabric state a shard owns.
+    pub fn port_state(&self, node: NodeId) -> (Cycle, Cycle) {
+        (self.tx_free[node], self.rx_free[node])
+    }
+
+    /// Overwrite one node's port clocks (checkpoint splicing: the
+    /// coordinator adopts each node's ports from the owning shard).
+    pub fn set_port_state(&mut self, node: NodeId, tx_free: Cycle, rx_free: Cycle) {
+        self.tx_free[node] = tx_free;
+        self.rx_free[node] = rx_free;
     }
 
     /// Average offered bandwidth in bits/cycle over a window.

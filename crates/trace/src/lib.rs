@@ -35,6 +35,7 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 pub mod stall;
 
 pub use chrome::chrome_trace;

@@ -111,7 +111,7 @@ impl StepStalls {
 /// Per-node, per-step stall attribution for a run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StallLedger {
-    nodes: Vec<BTreeMap<u64, StepStalls>>,
+    pub(crate) nodes: Vec<BTreeMap<u64, StepStalls>>,
 }
 
 impl StallLedger {
@@ -152,6 +152,23 @@ impl StallLedger {
     /// Iterate one node's records in step order.
     pub fn steps(&self, node: usize) -> impl Iterator<Item = (u64, &StepStalls)> {
         self.nodes[node].iter().map(|(s, r)| (*s, r))
+    }
+
+    /// Fold another ledger into this one (shard fold: each worker
+    /// attributes only the nodes it owns, so entries never collide — but
+    /// overlapping (node, step) records merge additively, matching what
+    /// a single in-process run would have attributed).
+    pub fn absorb(&mut self, other: &StallLedger) {
+        assert_eq!(
+            self.nodes.len(),
+            other.nodes.len(),
+            "ledger node counts differ"
+        );
+        for (mine, theirs) in self.nodes.iter_mut().zip(other.nodes.iter()) {
+            for (&step, rec) in theirs {
+                mine.entry(step).or_default().merge(rec);
+            }
+        }
     }
 
     /// Whole-run totals for one node.
