@@ -182,8 +182,8 @@ fn main() {
         dp.fused_scan_into(&soa, nbr, nbr_elem, 0, &mut planned);
         let mut acc = [0.0f32; 3];
         for h in &planned {
-            for k in 0..3 {
-                acc[k] += h.force[k];
+            for (a, f) in acc.iter_mut().zip(h.force) {
+                *a += f;
             }
         }
         acc

@@ -35,8 +35,8 @@
 use fasda_bench::{rule, Args};
 use fasda_cluster::{
     resume_latest, run_with_checkpoints, save_checkpoint, CheckpointConfig, Cluster,
-    ClusterConfig, ClusterError, CkptRunError, EngineConfig, FaultPlan, RelConfig,
-    RunAccumulator,
+    ClusterConfig, ClusterError, CkptRunError, EngineConfig, FaultPlan, ObsLive, ObsSinkConfig,
+    RelConfig, RunAccumulator,
 };
 use fasda_core::config::ChipConfig;
 use fasda_md::element::Element;
@@ -231,6 +231,74 @@ fn main() {
         .build();
 
     merge_section(&out, "chaos", chaos);
+
+    rule("heartbeat continuity under loss");
+    // The in-run sampler beats on step boundaries, so a retransmission
+    // storm stretches *cycles* but must never open a gap in the beat
+    // stream: with cadence 1 no two consecutive beats (or the run's
+    // end) may be more than 2 steps apart.
+    let every = 1u64;
+    let limit = 2 * every;
+    let scratch = std::env::temp_dir().join(format!("fasda-chaos-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    println!(
+        "{:>6} {:>7} {:>9} {:>10}",
+        "drop", "beats", "max-gap", "gap-limit"
+    );
+    let mut cont = Vec::new();
+    for &rate in &[0.0, 0.05] {
+        let mut c = cfg.clone().with_reliability(RelConfig::new(2_048, 16_384));
+        if rate > 0.0 {
+            c = c.with_faults(FaultPlan::drop_only(rate, seed));
+        }
+        let beats_path = scratch.join(format!("beats-{}.jsonl", (rate * 100.0) as u32));
+        let sinks = ObsSinkConfig { heartbeat_out: Some(beats_path.clone()), prom_out: None };
+        let mut cluster = Cluster::new(c, &sys);
+        cluster.attach_obs(Box::new(ObsLive::new(every, &sinks).expect("beat sink opens")));
+        cluster
+            .try_run_with(steps, 2_000_000_000, &engine)
+            .expect("lossy heartbeat run converges");
+        let text = std::fs::read_to_string(&beats_path).expect("beat stream");
+        let seen: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                let rec = Json::parse(l).expect("beat record parses");
+                rec.get("step").unwrap().as_i64().expect("step field") as u64
+            })
+            .collect();
+        assert!(!seen.is_empty(), "drop {rate}: no heartbeats emitted");
+        let mut max_gap = seen[0]; // start-of-run to first beat
+        for w in seen.windows(2) {
+            max_gap = max_gap.max(w[1] - w[0]);
+        }
+        max_gap = max_gap.max(steps - seen.last().unwrap()); // last beat to end
+        assert!(
+            max_gap <= limit,
+            "drop {rate}: heartbeat gap of {max_gap} steps exceeds {limit} (2x cadence)"
+        );
+        println!("{:>6} {:>7} {:>9} {:>10}", rate, seen.len(), max_gap, limit);
+        cont.push(
+            Json::obj()
+                .field("drop_rate", Json::fixed(rate, 3))
+                .field("beats", Json::uint(seen.len() as u64))
+                .field("max_gap_steps", Json::uint(max_gap))
+                .build(),
+        );
+    }
+    println!("\nno heartbeat gap exceeded 2x the cadence");
+    let _ = std::fs::remove_dir_all(&scratch);
+    merge_section(
+        &out,
+        "heartbeat_continuity",
+        Json::obj()
+            .field("workload", "fig16-6x6x6-8fpga")
+            .field("smoke", smoke)
+            .field("steps", Json::uint(steps))
+            .field("cadence_steps", Json::uint(every))
+            .field("gap_limit_steps", Json::uint(limit))
+            .field("rows", Json::Arr(cont))
+            .build(),
+    );
 }
 
 /// `--recovery`: the cost of checkpointing and of coming back from the

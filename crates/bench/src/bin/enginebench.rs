@@ -51,8 +51,10 @@
 
 use fasda_bench::{rule, Args};
 use fasda_cluster::{
-    run_sharded, Cluster, ClusterConfig, ClusterRunReport, EngineConfig, ShardOpts,
+    measured_from, model_input, run_sharded, Cluster, ClusterConfig, ClusterRunReport,
+    EngineConfig, ObsLive, ObsSinkConfig, ShardOpts, TraceConfig, TraceLevel,
 };
+use fasda_obs::model::{modelcheck_json, predict, Divergence, Gate};
 use fasda_trace::Json;
 use fasda_core::config::ChipConfig;
 use fasda_md::element::Element;
@@ -455,6 +457,115 @@ fn main() {
         (tb, ta)
     };
 
+    // Live-telemetry overhead (fasda-obs): the default engine with an
+    // armed in-run sampler but no sinks — the per-cycle cost is one
+    // inlined `Option<Box<ObsLive>>` check plus a per-beat registry
+    // refresh, and the report must stay bit-identical. Full runs gate
+    // the CPU overhead at <1% of the dense run; smoke runs record it
+    // (sub-tick timings) and gate identity only.
+    rule("obs overhead (dense)");
+    let (obs_timing, obs_overhead) = {
+        let oracle = dense_oracle.as_ref().expect("dense scenario measured");
+        let mut with_obs = Timing::WORST;
+        for _ in 0..reps {
+            let mut cluster = Cluster::new(scenarios[0].cfg.clone(), &sys);
+            let live = ObsLive::new(1, &ObsSinkConfig::default()).expect("sinkless sampler");
+            cluster.attach_obs(Box::new(live));
+            let t0 = Instant::now();
+            let c0 = cpu_seconds();
+            let r = cluster.run_with(steps, &engines.full);
+            with_obs.fold_best(Timing {
+                wall: t0.elapsed().as_secs_f64(),
+                cpu: cpu_seconds() - c0,
+            });
+            assert_eq!(&r, oracle, "obs sampler must not perturb the run");
+        }
+        let ratio = outcomes[0].full.ratio_over(with_obs);
+        // Smoke runs finish inside one 10 ms CPU tick; fall back to wall.
+        let overhead = if ratio.is_finite() {
+            ratio - 1.0
+        } else {
+            with_obs.wall / outcomes[0].full.wall - 1.0
+        };
+        println!(
+            "default engine       {:>10.3} s wall {:>8.2} s cpu\n\
+             + armed obs, no sink {:>10.3} s wall {:>8.2} s cpu   ({:+.2}% overhead)",
+            outcomes[0].full.wall,
+            outcomes[0].full.cpu,
+            with_obs.wall,
+            with_obs.cpu,
+            overhead * 100.0
+        );
+        if !smoke {
+            assert!(
+                overhead < 0.01,
+                "obs overhead {overhead:.4} exceeds 1% of the dense run"
+            );
+        }
+        (with_obs, overhead)
+    };
+
+    // §5 performance-model check (fasda-obs::model): predict cycles,
+    // occupancy, packet counts, and the stall mix from the configuration
+    // alone, measure the same quantities from one traced run, and gate
+    // the divergence at the documented thresholds (`Gate::default`).
+    // The traced run is separate from the timed ones so ledger cost
+    // never skews the timings above.
+    rule("modelcheck (dense, §5 model)");
+    let modelcheck = {
+        let engine = EngineConfig::serial().with_trace(TraceConfig {
+            level: TraceLevel::Sync,
+            ..TraceConfig::full()
+        });
+        let mut cluster = Cluster::new(scenarios[0].cfg.clone(), &sys);
+        let report = cluster.run_with(steps, &engine);
+        let trace = cluster.take_trace().expect("tracing on");
+        let mean_per_cell = sys.len() as f64 / 216.0;
+        let input = model_input(&scenarios[0].cfg, (6, 6, 6), mean_per_cell);
+        let pred = predict(&input);
+        let meas = measured_from(&report, Some(&trace.stalls));
+        let gate = Gate::default();
+        let div = Divergence::compare(&pred, &meas);
+        let violations = div.violations(&gate, &meas);
+        println!(
+            "cycles/step {:>8.0} predicted {:>8.0} measured ({:+.1}%)\n\
+             occupancy   {:>8.3} predicted {:>8.3} measured ({:+.3} abs)\n\
+             pos pkts/st {:>8.0} predicted {:>8.0} measured ({:+.1}%)\n\
+             frc pkts/st {:>8.0} predicted {:>8.0} measured ({:+.1}%)\n\
+             sync tail   {:>8.0} predicted {:>8.0} measured\n\
+             force cyc   {:>8.0} predicted {:>8.0} measured\n\
+             worst stall-share abs error {:.3}",
+            pred.cycles_per_step,
+            meas.cycles_per_step,
+            div.cycles_rel * 100.0,
+            pred.occupancy,
+            meas.occupancy,
+            div.occupancy_abs,
+            pred.pos_packets_per_step,
+            meas.pos_packets_per_step,
+            div.pos_packets_rel * 100.0,
+            pred.frc_packets_per_step,
+            meas.frc_packets_per_step,
+            div.frc_packets_rel * 100.0,
+            pred.sync_tail,
+            meas.sync_tail,
+            pred.force_cycles,
+            meas.force_cycles,
+            div.max_stall_share_abs()
+        );
+        let doc = modelcheck_json(&pred, &meas, &gate);
+        if std::env::var_os("FASDA_MODELCHECK_DEBUG").is_some() {
+            eprintln!("{input:#?}");
+            eprintln!("{}", doc.pretty());
+        }
+        assert!(
+            violations.is_empty(),
+            "§5 model diverged beyond gate: {violations:?}"
+        );
+        println!("gate: pass");
+        doc
+    };
+
     // Per-kernel datapath throughput (shared with datapathbench): the
     // raw cost of the scalar walk vs the fused filter→force kernel the
     // default engine dispatches through.
@@ -572,6 +683,17 @@ fn main() {
             )
             .build(),
     );
+    doc = doc.field(
+        "obs_overhead",
+        Json::obj()
+            .field("wall_seconds", Json::fixed(obs_timing.wall, 6))
+            .field("cpu_seconds", Json::fixed(obs_timing.cpu, 6))
+            .field("overhead_vs_default", Json::fixed(obs_overhead, 6))
+            .field("gated", !smoke)
+            .field("limit", 0.01)
+            .build(),
+    );
+    doc = doc.field("modelcheck", modelcheck);
     let doc = doc
         .field(
             "datapath_kernels",

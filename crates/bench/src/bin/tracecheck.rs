@@ -16,8 +16,18 @@
 //!   `retransmit` / `wait-ack` classes) present and summing exactly to
 //!   `idle`.
 //!
+//! With `--beats beats.jsonl` the heartbeat stream from
+//! `--heartbeat-out` is also validated: every line parses, record
+//! types are `beat`/`fleet`/`final`, beat counters strictly increase,
+//! steps and cycle counters never decrease, at most one `final` record
+//! closes the stream — and when the metrics document carries an `obs`
+//! section, the final record's live totals must equal it exactly (the
+//! live-vs-post-hoc identity the CI gates). `--prom scrape.prom`
+//! parses the Prometheus text exposition file.
+//!
 //! Exits non-zero with a message on the first violation.
 
+use fasda_obs::parse_jsonl;
 use fasda_trace::{Json, StallCause};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -157,10 +167,137 @@ fn check_metrics(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate a heartbeat JSONL stream (and, when the metrics document
+/// carries an `obs` section, the live-vs-post-hoc totals identity).
+fn check_beats(path: &str, metrics: &Json) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let records = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    if records.is_empty() {
+        return Err(format!("{path}: heartbeat stream is empty"));
+    }
+    let mut last_beat = 0i64;
+    let mut last_step = -1i64;
+    let mut last_cycles = -1i64;
+    let mut finals = 0usize;
+    for (i, rec) in records.iter().enumerate() {
+        let kind = rec
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: record {i} has no type"))?;
+        match kind {
+            "beat" | "fleet" => {
+                if finals > 0 {
+                    return Err(format!("{path}: record {i}: {kind} after final"));
+                }
+                let beat = rec
+                    .get("beat")
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| format!("{path}: record {i} has no beat counter"))?;
+                if beat <= last_beat {
+                    return Err(format!(
+                        "{path}: record {i}: beat {beat} not after {last_beat}"
+                    ));
+                }
+                last_beat = beat;
+                let step = rec
+                    .get("step")
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| format!("{path}: record {i} has no step"))?;
+                if step < last_step {
+                    return Err(format!("{path}: record {i}: step went backwards"));
+                }
+                last_step = step;
+                if let Some(cycles) = rec
+                    .get("counters")
+                    .and_then(|c| c.get("cycles"))
+                    .and_then(Json::as_i64)
+                {
+                    if cycles < last_cycles {
+                        return Err(format!("{path}: record {i}: cycle counter decreased"));
+                    }
+                    last_cycles = cycles;
+                }
+            }
+            "final" => {
+                finals += 1;
+                if i + 1 != records.len() {
+                    return Err(format!("{path}: final record is not last"));
+                }
+                if let Some(obs) = metrics.get("obs") {
+                    for section in ["counters", "hists"] {
+                        if rec.get(section) != obs.get(section) {
+                            return Err(format!(
+                                "{path}: final record {section} differ from the metrics \
+                                 document's obs section — live totals drifted from post-hoc"
+                            ));
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("{path}: record {i}: unknown type {other:?}")),
+        }
+    }
+    println!(
+        "beats ok: {} records ({} final{})",
+        records.len(),
+        finals,
+        if metrics.get("obs").is_some() { ", live totals match metrics obs section" } else { "" }
+    );
+    Ok(())
+}
+
+/// Parse a Prometheus text-exposition scrape file: comments or
+/// `name[{labels}] value` lines, `fasda`-prefixed names, float values.
+fn check_prom(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate().filter(|(_, l)| !l.is_empty()) {
+        if line.starts_with("# TYPE ") || line.starts_with("# HELP ") {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("{path}: line {}: no sample value", i + 1))?;
+        if !name.starts_with("fasda") {
+            return Err(format!("{path}: line {}: unprefixed metric {name}", i + 1));
+        }
+        if let Some(open) = name.find('{') {
+            if !name.ends_with('}') {
+                return Err(format!("{path}: line {}: unterminated label set", i + 1));
+            }
+            if name[open + 1..name.len() - 1].is_empty() {
+                return Err(format!("{path}: line {}: empty label set", i + 1));
+            }
+        }
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("{path}: line {}: bad sample value {value:?}", i + 1))?;
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err(format!("{path}: scrape file has no samples"));
+    }
+    println!("prom ok: {samples} samples");
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut take_opt = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            return None; // flag stays put → the usage check below fires
+        }
+        args.remove(i);
+        Some(args.remove(i))
+    };
+    let beats_path = take_opt("--beats");
+    let prom_path = take_opt("--prom");
     let [trace_path, metrics_path] = args.as_slice() else {
-        eprintln!("usage: tracecheck <run.trace.json> <run.metrics.json>");
+        eprintln!(
+            "usage: tracecheck <run.trace.json> <run.metrics.json> \
+             [--beats beats.jsonl] [--prom scrape.prom]"
+        );
         return ExitCode::from(2);
     };
     let trace = match load(trace_path) {
@@ -176,6 +313,16 @@ fn main() -> ExitCode {
     }
     if let Err(e) = check_metrics(&metrics) {
         return fail(&e);
+    }
+    if let Some(path) = beats_path {
+        if let Err(e) = check_beats(&path, &metrics) {
+            return fail(&e);
+        }
+    }
+    if let Some(path) = prom_path {
+        if let Err(e) = check_prom(&path) {
+            return fail(&e);
+        }
     }
     ExitCode::SUCCESS
 }

@@ -117,8 +117,8 @@ pub fn measure_kernels(min: Duration) -> KernelThroughput {
         dp.fused_scan_into(&soa, nbr, nbr_elem, 0, &mut hits);
         let mut acc = [0.0f32; 3];
         for h in &hits {
-            for k in 0..3 {
-                acc[k] += h.force[k];
+            for (a, f) in acc.iter_mut().zip(h.force) {
+                *a += f;
             }
         }
         acc

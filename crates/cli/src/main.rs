@@ -17,9 +17,10 @@ use fasda_cluster::ckpt::{
     RunAccumulator,
 };
 use fasda_cluster::{
-    chrome_trace, coordinator_main, stall_json, trace_summary_json, worker_main, Cluster,
-    ClusterConfig, EngineConfig, FaultPlan, HostController, Json, RelConfig, ShardOpts,
-    TraceConfig, TraceLevel,
+    chrome_trace, coordinator_main, emit_final, final_totals_json, shard_ranges, stall_json,
+    trace_summary_json_with, worker_main, Cluster, ClusterConfig, ClusterRunReport,
+    EngineConfig, FaultPlan, HostController, Json, ObsLive, ObsSinkConfig, RelConfig,
+    ShardOpts, StallLedger, Trace, TraceConfig, TraceLevel,
 };
 use fasda_core::config::{ChipConfig, DesignVariant};
 use fasda_core::geometry::{ChipCoord, ChipGeometry};
@@ -83,7 +84,91 @@ fn engine(opts: &Opts) -> Result<EngineConfig, String> {
         e
     };
     e = e.with_trace(trace_config(opts)?);
+    e = e.with_heartbeat_every(obs_opts(opts)?.every);
     Ok(e)
+}
+
+/// Live-telemetry options (see DESIGN.md §12). `--heartbeat-out` /
+/// `--prom-out` without an explicit `--heartbeat-every` default to a
+/// beat per step; `--obs-out` writes the engine-invariant final totals
+/// document after the run.
+struct ObsOpts {
+    /// Heartbeat cadence in completed steps (0 = off).
+    every: u64,
+    sinks: ObsSinkConfig,
+    obs_out: Option<String>,
+}
+
+impl ObsOpts {
+    /// Whether any obs surface was requested — gates the optional
+    /// metrics sections so obs-free runs stay byte-identical to
+    /// pre-telemetry output.
+    fn armed(&self) -> bool {
+        self.every > 0 || self.obs_out.is_some()
+    }
+}
+
+fn obs_opts(opts: &Opts) -> Result<ObsOpts, String> {
+    let sinks = ObsSinkConfig {
+        heartbeat_out: opts.get("--heartbeat-out").map(std::path::PathBuf::from),
+        prom_out: opts.get("--prom-out").map(std::path::PathBuf::from),
+    };
+    let every = match opts.get("--heartbeat-every") {
+        Some(n) => {
+            let n: u64 = n.parse().map_err(|_| "bad --heartbeat-every")?;
+            if n == 0 {
+                return Err("--heartbeat-every must be >= 1 (omit the flag to disable)".into());
+            }
+            n
+        }
+        None if sinks.any() => 1,
+        None => 0,
+    };
+    Ok(ObsOpts { every, sinks, obs_out: opts.get("--obs-out").map(String::from) })
+}
+
+/// Whether any obs flag is present — used before [`ObsOpts`] parsing to
+/// pick the implied trace level (heartbeat stall breakdowns and the
+/// final totals need the live ledger, i.e. at least `sync` tracing).
+fn obs_flags_present(opts: &Opts) -> bool {
+    ["--heartbeat-every", "--heartbeat-out", "--prom-out", "--obs-out"]
+        .iter()
+        .any(|f| opts.has(f))
+}
+
+/// Fold per-segment stall ledgers into whole-run totals (checkpointed
+/// and sharded runs produce one trace per segment).
+fn folded_stalls(traces: &[Trace], nodes: usize) -> Option<StallLedger> {
+    if traces.is_empty() {
+        return None;
+    }
+    let mut folded = StallLedger::new(nodes);
+    for t in traces {
+        folded.absorb(&t.stalls);
+    }
+    Some(folded)
+}
+
+/// Post-run obs surfaces: append the `final` record to the heartbeat
+/// stream, refresh the scrape file, and write the `--obs-out` totals
+/// document. All three derive from [`final_totals_json`] — a pure
+/// function of the (engine- and shard-invariant) report and ledger, so
+/// the artifacts byte-match across engines and shard counts.
+fn finish_obs(
+    obs: &ObsOpts,
+    report: &ClusterRunReport,
+    stalls: Option<&StallLedger>,
+) -> Result<(), String> {
+    if !obs.armed() {
+        return Ok(());
+    }
+    emit_final(&obs.sinks, report, stalls).map_err(|e| e.to_string())?;
+    if let Some(out) = &obs.obs_out {
+        std::fs::write(out, final_totals_json(report, stalls).pretty())
+            .map_err(|e| e.to_string())?;
+        println!("wrote final live-metrics totals to {out}");
+    }
+    Ok(())
 }
 
 /// `--trace-level off|sync|full` → flight-recorder configuration. When
@@ -98,6 +183,7 @@ fn trace_config(opts: &Opts) -> Result<TraceConfig, String> {
         Some("full") => TraceLevel::Full,
         Some(other) => return Err(format!("unknown trace level '{other}'")),
         None if opts.get("--trace-out").is_some() => TraceLevel::Sync,
+        None if obs_flags_present(opts) => TraceLevel::Sync,
         None => TraceLevel::Off,
     };
     Ok(TraceConfig {
@@ -116,6 +202,8 @@ fn usage() -> ExitCode {
          \x20           [--resume FILE|latest] [--dump-state FILE]\n\
          \x20           [--trace-out run.trace.json] [--metrics-out run.metrics.json]\n\
          \x20           [--trace-level off|sync|full]\n\
+         \x20           [--heartbeat-every N] [--heartbeat-out beats.jsonl]\n\
+         \x20           [--prom-out scrape.prom] [--obs-out totals.json]\n\
          \x20 fasda generate --total 444 --out system.pdb [--per-cell 64] [--seed S]\n\
          \x20 fasda info --per-fpga 222 --total 444 [--variant A|B|C]\n\
          \n\
@@ -128,7 +216,14 @@ fn usage() -> ExitCode {
          --shards S partitions the nodes across S worker processes exchanging\n\
          boundary traffic over Unix-domain sockets; the run is bit-identical to a\n\
          single process. --worker I --shard-dir DIR is the internal re-invocation\n\
-         the coordinator spawns — not for direct use."
+         the coordinator spawns — not for direct use.\n\
+         \n\
+         live telemetry: --heartbeat-out streams one JSONL progress record every\n\
+         --heartbeat-every N steps (default 1 when a sink is given); --prom-out\n\
+         keeps a Prometheus text-format scrape file current; --obs-out writes the\n\
+         engine- and shard-invariant final totals document. Sharded runs emit\n\
+         fleet heartbeats naming the lagging shard. Any obs flag implies\n\
+         --trace-level sync (the stall breakdown reads the live ledger)."
     );
     ExitCode::from(2)
 }
@@ -279,6 +374,11 @@ fn run_checkpointed(
             acc
         }
     };
+    let obs = obs_opts(opts)?;
+    if obs.every > 0 && obs.sinks.any() {
+        let live = ObsLive::new(obs.every, &obs.sinks).map_err(|e| e.to_string())?;
+        cluster.attach_obs(Box::new(live));
+    }
     let run = run_with_checkpoints(
         &mut cluster,
         steps,
@@ -288,6 +388,8 @@ fn run_checkpointed(
         acc,
     )
     .map_err(|e| e.to_string())?;
+    let folded = folded_stalls(&run.traces, cluster.num_nodes());
+    finish_obs(&obs, &run.report, folded.as_ref())?;
 
     println!(
         "\nsimulation rate: {:.2} µs/day ({:.0} cycles/step at 200 MHz)",
@@ -319,11 +421,15 @@ fn run_checkpointed(
         println!("wrote final-segment trace to {out} (earlier segments are not retained)");
     }
     if let Some(out) = opts.get("--metrics-out") {
+        let nodes = cluster.num_nodes() as u64;
         let mut doc = Json::obj().field("run", run.report.metrics_json());
         if let Some(trace) = run.traces.last() {
             doc = doc
                 .field("stalls", stall_json(&trace.stalls))
-                .field("trace", trace_summary_json(trace));
+                .field("trace", trace_summary_json_with(trace, &[(0, 0, nodes)]));
+        }
+        if obs.armed() {
+            doc = doc.field("obs", final_totals_json(&run.report, folded.as_ref()));
         }
         std::fs::write(out, doc.build().pretty()).map_err(|e| e.to_string())?;
         println!("wrote metrics to {out}");
@@ -378,16 +484,32 @@ fn run_sharded_cli(
     worker_argv.extend(opts.args.iter().cloned());
 
     println!("sharding across {shards} worker process(es); rendezvous in {}", dir.display());
+    let obs = obs_opts(opts)?;
     let run = coordinator_main(
         &cfg,
         sys,
         steps,
         shards,
-        ShardOpts { budget: 2_000_000_000, ckpt, resume: resume_path },
+        ShardOpts {
+            budget: 2_000_000_000,
+            ckpt,
+            resume: resume_path,
+            obs: (obs.every > 0 && obs.sinks.any()).then(|| obs.sinks.clone()),
+        },
         &dir,
         &worker_argv,
     )
     .map_err(|e| e.to_string())?;
+    let nodes = run.replica.num_nodes();
+    let folded = folded_stalls(&run.traces, nodes);
+    finish_obs(&obs, &run.report, folded.as_ref())?;
+    // Shard provenance for the trace summary: which worker owned which
+    // node span.
+    let prov: Vec<(u32, u64, u64)> = shard_ranges(nodes, shards)
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i as u32, r.start as u64, r.end as u64))
+        .collect();
 
     println!(
         "\nsimulation rate: {:.2} µs/day ({:.0} cycles/step at 200 MHz)",
@@ -423,7 +545,10 @@ fn run_sharded_cli(
         if let Some(trace) = run.traces.last() {
             doc = doc
                 .field("stalls", stall_json(&trace.stalls))
-                .field("trace", trace_summary_json(trace));
+                .field("trace", trace_summary_json_with(trace, &prov));
+        }
+        if obs.armed() {
+            doc = doc.field("obs", final_totals_json(&run.report, folded.as_ref()));
         }
         std::fs::write(out, doc.build().pretty()).map_err(|e| e.to_string())?;
         println!("wrote metrics to {out}");
@@ -504,8 +629,13 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     if ckpt.is_some() || resume.is_some() {
         return run_checkpointed(opts, cfg, &sys, steps, &eng, ckpt, resume);
     }
-    let cluster = Cluster::new(cfg, &sys);
+    let mut cluster = Cluster::new(cfg, &sys);
     println!("{} FPGA node(s) configured; running...", cluster.num_nodes());
+    let obs = obs_opts(opts)?;
+    if obs.every > 0 && obs.sinks.any() {
+        let live = ObsLive::new(obs.every, &obs.sinks).map_err(|e| e.to_string())?;
+        cluster.attach_obs(Box::new(live));
+    }
     let mut host = HostController::new(cluster);
     let run = host
         .run_iterations_with(steps, &eng)
@@ -555,6 +685,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     }
 
     let trace = host.take_trace();
+    finish_obs(&obs, &run.report, trace.as_ref().map(|t| &t.stalls))?;
     if let Some(out) = opts.get("--trace-out") {
         let trace = trace
             .as_ref()
@@ -564,11 +695,18 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         println!("wrote {events} trace events to {out} (load at https://ui.perfetto.dev)");
     }
     if let Some(out) = opts.get("--metrics-out") {
+        let nodes = host.cluster().num_nodes() as u64;
         let mut doc = Json::obj().field("run", run.report.metrics_json());
         if let Some(trace) = &trace {
             doc = doc
                 .field("stalls", stall_json(&trace.stalls))
-                .field("trace", trace_summary_json(trace));
+                .field("trace", trace_summary_json_with(trace, &[(0, 0, nodes)]));
+        }
+        if obs.armed() {
+            doc = doc.field(
+                "obs",
+                final_totals_json(&run.report, trace.as_ref().map(|t| &t.stalls)),
+            );
         }
         std::fs::write(out, doc.build().pretty()).map_err(|e| e.to_string())?;
         println!("wrote metrics to {out}");

@@ -103,6 +103,14 @@ pub struct EngineConfig {
     /// byte-identical per-node event streams and stall ledgers, retrieved
     /// with [`Cluster::take_trace`] after the run.
     pub trace: TraceConfig,
+    /// Emit a live telemetry heartbeat every N completed steps (0 =
+    /// off). The sinks (JSONL stream, Prometheus scrape file) are
+    /// runtime attachments — see [`Cluster::attach_obs`] for in-process
+    /// runs and `ShardOpts::obs` for sharded ones; this knob only sets
+    /// the cadence, so it stays in the `Copy` engine config that shard
+    /// workers replay from argv. Heartbeats read the live stall ledger,
+    /// so the host enables at least `TraceLevel::Sync` alongside.
+    pub heartbeat_every: u64,
 }
 
 impl EngineConfig {
@@ -116,6 +124,7 @@ impl EngineConfig {
             soa: false,
             burst: false,
             trace: TraceConfig::OFF,
+            heartbeat_every: 0,
         }
     }
 
@@ -132,6 +141,7 @@ impl EngineConfig {
             soa: true,
             burst: true,
             trace: TraceConfig::OFF,
+            heartbeat_every: 0,
         }
     }
 
@@ -182,6 +192,13 @@ impl EngineConfig {
     /// Set the flight-recorder configuration for the run.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Set the heartbeat cadence (completed steps between live
+    /// telemetry snapshots; 0 = off).
+    pub fn with_heartbeat_every(mut self, every: u64) -> Self {
+        self.heartbeat_every = every;
         self
     }
 }
@@ -664,6 +681,11 @@ pub struct Cluster {
     /// a per-cycle event buffer for the cross-shard merge — see the
     /// `shard` module and `DESIGN.md` §11.
     pub(crate) exchange: Option<ExchangeBuf>,
+    /// Live telemetry sampler (see the `obs` module). `None` (the
+    /// default) keeps the hot loop at a single `is_some()` branch per
+    /// cycle. A runtime attachment like the trace sinks — never
+    /// checkpointed, never part of the simulated state.
+    pub(crate) obs: Option<Box<crate::obs::ObsLive>>,
 }
 
 /// One captured wire crossing: a data frame or ack that left an owned
@@ -832,7 +854,20 @@ impl Cluster {
             tr_stalls: StallLedger::new(n),
             ticked: vec![false; n],
             exchange: None,
+            obs: None,
         }
+    }
+
+    /// Attach a live telemetry sampler for the next run(s). The sampler
+    /// fires on the cadence of [`EngineConfig::heartbeat_every`]; it is
+    /// a pure observer — simulated state and reports are unaffected.
+    pub fn attach_obs(&mut self, obs: Box<crate::obs::ObsLive>) {
+        self.obs = Some(obs);
+    }
+
+    /// Detach the live telemetry sampler (e.g. to read its beat count).
+    pub fn take_obs(&mut self) -> Option<Box<crate::obs::ObsLive>> {
+        self.obs.take()
     }
 
     /// The node range the current execution context owns: the shard
@@ -1006,6 +1041,9 @@ impl Cluster {
             self.network_cycle();
             let delivered = self.deliver_due();
             self.cycle += 1;
+            if self.obs.is_some() {
+                self.obs_beat(steps);
+            }
             if self.cycle - run_start >= cycle_budget {
                 return Err(self.stalled().into());
             }
@@ -1076,6 +1114,18 @@ impl Cluster {
         }
 
         Ok(self.assemble_report(steps, self.cycle - run_start))
+    }
+
+    /// Cold path of the per-cycle telemetry hook: hand the cluster to
+    /// the attached sampler. Take/put-back so the sampler can read
+    /// `&self` without aliasing its own `&mut`.
+    #[cold]
+    fn obs_beat(&mut self, steps: u64) {
+        let Some(mut obs) = self.obs.take() else {
+            return;
+        };
+        obs.maybe_beat(self, steps);
+        self.obs = Some(obs);
     }
 
     /// Run prologue: reset per-run chip statistics and execution flags,

@@ -16,6 +16,7 @@
 pub mod ckpt;
 pub mod driver;
 pub mod host;
+pub mod obs;
 pub mod report;
 pub mod shard;
 pub mod wire;
@@ -33,6 +34,10 @@ pub use fasda_net::fault::{FaultChannel, FaultPlan, LinkFaults, MarkerKill};
 pub use fasda_net::reliable::RelConfig;
 pub use report::RelSummary;
 pub use host::{HostController, HostRun};
+pub use obs::{
+    emit_final, final_registry, final_totals_json, measured_from, model_input, FleetBeat,
+    FleetObs, ObsDelta, ObsLive, ObsSinkConfig,
+};
 pub use report::{ClusterRunReport, NodeStepReport};
 pub use shard::{
     coordinator_main, run_sharded, shard_ranges, validate_sharding, worker_main, ShardError,
@@ -43,6 +48,6 @@ pub use shard::{
 // configure tracing and consume traces without a direct `fasda-trace`
 // dependency.
 pub use fasda_trace::{
-    chrome_trace, stall_json, trace_summary_json, Json, StallCause, StallLedger, Trace,
-    TraceConfig, TraceLevel,
+    chrome_trace, provenance_json, stall_json, trace_summary_json, trace_summary_json_with,
+    Json, StallCause, StallLedger, Trace, TraceConfig, TraceLevel,
 };

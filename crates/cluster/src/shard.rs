@@ -67,7 +67,10 @@ use crate::driver::{
     DeadlockDetected, EngineConfig, ExchangeBuf, NextEvent, NodePhase, WireEvent,
     DEADLOCK_SCAN_INTERVAL, MAX_RUN_CYCLES,
 };
+use crate::obs::{FleetBeat, FleetObs, ObsDelta, ObsSinkConfig};
 use crate::report::{ClusterRunReport, NodeStepReport, RelSummary};
+use fasda_obs::model::STALL_CLASSES;
+use std::collections::BTreeMap;
 use fasda_ckpt::{crc32, CkptError, Container, ContainerWriter, Persist, Reader, Writer};
 use fasda_net::sync::SyncMode;
 use fasda_net::transport::{FrameLink, LinkError, MemLink, SocketLink};
@@ -283,12 +286,16 @@ enum MeshFrame {
         events: Vec<WireEvent>,
     },
     /// Frame B: stage-2 acks plus the cycle's global-progress votes.
+    /// `obs` piggybacks the sender's telemetry sample on the cycles
+    /// where its shard crosses a heartbeat boundary (None otherwise —
+    /// the common case, one byte on the wire).
     Tally {
         events: Vec<WireEvent>,
         stepped: bool,
         delivered: bool,
         done: bool,
         lost_delta: u64,
+        obs: Option<ObsDelta>,
     },
     /// Frame C: local event horizon for a deadlock / fast-forward scan.
     Horizon(NextEvent),
@@ -305,13 +312,14 @@ impl MeshFrame {
                 crash.save(&mut w);
                 events.save(&mut w);
             }
-            MeshFrame::Tally { events, stepped, delivered, done, lost_delta } => {
+            MeshFrame::Tally { events, stepped, delivered, done, lost_delta, obs } => {
                 w.put_u8(1);
                 events.save(&mut w);
                 w.put_bool(*stepped);
                 w.put_bool(*delivered);
                 w.put_bool(*done);
                 w.put_u64(*lost_delta);
+                obs.save(&mut w);
             }
             MeshFrame::Horizon(h) => {
                 w.put_u8(2);
@@ -335,6 +343,7 @@ impl MeshFrame {
                 delivered: r.get_bool()?,
                 done: r.get_bool()?,
                 lost_delta: r.get_u64()?,
+                obs: Persist::load(&mut r)?,
             }),
             2 => Ok(MeshFrame::Horizon(Persist::load(&mut r)?)),
             3 => Ok(MeshFrame::Id(r.get_u32()?)),
@@ -555,6 +564,10 @@ enum CtlFrame {
     Done(Box<SegmentOk>),
     Fail(SegmentFail),
     Shutdown,
+    /// Worker 0 → coordinator: an assembled fleet heartbeat. May arrive
+    /// any time between `Run` and the segment result; the coordinator's
+    /// collect loop drains them without disturbing the protocol.
+    Beat(Box<FleetBeat>),
 }
 
 impl CtlFrame {
@@ -584,6 +597,10 @@ impl CtlFrame {
                 f.save(&mut w);
             }
             CtlFrame::Shutdown => w.put_u8(5),
+            CtlFrame::Beat(fb) => {
+                w.put_u8(6);
+                fb.save(&mut w);
+            }
         }
         w.into_bytes()
     }
@@ -597,6 +614,7 @@ impl CtlFrame {
             3 => Ok(CtlFrame::Done(Box::new(Persist::load(&mut r)?))),
             4 => Ok(CtlFrame::Fail(Persist::load(&mut r)?)),
             5 => Ok(CtlFrame::Shutdown),
+            6 => Ok(CtlFrame::Beat(Box::new(Persist::load(&mut r)?))),
             t => Err(r.malformed(format!("invalid control frame tag {t}"))),
         }
     }
@@ -682,6 +700,136 @@ fn combine_horizons(horizons: &[NextEvent]) -> NextEvent {
     }
 }
 
+/// Worker-side heartbeat state. Every worker samples its own shard
+/// when its slowest owned node crosses a heartbeat boundary and ships
+/// the sample on that cycle's Tally frame; worker 0 additionally folds
+/// everyone's samples into [`FleetBeat`]s for the coordinator. All
+/// state here is wall-clock-side — the simulated run is untouched, so
+/// sharded runs stay bit-identical with heartbeats on or off.
+struct ObsShard {
+    /// Heartbeat cadence in steps (0 = off).
+    every: u64,
+    /// This worker's shard index.
+    index: u32,
+    shards: usize,
+    /// Next boundary this shard owes a sample for.
+    next_due: u64,
+    /// Ledger totals banked from already-completed segments (owned
+    /// nodes only) — [`Cluster::arm_run`] resets the live ledger per
+    /// segment, so cumulative totals are `banked + live`.
+    prod_acc: u64,
+    stall_acc: [u64; STALL_CLASSES],
+    /// Worker 0 only: boundary → per-shard samples collected so far.
+    pending: BTreeMap<u64, Vec<Option<ObsDelta>>>,
+    beats: u64,
+}
+
+impl ObsShard {
+    fn new(every: u64, index: u32, shards: usize) -> Self {
+        ObsShard {
+            every,
+            index,
+            shards,
+            next_due: every.max(1),
+            prod_acc: 0,
+            stall_acc: [0; STALL_CLASSES],
+            pending: BTreeMap::new(),
+            beats: 0,
+        }
+    }
+
+    /// Owned-node ledger totals of the current segment plus the banked
+    /// totals of completed ones.
+    fn owned_totals(&self, cl: &Cluster) -> (u64, [u64; STALL_CLASSES]) {
+        let mut prod = self.prod_acc;
+        let mut stalls = self.stall_acc;
+        for node in cl.owned_range() {
+            let t = cl.tr_stalls.node_total(node);
+            prod += t.productive;
+            for (acc, v) in stalls.iter_mut().zip(t.stalled.iter()) {
+                *acc += v;
+            }
+        }
+        (prod, stalls)
+    }
+
+    /// Retransmissions originated by owned nodes.
+    fn owned_retransmits(&self, cl: &Cluster) -> u64 {
+        let Some(rel) = &cl.rel else { return 0 };
+        cl.owned_range()
+            .map(|n| {
+                rel.tx[n]
+                    .iter()
+                    .flat_map(|links| links.values())
+                    .map(|s| s.retransmits)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Bank the finishing segment's ledger totals before the segment
+    /// result (and the trace, which carries the ledger away) ships.
+    fn bank_segment(&mut self, cl: &Cluster) {
+        if self.every == 0 {
+            return;
+        }
+        for node in cl.owned_range() {
+            let t = cl.tr_stalls.node_total(node);
+            self.prod_acc += t.productive;
+            for (acc, v) in self.stall_acc.iter_mut().zip(t.stalled.iter()) {
+                *acc += v;
+            }
+        }
+    }
+
+    /// Sample this shard if its slowest owned node has crossed the next
+    /// heartbeat boundary. At most one boundary fires per cycle; a
+    /// shard that somehow skipped past several catches up on the
+    /// following cycles.
+    fn due(&mut self, cl: &Cluster) -> Option<ObsDelta> {
+        if self.every == 0 {
+            return None;
+        }
+        let min_step = cl.owned_range().map(|n| cl.state[n].step).min()?;
+        if min_step < self.next_due {
+            return None;
+        }
+        let boundary = self.next_due;
+        self.next_due += self.every;
+        let (productive, stalls) = self.owned_totals(cl);
+        Some(ObsDelta {
+            worker: self.index,
+            boundary,
+            min_step,
+            productive,
+            stalls,
+            retransmits: self.owned_retransmits(cl),
+        })
+    }
+
+    /// Worker 0: fold one shard's sample; returns the completed fleet
+    /// beat once every shard has answered for that boundary.
+    fn note(&mut self, d: ObsDelta, cycle: u64) -> Option<FleetBeat> {
+        let shards = self.shards;
+        let slot = self
+            .pending
+            .entry(d.boundary)
+            .or_insert_with(|| vec![None; shards]);
+        if let Some(s) = slot.get_mut(d.worker as usize) {
+            *s = Some(d);
+        }
+        let boundary = *self.pending.iter().find(|(_, v)| v.iter().all(Option::is_some))?.0;
+        let workers: Vec<ObsDelta> = self
+            .pending
+            .remove(&boundary)?
+            .into_iter()
+            .flatten()
+            .collect();
+        self.beats += 1;
+        Some(FleetBeat { beat: self.beats, boundary, cycle, workers })
+    }
+}
+
 /// Run one segment of the global cycle loop on this worker's shard —
 /// the sharded transliteration of [`Cluster::try_run_with`]'s loop.
 /// `lost_total` tracks the reconciled global packets-lost tally across
@@ -692,6 +840,8 @@ fn run_segment(
     engine: &EngineConfig,
     pool: Option<&ThreadPool>,
     mesh: &mut [Box<dyn FrameLink>],
+    ctl: &mut dyn FrameLink,
+    obs: &mut ObsShard,
     target: u64,
     budget: u64,
     base_lost: u64,
@@ -766,12 +916,14 @@ fn run_segment(
         }
         cl.admit_wire_events(merged);
 
-        // Delivery sweep, then frame B: acks + global-progress votes.
+        // Delivery sweep, then frame B: acks + global-progress votes
+        // (+ this shard's telemetry sample when a heartbeat is due).
         let delivered_local = cl.deliver_due();
         let my_acks = cl.take_wire_events();
         let done_local = cl.owned_done(target);
         let lost_local = cl.pos_fabric.packets_lost + cl.frc_fabric.packets_lost;
         let my_delta = lost_local - base_lost;
+        let my_obs = obs.due(cl);
         broadcast(
             mesh,
             &MeshFrame::Tally {
@@ -780,6 +932,7 @@ fn run_segment(
                 delivered: delivered_local,
                 done: done_local,
                 lost_delta: my_delta,
+                obs: my_obs.clone(),
             },
         )
         .map_err(link_err)?;
@@ -788,20 +941,41 @@ fn run_segment(
         let mut done_global = done_local;
         let mut lost_sum = my_delta;
         let mut merged2 = my_acks;
+        let mut samples: Vec<ObsDelta> = my_obs.into_iter().collect();
         for link in mesh.iter_mut() {
             match MeshFrame::decode(&link.recv_frame().map_err(link_err)?).map_err(codec_err)? {
-                MeshFrame::Tally { events, stepped: s, delivered: d, done: dn, lost_delta } => {
+                MeshFrame::Tally {
+                    events,
+                    stepped: s,
+                    delivered: d,
+                    done: dn,
+                    lost_delta,
+                    obs: peer_obs,
+                } => {
                     merged2.extend(events);
                     stepped |= s;
                     delivered |= d;
                     done_global &= dn;
                     lost_sum += lost_delta;
+                    if obs.index == 0 {
+                        samples.extend(peer_obs);
+                    }
                 }
                 _ => return Err(SegmentFail::Link("expected tally frame".into())),
             }
         }
         cl.admit_wire_events(merged2);
         *lost_total = base_lost + lost_sum;
+        // Worker 0 assembles fleet beats from the collected samples and
+        // ships each completed one to the coordinator out of band.
+        if obs.index == 0 {
+            for d in samples {
+                if let Some(fb) = obs.note(d, cl.cycle) {
+                    ctl.send_frame(&CtlFrame::Beat(Box::new(fb)).encode())
+                        .map_err(link_err)?;
+                }
+            }
+        }
 
         cl.cycle += 1;
         if cl.cycle - run_start >= budget {
@@ -927,6 +1101,8 @@ fn worker_loop(
     engine: &EngineConfig,
     ctl: &mut dyn FrameLink,
     mesh: &mut [Box<dyn FrameLink>],
+    index: usize,
+    shards: usize,
 ) -> Result<(), ShardError> {
     // Burst stepping inspects non-owned interface state and is refused
     // in workers; node streams, stall ledgers and state stay identical
@@ -941,6 +1117,7 @@ fn worker_loop(
     let base = ScalarBase::of(&cl);
     let base_lost = base.pos_lost + base.frc_lost;
     let mut lost_total = base_lost;
+    let mut obs = ObsShard::new(engine.heartbeat_every, index as u32, shards);
     loop {
         match CtlFrame::decode(&ctl.recv_frame()?).map_err(ShardError::Ckpt)? {
             CtlFrame::Run { target, budget } => {
@@ -949,12 +1126,17 @@ fn worker_loop(
                     &engine,
                     pool.as_ref(),
                     mesh,
+                    ctl,
+                    &mut obs,
                     target,
                     budget,
                     base_lost,
                     &mut lost_total,
                 ) {
-                    Ok(()) => CtlFrame::Done(Box::new(segment_ok(&mut cl, &base))),
+                    Ok(()) => {
+                        obs.bank_segment(&cl);
+                        CtlFrame::Done(Box::new(segment_ok(&mut cl, &base)))
+                    }
                     Err(f) => CtlFrame::Fail(f),
                 };
                 ctl.send_frame(&frame.encode())?;
@@ -1163,6 +1345,7 @@ fn drive(
     cycle_budget: u64,
     ckpt: Option<&CheckpointConfig>,
     mut acc: RunAccumulator,
+    mut fleet: Option<FleetObs>,
 ) -> Result<(ClusterRunReport, Vec<Trace>, Vec<PathBuf>), ShardError> {
     assert!(acc.steps_done <= steps, "accumulator past the requested step count");
     let every = match ckpt {
@@ -1184,11 +1367,26 @@ fn drive(
         }
         let mut oks = Vec::with_capacity(ctl.len());
         let mut fails = Vec::new();
+        // Worker 0's link is read first and carries the fleet beats, so
+        // heartbeats stream out while the segment is still running.
         for link in ctl.iter_mut() {
-            match CtlFrame::decode(&link.recv_frame()?)? {
-                CtlFrame::Done(ok) => oks.push(*ok),
-                CtlFrame::Fail(f) => fails.push(f),
-                _ => return Err(ShardError::Protocol("expected segment result".into())),
+            loop {
+                match CtlFrame::decode(&link.recv_frame()?)? {
+                    CtlFrame::Beat(fb) => {
+                        if let Some(f) = fleet.as_mut() {
+                            f.on_beat(&fb, ranges, steps);
+                        }
+                    }
+                    CtlFrame::Done(ok) => {
+                        oks.push(*ok);
+                        break;
+                    }
+                    CtlFrame::Fail(f) => {
+                        fails.push(f);
+                        break;
+                    }
+                    _ => return Err(ShardError::Protocol("expected segment result".into())),
+                }
             }
         }
         if !fails.is_empty() {
@@ -1239,11 +1437,14 @@ pub struct ShardOpts {
     /// Checkpoint file to restore before running. The shard count need
     /// not match the one that wrote it — checkpoints are full-cluster.
     pub resume: Option<PathBuf>,
+    /// Fleet heartbeat sinks on the coordinator (requires
+    /// `EngineConfig::heartbeat_every` > 0 for beats to be produced).
+    pub obs: Option<ObsSinkConfig>,
 }
 
 impl Default for ShardOpts {
     fn default() -> Self {
-        ShardOpts { budget: MAX_RUN_CYCLES, ckpt: None, resume: None }
+        ShardOpts { budget: MAX_RUN_CYCLES, ckpt: None, resume: None, obs: None }
     }
 }
 
@@ -1330,10 +1531,14 @@ pub fn run_sharded(
             }
             cl.exchange = Some(ExchangeBuf { owned: range, stage: 0, events: Vec::new() });
             let mut theirs = theirs;
-            worker_loop(cl, &engine, &mut theirs, &mut mesh)
+            worker_loop(cl, &engine, &mut theirs, &mut mesh, w, shards)
         }));
     }
 
+    let fleet = match &opts.obs {
+        Some(sinks) => Some(FleetObs::new(sinks)?),
+        None => None,
+    };
     let mut scratch = Cluster::new(cfg.clone(), sys);
     let res = drive(
         &mut ctl,
@@ -1344,6 +1549,7 @@ pub fn run_sharded(
         opts.budget,
         opts.ckpt.as_ref(),
         acc,
+        fleet,
     );
     drop(ctl); // unblock any worker still waiting on control frames
     for h in handles {
@@ -1451,6 +1657,10 @@ pub fn coordinator_main(
             link.send_frame(&go)?;
         }
 
+        let fleet = match &opts.obs {
+            Some(sinks) => Some(FleetObs::new(sinks)?),
+            None => None,
+        };
         let mut scratch = Cluster::new(cfg.clone(), sys);
         drive(
             &mut ctl,
@@ -1461,6 +1671,7 @@ pub fn coordinator_main(
             opts.budget,
             opts.ckpt.as_ref(),
             acc,
+            fleet,
         )
     };
     let res = run();
@@ -1543,5 +1754,5 @@ pub fn worker_main(
 
     cl.exchange =
         Some(ExchangeBuf { owned: ranges[index].clone(), stage: 0, events: Vec::new() });
-    worker_loop(cl, engine, &mut ctl, &mut mesh)
+    worker_loop(cl, engine, &mut ctl, &mut mesh, index, shards)
 }

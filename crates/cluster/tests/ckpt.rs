@@ -435,7 +435,7 @@ fn bitflip_fuzz_never_panics() {
     // (flip landed in dead padding — impossible here, but allowed) or a
     // typed error; restore of any surviving parse must never panic.
     let (bytes, sys, cfg) = snapshot_bytes();
-    let mut rng = XorShift64Star::new(0xFA5DA_C4A5);
+    let mut rng = XorShift64Star::new(0x000F_A5DA_C4A5);
     for _ in 0..128 {
         let mut mutated = bytes.clone();
         let flips = 1 + rng.next_below(4) as usize;

@@ -1,0 +1,278 @@
+//! Live-telemetry acceptance (DESIGN.md §12): the final metrics totals
+//! are an *identity artifact* — a pure function of the engine- and
+//! shard-invariant run report and stall ledger, so serial, rayon, and
+//! sharded runs must produce byte-identical totals documents, clean or
+//! under a 5% drop schedule. Heartbeat streams are a progress view:
+//! well-formed JSONL with monotonic steps and non-decreasing counters,
+//! a parseable Prometheus scrape file, and — in sharded runs — fleet
+//! records naming the lagging shard.
+
+use fasda_cluster::{
+    emit_final, final_totals_json, measured_from, model_input, run_sharded, Cluster,
+    ClusterConfig, EngineConfig, FaultPlan, ObsLive, ObsSinkConfig, RelConfig, ShardOpts,
+    StallLedger, Trace, TraceConfig,
+};
+use fasda_core::config::ChipConfig;
+use fasda_md::element::Element;
+use fasda_md::space::SimulationSpace;
+use fasda_md::system::ParticleSystem;
+use fasda_md::workload::{Placement, WorkloadSpec};
+use fasda_trace::Json;
+use std::path::PathBuf;
+
+const STEPS: u64 = 4;
+const BUDGET: u64 = 2_000_000_000;
+
+fn workload() -> ParticleSystem {
+    WorkloadSpec {
+        space: SimulationSpace::cubic(6),
+        per_cell: 3,
+        placement: Placement::JitteredLattice { jitter: 0.05 },
+        temperature_k: 150.0,
+        seed: 47,
+        element: Element::Na,
+    }
+    .generate()
+}
+
+/// 2×2×2 nodes: a 6³-cell space split into 3×3×3-cell blocks.
+fn config(faults: Option<FaultPlan>, reliable: bool) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
+    if let Some(p) = faults {
+        cfg = cfg.with_faults(p);
+    }
+    if reliable {
+        cfg = cfg.with_reliability(RelConfig::new(2_048, 16_384));
+    }
+    cfg
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("fasda-obs-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create scratch dir");
+    d
+}
+
+fn fold(traces: &[Trace], nodes: usize) -> StallLedger {
+    let mut folded = StallLedger::new(nodes);
+    for t in traces {
+        folded.absorb(&t.stalls);
+    }
+    folded
+}
+
+fn parse_jsonl(path: &PathBuf) -> Vec<Json> {
+    std::fs::read_to_string(path)
+        .expect("read heartbeat stream")
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}")))
+        .collect()
+}
+
+// -------------------------------------------------------------------------
+// Final totals: bit-identical across engines and shard counts
+// -------------------------------------------------------------------------
+
+#[test]
+fn final_totals_identical_across_engines_and_shards() {
+    let sys = workload();
+    let full = TraceConfig::full();
+    for (name, faults, reliable) in [
+        ("clean", None, false),
+        ("lossy", Some(FaultPlan::drop_only(0.05, 0xC0FFEE)), true),
+    ] {
+        let cfg = config(faults, reliable);
+
+        // Serial oracle defines the expected totals document.
+        let mut oracle = Cluster::new(cfg.clone(), &sys);
+        let report = oracle
+            .try_run_with(STEPS, BUDGET, &EngineConfig::serial().with_trace(full))
+            .expect("oracle completes");
+        let trace = oracle.take_trace().expect("tracing was on");
+        let want = final_totals_json(&report, Some(&trace.stalls)).pretty();
+
+        // Rayon engine (burst on — totals must still match: the report
+        // and the ledger are engine-invariant even when the engine
+        // trace stream is not).
+        let mut par = Cluster::new(cfg.clone(), &sys);
+        let r = par
+            .try_run_with(
+                STEPS,
+                BUDGET,
+                &EngineConfig::parallel().with_threads(2).with_trace(full),
+            )
+            .expect("parallel run completes");
+        let t = par.take_trace().expect("tracing was on");
+        assert_eq!(
+            final_totals_json(&r, Some(&t.stalls)).pretty(),
+            want,
+            "{name}: rayon totals drifted from serial oracle"
+        );
+
+        // Two socket-connected shard workers.
+        let run = run_sharded(
+            &cfg,
+            &sys,
+            STEPS,
+            &EngineConfig::serial().with_trace(full),
+            2,
+            ShardOpts { budget: BUDGET, ckpt: None, resume: None, obs: None },
+        )
+        .expect("sharded run completes");
+        let nodes = run.replica.num_nodes();
+        let folded = fold(&run.traces, nodes);
+        assert_eq!(
+            final_totals_json(&run.report, Some(&folded)).pretty(),
+            want,
+            "{name}: sharded totals drifted from serial oracle"
+        );
+    }
+}
+
+// -------------------------------------------------------------------------
+// Heartbeat stream: JSONL shape, monotonicity, prom scrape, final record
+// -------------------------------------------------------------------------
+
+#[test]
+fn heartbeat_stream_is_wellformed_and_final_matches_totals() {
+    let sys = workload();
+    let dir = tmpdir("beats");
+    let sinks = ObsSinkConfig {
+        heartbeat_out: Some(dir.join("beats.jsonl")),
+        prom_out: Some(dir.join("scrape.prom")),
+    };
+
+    let mut cluster = Cluster::new(config(None, false), &sys);
+    cluster.attach_obs(Box::new(ObsLive::new(1, &sinks).expect("sinks open")));
+    let report = cluster
+        .try_run_with(STEPS, BUDGET, &EngineConfig::serial().with_trace(TraceConfig::full()))
+        .expect("run completes");
+    let obs = cluster.take_obs().expect("sampler still attached");
+    assert!(obs.beats() >= STEPS - 1, "cadence 1 must beat (almost) every step");
+    let trace = cluster.take_trace().expect("tracing was on");
+    emit_final(&sinks, &report, Some(&trace.stalls)).expect("final record");
+
+    let records = parse_jsonl(&sinks.heartbeat_out.clone().unwrap());
+    assert!(records.len() >= 2, "beats + final expected");
+    let mut last_step = 0;
+    let mut last_cycles = 0;
+    for rec in &records[..records.len() - 1] {
+        assert_eq!(rec.get("type").unwrap().as_str(), Some("beat"));
+        let step = rec.get("step").unwrap().as_i64().unwrap();
+        assert!(step >= last_step, "steps must be monotonic");
+        last_step = step;
+        let counters = rec.get("counters").unwrap();
+        let cycles = counters.get("cycles").unwrap().as_i64().unwrap();
+        assert!(cycles >= last_cycles, "cycle counter must not decrease");
+        last_cycles = cycles;
+        // The progress gauges ride along on every beat.
+        let gauges = rec.get("gauges").unwrap();
+        for g in ["wall_s", "steps_per_s", "eta_s", "progress"] {
+            assert!(gauges.get(g).is_some(), "missing gauge {g}");
+        }
+    }
+
+    // The trailing record is the final-totals identity artifact: its
+    // counters equal the pure-function totals document exactly.
+    let fin = records.last().unwrap();
+    assert_eq!(fin.get("type").unwrap().as_str(), Some("final"));
+    let want = final_totals_json(&report, Some(&trace.stalls));
+    assert_eq!(fin.get("counters"), want.get("counters"), "final record drifted");
+    assert_eq!(fin.get("hists"), want.get("hists"));
+
+    // Prometheus text format: every line is a comment or `name value`,
+    // names carry the fasda prefix, values parse as floats.
+    let prom = std::fs::read_to_string(sinks.prom_out.clone().unwrap()).expect("scrape file");
+    let mut samples = 0;
+    for line in prom.lines().filter(|l| !l.is_empty()) {
+        if line.starts_with("# TYPE ") || line.starts_with("# HELP ") {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(name.starts_with("fasda_"), "unprefixed metric {name}");
+        value.parse::<f64>().unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        samples += 1;
+    }
+    assert!(samples > 0, "scrape file has no samples");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -------------------------------------------------------------------------
+// Fleet heartbeats from a sharded run
+// -------------------------------------------------------------------------
+
+#[test]
+fn sharded_run_emits_fleet_beats_naming_lagging_shard() {
+    let sys = workload();
+    let dir = tmpdir("fleet");
+    let sinks = ObsSinkConfig {
+        heartbeat_out: Some(dir.join("fleet.jsonl")),
+        prom_out: Some(dir.join("fleet.prom")),
+    };
+
+    let run = run_sharded(
+        &config(None, false),
+        &sys,
+        STEPS,
+        &EngineConfig::serial()
+            .with_trace(TraceConfig::full())
+            .with_heartbeat_every(1),
+        2,
+        ShardOpts { budget: BUDGET, ckpt: None, resume: None, obs: Some(sinks.clone()) },
+    )
+    .expect("sharded run completes");
+    assert_eq!(run.report.steps, STEPS);
+
+    let records = parse_jsonl(&sinks.heartbeat_out.clone().unwrap());
+    assert!(!records.is_empty(), "fleet heartbeats expected");
+    let mut last_beat = 0;
+    for rec in &records {
+        assert_eq!(rec.get("type").unwrap().as_str(), Some("fleet"));
+        let beat = rec.get("beat").unwrap().as_i64().unwrap();
+        assert!(beat > last_beat, "beat counter must increase");
+        last_beat = beat;
+        assert!(rec.get("lag_steps").unwrap().as_i64().unwrap() >= 0);
+        let lagging = rec.get("lagging_shard").unwrap().as_i64().unwrap();
+        assert!((0..2).contains(&lagging), "lagging shard out of range");
+        let shards = rec.get("shards").unwrap().items();
+        assert_eq!(shards.len(), 2, "one sample per shard");
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.get("shard").unwrap().as_i64(), Some(i as i64));
+            assert!(s.get("nodes").unwrap().as_str().unwrap().contains(".."));
+            assert!(s.get("min_step").unwrap().as_i64().is_some());
+        }
+    }
+
+    // The fleet scrape file exists and exposes per-shard progress.
+    let prom = std::fs::read_to_string(sinks.prom_out.clone().unwrap()).expect("scrape file");
+    assert!(prom.contains("fasda_fleet_shard_min_step_total{shard=\"0\"}"));
+    assert!(prom.contains("fasda_fleet_shard_min_step_total{shard=\"1\"}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -------------------------------------------------------------------------
+// §5 model plumbing end to end (gating lives in enginebench)
+// -------------------------------------------------------------------------
+
+#[test]
+fn model_divergence_computes_from_a_real_run() {
+    let sys = workload();
+    let cfg = config(None, false);
+    let mut cluster = Cluster::new(cfg.clone(), &sys);
+    let report = cluster
+        .try_run_with(STEPS, BUDGET, &EngineConfig::serial().with_trace(TraceConfig::full()))
+        .expect("run completes");
+    let trace = cluster.take_trace().expect("tracing was on");
+
+    let input = model_input(&cfg, (6, 6, 6), sys.len() as f64 / 216.0);
+    let pred = fasda_obs::model::predict(&input);
+    let meas = measured_from(&report, Some(&trace.stalls));
+    let div = fasda_obs::model::Divergence::compare(&pred, &meas);
+    assert!(div.cycles_rel.is_finite());
+    assert!(div.occupancy_abs.is_finite());
+    assert!(meas.occupancy > 0.0 && meas.occupancy <= 1.0);
+    // The report round-trips through the JSON emitter.
+    let doc = fasda_obs::model::modelcheck_json(&pred, &meas, &fasda_obs::model::Gate::default());
+    assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+}

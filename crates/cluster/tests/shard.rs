@@ -228,7 +228,7 @@ fn sharded_runs_match_oracle_bit_for_bit() {
                 STEPS,
                 &sc.engine,
                 shards,
-                ShardOpts { budget: BUDGET, ckpt: Some(ck), resume: None },
+                ShardOpts { budget: BUDGET, ckpt: Some(ck), resume: None, obs: None },
             )
             .unwrap_or_else(|e| panic!("{ctx}: sharded run failed: {e}"));
 
@@ -316,7 +316,7 @@ fn crash_then_resume_on_different_shard_count_matches_oracle() {
         STEPS,
         &engine,
         2,
-        ShardOpts { budget: BUDGET, ckpt: Some(ck.clone()), resume: None },
+        ShardOpts { budget: BUDGET, ckpt: Some(ck.clone()), resume: None, obs: None },
     )
     .expect_err("crash directive must abort the sharded run");
     match err {
@@ -339,7 +339,7 @@ fn crash_then_resume_on_different_shard_count_matches_oracle() {
         STEPS,
         &engine,
         4,
-        ShardOpts { budget: BUDGET, ckpt: Some(ck), resume: Some(latest) },
+        ShardOpts { budget: BUDGET, ckpt: Some(ck), resume: Some(latest), obs: None },
     )
     .expect("resumed sharded run completes");
 

@@ -66,6 +66,7 @@ fn assert_fused_matches(
     assert_eq!(hits.len(), want.len(), "hit count differs from scalar walk");
     for (hit, (want_slot, want_force)) in hits.iter().zip(&want) {
         assert_eq!(hit.slot, *want_slot);
+        #[allow(clippy::needless_range_loop)] // k names the component in the assert message
         for k in 0..3 {
             assert_eq!(
                 hit.force[k].to_bits(),

@@ -41,7 +41,7 @@ pub mod stall;
 pub use chrome::chrome_trace;
 pub use event::{ChannelId, EventKind, PhaseId, TraceEvent};
 pub use json::Json;
-pub use metrics::{stall_json, trace_summary_json};
+pub use metrics::{provenance_json, stall_json, trace_summary_json, trace_summary_json_with};
 pub use stall::{StallCause, StallLedger, StepStalls};
 
 use std::collections::VecDeque;

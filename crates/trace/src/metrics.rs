@@ -46,6 +46,40 @@ pub fn stall_json(ledger: &StallLedger) -> Json {
     Json::obj().field("nodes", Json::Arr(nodes)).build()
 }
 
+/// Shard provenance: which execution context owned which node range.
+/// `shards` is `(shard index, first owned node, one-past-last)` in
+/// shard order; a non-sharded run is the single span `(0, 0, nodes)`.
+pub fn provenance_json(shards: &[(u32, u64, u64)]) -> Json {
+    let entries: Vec<Json> = shards
+        .iter()
+        .map(|(shard, start, end)| {
+            Json::obj()
+                .field("shard", Json::uint(*shard as u64))
+                .field("nodes", format!("{start}..{end}"))
+                .field("owned", Json::uint(end.saturating_sub(*start)))
+                .build()
+        })
+        .collect();
+    Json::obj()
+        .field("shards", Json::uint(shards.len() as u64))
+        .field("ranges", Json::Arr(entries))
+        .build()
+}
+
+/// [`trace_summary_json`] plus shard/worker provenance — which shard
+/// attributed each node's events. The plain summary stays unchanged so
+/// existing byte-diff gates (which never pass shard flags) are
+/// unaffected; callers with topology knowledge use this variant.
+pub fn trace_summary_json_with(trace: &Trace, shards: &[(u32, u64, u64)]) -> Json {
+    let mut obj = Json::obj();
+    if let Json::Obj(fields) = trace_summary_json(trace) {
+        for (k, v) in fields {
+            obj = obj.field(&k, v);
+        }
+    }
+    obj.field("provenance", provenance_json(shards)).build()
+}
+
 /// Summary of a captured trace: level, per-node event/drop counts.
 pub fn trace_summary_json(trace: &Trace) -> Json {
     let level = match trace.level {
@@ -99,6 +133,38 @@ mod tests {
         assert_eq!(n1_total.get("tx-cooldown").unwrap().as_i64(), Some(9));
         // round-trips through the parser
         assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn provenance_lists_every_shard_span() {
+        let doc = provenance_json(&[(0, 0, 4), (1, 4, 8)]);
+        assert_eq!(doc.get("shards").unwrap().as_i64(), Some(2));
+        let ranges = doc.get("ranges").unwrap().items();
+        assert_eq!(ranges[0].get("nodes").unwrap().as_str(), Some("0..4"));
+        assert_eq!(ranges[1].get("shard").unwrap().as_i64(), Some(1));
+        assert_eq!(ranges[1].get("owned").unwrap().as_i64(), Some(4));
+        assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn summary_with_provenance_extends_plain_summary() {
+        let trace = Trace {
+            level: Some(TraceLevel::Full),
+            nodes: vec![crate::NodeStream::default(); 2],
+            engine: crate::NodeStream::default(),
+            stalls: StallLedger::new(2),
+        };
+        let with = trace_summary_json_with(&trace, &[(0, 0, 2)]);
+        // Every plain-summary field survives unchanged...
+        if let Json::Obj(fields) = trace_summary_json(&trace) {
+            for (k, v) in &fields {
+                assert_eq!(with.get(k), Some(v), "field {k} changed");
+            }
+        }
+        // ...and the provenance section is appended.
+        let prov = with.get("provenance").unwrap();
+        assert_eq!(prov.get("shards").unwrap().as_i64(), Some(1));
+        assert_eq!(Json::parse(&with.compact()).unwrap(), with);
     }
 
     #[test]
