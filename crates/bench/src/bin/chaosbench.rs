@@ -169,6 +169,10 @@ fn main() {
             o.sys.vel, base.sys.vel,
             "drop {rate}: final velocities drifted from fault-free run"
         );
+        assert_eq!(
+            o.sys.force, base.sys.force,
+            "drop {rate}: final forces drifted from fault-free run"
+        );
         if rate > 0.0 {
             assert!(o.faults > 0, "drop {rate}: plan injected nothing");
         }
@@ -344,7 +348,7 @@ fn recovery(args: &Args) {
             if rate > 0.0 {
                 c = c.with_reliability(RelConfig::new(2_048, 16_384));
             }
-            if !plan.is_none() || plan.crash.is_some() {
+            if !plan.is_none() || !plan.crashes.is_empty() {
                 c = c.with_faults(plan);
             }
             c
@@ -415,6 +419,7 @@ fn recovery(args: &Args) {
             revived.store_into(&mut recovered_sys);
             assert_eq!(recovered_sys.pos, oracle_sys.pos, "recovery drifted (pos)");
             assert_eq!(recovered_sys.vel, oracle_sys.vel, "recovery drifted (vel)");
+            assert_eq!(recovered_sys.force, oracle_sys.force, "recovery drifted (force)");
             assert_eq!(
                 run.report.total_cycles, oracle_run.report.total_cycles,
                 "recovery cycle count drifted"

@@ -638,6 +638,18 @@ impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
     }
 }
 
+impl<A: Persist, B: Persist, C: Persist, D: Persist> Persist for (A, B, C, D) {
+    fn save(&self, w: &mut Writer) {
+        self.0.save(w);
+        self.1.save(w);
+        self.2.save(w);
+        self.3.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?, D::load(r)?))
+    }
+}
+
 impl<T: Persist, const N: usize> Persist for [T; N] {
     fn save(&self, w: &mut Writer) {
         for v in self {
@@ -947,6 +959,116 @@ pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, CkptError> {
     Ok(list_checkpoints(dir)?.pop().map(|(_, p)| p))
 }
 
+pub mod policy {
+    //! Checkpoint-interval economics: the Young–Daly optimum and the
+    //! data-loss / availability forecast it implies.
+    //!
+    //! The model: checkpointing every `k` steps costs `save_cost` once
+    //! per segment, and a failure arriving at rate `λ` per step forces
+    //! a replay of everything since the last checkpoint — `(k-1)/2`
+    //! steps in expectation (failures land uniformly inside a segment;
+    //! the checkpointed step itself is safe) plus a fixed
+    //! `restore_cost`. Per useful step, the overhead fraction is
+    //!
+    //! ```text
+    //! f(k) = save_cost/(k·step_cost) + λ·((k-1)/2 + restore_cost/step_cost)
+    //! ```
+    //!
+    //! which is minimized at the Young–Daly interval
+    //! `k* = sqrt(2·save_cost/(λ·step_cost))`. Costs are in any common
+    //! unit (the `chaosbench --recovery` sweep measures them in
+    //! milliseconds); the failure rate is per simulated step.
+
+    /// Measured costs and the assumed failure process.
+    #[derive(Clone, Copy, Debug)]
+    pub struct PolicyInput {
+        /// Cost of serializing + writing one checkpoint.
+        pub save_cost: f64,
+        /// Cost of restoring one checkpoint after a failure.
+        pub restore_cost: f64,
+        /// Cost of simulating one step.
+        pub step_cost: f64,
+        /// Failures per simulated step (λ).
+        pub failure_rate: f64,
+    }
+
+    /// What a given checkpoint interval buys.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct PolicyForecast {
+        /// The interval evaluated, in steps.
+        pub interval_steps: u64,
+        /// Checkpoint-write overhead as a fraction of useful compute.
+        pub save_overhead: f64,
+        /// Steps of trajectory lost (and replayed) per failure,
+        /// `(k-1)/2` in expectation.
+        pub expected_loss_steps: f64,
+        /// Replay + restore overhead as a fraction of useful compute.
+        pub rework_overhead: f64,
+        /// Useful fraction of total spend:
+        /// `1 / (1 + save_overhead + rework_overhead)`.
+        pub availability: f64,
+    }
+
+    impl PolicyInput {
+        fn validate(&self) {
+            assert!(
+                self.save_cost >= 0.0
+                    && self.restore_cost >= 0.0
+                    && self.step_cost > 0.0
+                    && self.failure_rate >= 0.0,
+                "policy inputs must be non-negative with step_cost > 0"
+            );
+        }
+
+        /// The unrounded Young–Daly interval
+        /// `sqrt(2·save_cost/(λ·step_cost))`; infinite when failures
+        /// never happen (never checkpoint) and clamped to 1 from below
+        /// (checkpointing more than once per step is meaningless).
+        pub fn young_daly_interval(&self) -> f64 {
+            self.validate();
+            if self.failure_rate <= 0.0 {
+                return f64::INFINITY;
+            }
+            (2.0 * self.save_cost / (self.failure_rate * self.step_cost))
+                .sqrt()
+                .max(1.0)
+        }
+
+        /// Forecast the overheads of checkpointing every `k` steps.
+        pub fn forecast(&self, k: u64) -> PolicyForecast {
+            self.validate();
+            let k = k.max(1);
+            let expected_loss_steps = (k - 1) as f64 / 2.0;
+            let save_overhead = self.save_cost / (k as f64 * self.step_cost);
+            let rework_overhead = self.failure_rate
+                * (expected_loss_steps + self.restore_cost / self.step_cost);
+            PolicyForecast {
+                interval_steps: k,
+                save_overhead,
+                expected_loss_steps,
+                rework_overhead,
+                availability: 1.0 / (1.0 + save_overhead + rework_overhead),
+            }
+        }
+
+        /// The best whole-step interval: the neighbor of the Young–Daly
+        /// optimum with the higher forecast availability.
+        pub fn optimize(&self) -> PolicyForecast {
+            let k = self.young_daly_interval();
+            if k.is_infinite() || k >= u64::MAX as f64 {
+                return self.forecast(u64::MAX);
+            }
+            let lo = self.forecast(k.floor() as u64);
+            let hi = self.forecast(k.ceil() as u64);
+            if lo.availability >= hi.availability {
+                lo
+            } else {
+                hi
+            }
+        }
+    }
+}
+
 /// Bounded retention: keep the newest `keep` checkpoints, delete the
 /// rest. `keep == 0` keeps everything.
 pub fn prune_checkpoints(dir: &Path, keep: usize) -> Result<(), CkptError> {
@@ -1157,5 +1279,48 @@ mod tests {
     fn crc32_matches_known_vector() {
         // IEEE CRC-32 of "123456789" is 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn young_daly_interval_matches_closed_form() {
+        // save 8, step 1, λ = 1/256: k* = sqrt(2*8/(1/256)) = 64.
+        let input = policy::PolicyInput {
+            save_cost: 8.0,
+            restore_cost: 4.0,
+            step_cost: 1.0,
+            failure_rate: 1.0 / 256.0,
+        };
+        assert!((input.young_daly_interval() - 64.0).abs() < 1e-9);
+        let best = input.optimize();
+        assert_eq!(best.interval_steps, 64);
+        // The optimum beats both doubling and halving the interval.
+        assert!(best.availability > input.forecast(32).availability);
+        assert!(best.availability > input.forecast(128).availability);
+        // Expected loss per failure is (k-1)/2 steps.
+        assert!((best.expected_loss_steps - 31.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_degenerate_cases() {
+        let never_fails = policy::PolicyInput {
+            save_cost: 8.0,
+            restore_cost: 4.0,
+            step_cost: 1.0,
+            failure_rate: 0.0,
+        };
+        assert!(never_fails.young_daly_interval().is_infinite());
+        // No failures: the optimizer effectively never checkpoints and
+        // availability approaches 1.
+        assert!(never_fails.optimize().availability > 0.999_999);
+        // Free checkpoints: checkpoint every step, losing nothing.
+        let free_saves = policy::PolicyInput {
+            save_cost: 0.0,
+            restore_cost: 0.0,
+            step_cost: 1.0,
+            failure_rate: 0.01,
+        };
+        let best = free_saves.optimize();
+        assert_eq!(best.interval_steps, 1);
+        assert_eq!(best.expected_loss_steps, 0.0);
     }
 }

@@ -13,8 +13,8 @@
 //! ```
 
 use fasda_cluster::ckpt::{
-    latest_checkpoint, load_checkpoint, resume_latest, run_with_checkpoints, CheckpointConfig,
-    RunAccumulator,
+    latest_checkpoint, load_checkpoint, resume_latest, run_with_checkpoints, run_with_recovery,
+    CheckpointConfig, RecoveryPolicy, RunAccumulator,
 };
 use fasda_cluster::{
     chrome_trace, coordinator_main, emit_final, final_totals_json, shard_ranges, stall_json,
@@ -199,19 +199,27 @@ fn usage() -> ExitCode {
          \x20           [--threads N] [--serial] [--shards S] [--shard-dir DIR]\n\
          \x20           [--fault-plan SPEC] [--drop-rate P] [--fault-seed S] [--unreliable]\n\
          \x20           [--checkpoint-every N --checkpoint-dir DIR] [--checkpoint-keep K]\n\
-         \x20           [--resume FILE|latest] [--dump-state FILE]\n\
+         \x20           [--resume FILE|latest] [--recover N] [--dump-state FILE]\n\
          \x20           [--trace-out run.trace.json] [--metrics-out run.metrics.json]\n\
          \x20           [--trace-level off|sync|full]\n\
          \x20           [--heartbeat-every N] [--heartbeat-out beats.jsonl]\n\
          \x20           [--prom-out scrape.prom] [--obs-out totals.json]\n\
          \x20 fasda generate --total 444 --out system.pdb [--per-cell 64] [--seed S]\n\
          \x20 fasda info --per-fpga 222 --total 444 [--variant A|B|C]\n\
+         \x20 fasda ckpt policy --step-ms T --failure-rate L\n\
+         \x20           [--save-ms S --restore-ms R | --bench BENCH_engine.json]\n\
+         \x20           [--interval K]\n\
          \n\
          fault-plan grammar: drop=P,corrupt=P,dup=P,delay=P:MAX,seed=N,\n\
-         \x20                   kill=CHAN:SRC->DST:N,crash=NODE@STEP\n\
-         (faults enable the reliable-delivery layer unless --unreliable is given;\n\
+         \x20                   kill=CHAN:SRC->DST:N,crash=NODE@STEP (repeatable),\n\
+         \x20                   burst=P_ENTER:P_EXIT:P_DROP,\n\
+         \x20                   flap=CHAN:SRC->DST:@STEP+DURATION,\n\
+         \x20                   partition=NODESET|NODESET:@STEP+DURATION\n\
+         (NODESET is '/'-separated nodes or half-open ranges, e.g. 0/2..5;\n\
+         \x20faults enable the reliable-delivery layer unless --unreliable is given;\n\
          \x20a crash aborts the run — recover with --resume latest, which strips the\n\
-         \x20crash directive)\n\
+         \x20crash directives, or let --recover N restart automatically up to N times,\n\
+         \x20stripping exactly the directive that fired each time)\n\
          \n\
          --shards S partitions the nodes across S worker processes exchanging\n\
          boundary traffic over Unix-domain sockets; the run is bit-identical to a\n\
@@ -441,6 +449,62 @@ fn run_checkpointed(
     Ok(())
 }
 
+/// The `--recover N` run path: [`run_with_recovery`] builds (and after
+/// each failure rebuilds) the cluster itself, stripping exactly the
+/// fault directive that fired before resuming from the newest
+/// checkpoint — so this path owns no resume flags, only the checkpoint
+/// schedule, which it requires.
+fn run_recovering(
+    opts: &Opts,
+    cfg: ClusterConfig,
+    sys: &fasda_md::system::ParticleSystem,
+    steps: u64,
+    eng: &EngineConfig,
+    ckpt: CheckpointConfig,
+    max_restarts: u32,
+) -> Result<(), String> {
+    println!("recovery armed: up to {max_restarts} automatic restart(s)");
+    let rec = run_with_recovery(
+        sys,
+        &cfg,
+        steps,
+        2_000_000_000,
+        eng,
+        &ckpt,
+        &RecoveryPolicy::new(max_restarts),
+    )
+    .map_err(|e| e.to_string())?;
+    for line in &rec.restarts {
+        println!("recovered: {line}");
+    }
+    if rec.restarts.is_empty() {
+        println!("no failure fired; the run completed on the first attempt");
+    }
+    println!(
+        "\nsimulation rate: {:.2} µs/day ({:.0} cycles/step at 200 MHz)",
+        rec.run.report.us_per_day(),
+        rec.run.report.cycles_per_step()
+    );
+    if rec.run.report.faults_injected > 0 {
+        println!("faults injected: {}", rec.run.report.faults_injected);
+    }
+    if let Some(out) = opts.get("--metrics-out") {
+        let doc = Json::obj()
+            .field("run", rec.run.report.metrics_json())
+            .field(
+                "restarts",
+                Json::Arr(rec.restarts.iter().map(|s| Json::Str(s.clone())).collect()),
+            );
+        std::fs::write(out, doc.build().pretty()).map_err(|e| e.to_string())?;
+        println!("wrote metrics to {out}");
+    }
+    if let Some(out) = opts.get("--dump-state") {
+        std::fs::write(out, state_dump(&rec.cluster, sys)).map_err(|e| e.to_string())?;
+        println!("wrote state dump to {out}");
+    }
+    Ok(())
+}
+
 /// The `--shards S` run path: spawn S worker processes (re-invoking our
 /// own argv with `--worker I --shard-dir DIR` appended), drive the
 /// global step barrier over the control socket, and fold their reports,
@@ -622,6 +686,17 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
 
     let eng = engine(opts)?;
     let ckpt = checkpoint_config(opts)?;
+    if let Some(n) = opts.get("--recover") {
+        let n: u32 = n.parse().map_err(|_| "bad --recover")?;
+        if opts.get("--shards").is_some() {
+            return Err("--recover drives a single-process run (each restart rebuilds the cluster in-process)".into());
+        }
+        if resume.is_some() {
+            return Err("--recover and --resume are exclusive (recovery resumes by itself)".into());
+        }
+        let ckpt = ckpt.ok_or("--recover needs --checkpoint-every and --checkpoint-dir")?;
+        return run_recovering(opts, cfg, &sys, steps, &eng, ckpt, n);
+    }
     if let Some(s) = opts.get("--shards") {
         let shards: usize = s.parse().map_err(|_| "bad --shards")?;
         return run_sharded_cli(opts, cfg, &sys, steps, shards, ckpt, resume);
@@ -770,6 +845,114 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `fasda ckpt policy` — the data-loss / availability calculator:
+/// Young–Daly checkpoint-interval optimization over measured costs.
+/// `--save-ms` / `--restore-ms` may come from flags or from the mean of
+/// the `recovery` sweep a `chaosbench --recovery` run merged into the
+/// benchmark document (`--bench`).
+fn cmd_ckpt_policy(opts: &Opts) -> Result<(), String> {
+    use fasda_cluster::ckpt::policy::PolicyInput;
+    let step_cost: f64 = opts
+        .get("--step-ms")
+        .ok_or("--step-ms required (wall-clock cost of one simulated step)")?
+        .parse()
+        .map_err(|_| "bad --step-ms")?;
+    let failure_rate: f64 = opts
+        .get("--failure-rate")
+        .ok_or("--failure-rate required (failures per simulated step)")?
+        .parse()
+        .map_err(|_| "bad --failure-rate")?;
+    let bench = match opts.get("--bench") {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            let rows: Vec<Json> = doc
+                .get("recovery")
+                .and_then(|r| r.get("sweep"))
+                .map(|s| s.items().to_vec())
+                .unwrap_or_default();
+            if rows.is_empty() {
+                return Err(format!(
+                    "{path} has no recovery.sweep rows — run `chaosbench --recovery` first"
+                ));
+            }
+            let mean = |field: &str| -> Option<f64> {
+                let vals: Vec<f64> = rows
+                    .iter()
+                    .filter_map(|r| r.get(field)?.as_f64())
+                    .collect();
+                (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+            };
+            println!("measured costs: mean over {} recovery sweep row(s) in {path}", rows.len());
+            Some((mean("serialize_ms"), mean("restore_ms")))
+        }
+    };
+    let cost = |flag: &str, measured: Option<f64>| -> Result<f64, String> {
+        match opts.get(flag) {
+            Some(v) => v.parse().map_err(|_| format!("bad {flag}")),
+            None => measured.ok_or_else(|| {
+                format!("{flag} required (or --bench pointing at a recovery sweep)")
+            }),
+        }
+    };
+    let save_cost = cost("--save-ms", bench.as_ref().and_then(|b| b.0))?;
+    let restore_cost = cost("--restore-ms", bench.as_ref().and_then(|b| b.1))?;
+    if !(step_cost > 0.0) || failure_rate < 0.0 || save_cost < 0.0 || restore_cost < 0.0 {
+        return Err("costs must be non-negative, with --step-ms > 0".into());
+    }
+    let input = PolicyInput { save_cost, restore_cost, step_cost, failure_rate };
+
+    println!(
+        "inputs: save {save_cost:.3} ms, restore {restore_cost:.3} ms, step {step_cost:.3} ms, \
+         failure rate {failure_rate:e}/step"
+    );
+    let ystar = input.young_daly_interval();
+    if ystar.is_infinite() {
+        println!("failure rate 0: never checkpoint (any interval only adds save overhead)");
+        return Ok(());
+    }
+    println!("Young-Daly optimum: sqrt(2*save/(rate*step)) = {ystar:.1} steps\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>13}",
+        "interval", "save-ovhd", "loss/fail", "rework-ovhd", "availability"
+    );
+    let best = input.optimize();
+    let mut ks = vec![
+        (best.interval_steps / 4).max(1),
+        (best.interval_steps / 2).max(1),
+        best.interval_steps,
+        best.interval_steps * 2,
+        best.interval_steps * 4,
+    ];
+    if let Some(k) = opts.get("--interval") {
+        ks.push(k.parse().map_err(|_| "bad --interval")?);
+    }
+    ks.sort_unstable();
+    ks.dedup();
+    for k in ks {
+        let f = input.forecast(k);
+        let mark = if f.interval_steps == best.interval_steps { "  <- optimal" } else { "" };
+        println!(
+            "{:>10} {:>11.2}% {:>10.1} st {:>11.2}% {:>12.4}{mark}",
+            f.interval_steps,
+            f.save_overhead * 100.0,
+            f.expected_loss_steps,
+            f.rework_overhead * 100.0,
+            f.availability
+        );
+    }
+    Ok(())
+}
+
+fn cmd_ckpt(opts: &Opts) -> Result<(), String> {
+    match opts.args.first().map(String::as_str) {
+        Some("policy") => cmd_ckpt_policy(opts),
+        Some(other) => Err(format!("unknown ckpt subcommand '{other}' (try 'policy')")),
+        None => Err("ckpt needs a subcommand (try 'policy')".into()),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -781,6 +964,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "generate" => cmd_generate(&opts),
         "info" => cmd_info(&opts),
+        "ckpt" => cmd_ckpt(&opts),
         _ => return usage(),
     };
     match result {

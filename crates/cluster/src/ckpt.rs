@@ -29,6 +29,7 @@ use fasda_ckpt::{
     Persist, Reader, Writer,
 };
 pub use fasda_ckpt::latest_checkpoint;
+pub use fasda_ckpt::policy;
 use fasda_core::timed::TrafficCounters;
 use fasda_sim::StatSet;
 use fasda_trace::{Trace, TraceLevel};
@@ -343,4 +344,149 @@ pub fn run_with_checkpoints(
         traces,
         checkpoints,
     })
+}
+
+/// Bounds for [`run_with_recovery`]'s restart loop.
+#[derive(Clone, Debug)]
+pub struct RecoveryPolicy {
+    /// Give up (returning the last failure) after this many restarts.
+    pub max_restarts: u32,
+}
+
+impl RecoveryPolicy {
+    /// Allow up to `max_restarts` automatic restarts.
+    pub fn new(max_restarts: u32) -> Self {
+        RecoveryPolicy { max_restarts }
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::new(4)
+    }
+}
+
+/// A run that [`run_with_recovery`] drove to completion, possibly
+/// through one or more restarts.
+pub struct RecoveredRun {
+    /// The completed run (whole-trajectory report, as if uninterrupted).
+    pub run: CheckpointedRun,
+    /// The final machine state, for `store_into`.
+    pub cluster: Cluster,
+    /// One human-readable line per restart taken, oldest first — empty
+    /// when the run survived on the first attempt.
+    pub restarts: Vec<String>,
+}
+
+/// Drive a run to completion through injected crashes and
+/// partition-induced deadlocks: a rolling-recovery loop around
+/// [`run_with_checkpoints`].
+///
+/// Each attempt builds a fresh [`Cluster`] over `sys` (crashed clusters
+/// are poisoned and cannot be re-armed) and resumes from the newest
+/// checkpoint in `ckpt.dir` — or replays from step 0 when the failure
+/// beat the first checkpoint to disk. Checkpoints are only written at
+/// quiescent segment boundaries, so the newest one always predates the
+/// failure's damage.
+///
+/// What each failure teaches the next attempt:
+/// * an injected **crash** strips exactly that `crash=NODE@STEP`
+///   directive ([`FaultPlan::without_crash_at`]) — later staggered
+///   crashes still fire, each recovered in its own restart;
+/// * a **deadlock diagnosed as an outage** (the fault layer latched a
+///   flap/partition before traffic starved) strips every window
+///   directive ([`FaultPlan::without_windows`]) — with the partition
+///   lifted the replay completes; an *organic* deadlock (no outage
+///   fired) is not recoverable and is returned as the error.
+///
+/// The recovered run's final state is bit-identical to an uninterrupted
+/// run with the same segmentation: every attempt replays from a
+/// quiescent snapshot under the same physics, and the stripped
+/// directives only ever removed traffic that reliability (or the replay
+/// itself) re-delivers. The fault-plan fingerprint in each checkpoint
+/// covers only the recovery-invariant core, so a stripped-plan resume
+/// never trips `ConfigMismatch`.
+pub fn run_with_recovery(
+    sys: &fasda_md::system::ParticleSystem,
+    cfg: &crate::driver::ClusterConfig,
+    steps: u64,
+    cycle_budget: u64,
+    engine: &EngineConfig,
+    ckpt: &CheckpointConfig,
+    policy: &RecoveryPolicy,
+) -> Result<RecoveredRun, CkptRunError> {
+    let mut plan = cfg.faults.clone();
+    let mut restarts: Vec<String> = Vec::new();
+    loop {
+        let mut run_cfg = cfg.clone();
+        run_cfg.faults = plan
+            .clone()
+            .filter(|p| !p.is_none() || !p.crashes.is_empty());
+        let mut cluster = Cluster::new(run_cfg, sys);
+        let acc = if restarts.is_empty() {
+            RunAccumulator::new()
+        } else {
+            match resume_latest(&mut cluster, &ckpt.dir)? {
+                Some((_, acc)) => acc,
+                None => RunAccumulator::new(),
+            }
+        };
+        match run_with_checkpoints(&mut cluster, steps, cycle_budget, engine, Some(ckpt), acc) {
+            Ok(run) => {
+                return Ok(RecoveredRun {
+                    run,
+                    cluster,
+                    restarts,
+                })
+            }
+            Err(CkptRunError::Run(err)) if (restarts.len() as u32) < policy.max_restarts => {
+                match err {
+                    ClusterError::Crashed(c) => {
+                        plan = plan.map(|p| p.without_crash_at(c.node as u32, c.step));
+                        restarts.push(format!(
+                            "crash: node {} at step {} (cycle {}); resuming from latest checkpoint",
+                            c.node, c.step, c.at_cycle
+                        ));
+                    }
+                    ClusterError::Deadlock(d) if !d.outages.is_empty() => {
+                        plan = plan.map(|p| p.without_windows());
+                        restarts.push(format!(
+                            "outage deadlock at cycle {} [{}]; windows lifted, resuming from latest checkpoint",
+                            d.at_cycle,
+                            d.outages.join(", ")
+                        ));
+                    }
+                    other => return Err(other.into()),
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The newest checkpoint step present in **every** directory — the
+/// rolling-recovery restore point for a deployment whose per-worker
+/// checkpoint directories hold mixed-age tails (a worker that died
+/// early stops writing; retention prunes the survivors' old files).
+/// Returns the step and one path per directory, in input order;
+/// `Ok(None)` when no common step survives (or any directory is empty
+/// or missing).
+pub fn newest_consistent(dirs: &[PathBuf]) -> Result<Option<(u64, Vec<PathBuf>)>, CkptError> {
+    let mut sets: Vec<std::collections::BTreeMap<u64, PathBuf>> = Vec::with_capacity(dirs.len());
+    for d in dirs {
+        if !d.is_dir() {
+            return Ok(None);
+        }
+        sets.push(fasda_ckpt::list_checkpoints(d)?.into_iter().collect());
+    }
+    let Some(first) = sets.first() else {
+        return Ok(None);
+    };
+    for &step in first.keys().rev() {
+        if sets.iter().all(|s| s.contains_key(&step)) {
+            let paths = sets.iter().map(|s| s[&step].clone()).collect();
+            return Ok(Some((step, paths)));
+        }
+    }
+    Ok(None)
 }

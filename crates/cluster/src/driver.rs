@@ -10,7 +10,7 @@ use fasda_md::space::SimulationSpace;
 use fasda_md::system::ParticleSystem;
 use fasda_md::units::UnitSystem;
 use fasda_net::encap::Packetizer;
-use fasda_net::fault::{FaultChannel, FaultOutcome, FaultPlan, FaultState};
+use fasda_net::fault::{CrashPoint, FaultChannel, FaultOutcome, FaultPlan, FaultState};
 use fasda_net::packet::PacketKind;
 use fasda_net::reliable::{Accept, LinkReceiver, LinkSender, RelConfig};
 use fasda_net::switch::SwitchFabric;
@@ -315,6 +315,11 @@ pub struct DeadlockDetected {
     pub starving: Vec<(usize, u64, String)>,
     /// Packets lost by the fabrics so far.
     pub packets_lost: u64,
+    /// Flap/partition directives that latched before the deadlock —
+    /// the diagnosis that separates "a partition starved the cluster"
+    /// from an organic lost-marker deadlock. A window that already
+    /// healed still appears: its cut traffic may be what starved us.
+    pub outages: Vec<String>,
 }
 
 impl std::fmt::Display for DeadlockDetected {
@@ -326,6 +331,9 @@ impl std::fmt::Display for DeadlockDetected {
         )?;
         for (node, step, phase) in &self.starving {
             write!(f, " node {node} at step {step} in {phase};")?;
+        }
+        if !self.outages.is_empty() {
+            write!(f, " diagnosed outages: {};", self.outages.join(", "))?;
         }
         Ok(())
     }
@@ -1008,30 +1016,41 @@ impl Cluster {
         let mut burst_backoff = BURST_RETRY_COOLDOWN;
         let mut burst_epoch = self.phase_epoch;
         let mut idle_streak = 0u64;
-        // `crash=NODE@STEP` directive: the node "dies" once its force
+        // `crash=NODE@STEP` directives: a node "dies" once its force
         // phase for that step is underway. Checked at the cycle-loop top
         // so a run resumed from a checkpoint taken at the step boundary
         // (phase still Done/armed, no force cycle executed yet) does not
-        // immediately re-fire; the resume path strips the directive with
-        // `FaultPlan::without_crash` anyway.
-        let crash = self.cfg.faults.as_ref().and_then(|p| p.crash);
+        // immediately re-fire; the resume path strips fired directives
+        // with `FaultPlan::without_crash`/`without_crash_at` anyway.
+        // Several directives may be armed (staggered crashes); if more
+        // than one is due on the same cycle, the lowest node fires —
+        // the same order the sharded merge resolves concurrent crashes.
+        let crashes: Vec<CrashPoint> = self
+            .cfg
+            .faults
+            .as_ref()
+            .map(|p| p.crashes.clone())
+            .unwrap_or_default();
 
         while !self.all_done(steps) {
-            if let Some(cp) = crash {
-                let node = cp.node as usize;
-                if node < self.num_nodes()
-                    && self.state[node].phase == NodePhase::Force
-                    && self.state[node].step == cp.step
-                    && self.cycle > self.state[node].phase_start
-                {
-                    return Err(CrashInjected {
-                        at_cycle: self.cycle,
-                        node,
-                        step: cp.step,
-                        packets_lost: self.pos_fabric.packets_lost + self.frc_fabric.packets_lost,
-                    }
-                    .into());
+            let fired = crashes
+                .iter()
+                .filter(|cp| {
+                    let node = cp.node as usize;
+                    node < self.num_nodes()
+                        && self.state[node].phase == NodePhase::Force
+                        && self.state[node].step == cp.step
+                        && self.cycle > self.state[node].phase_start
+                })
+                .min_by_key(|cp| cp.node);
+            if let Some(cp) = fired {
+                return Err(CrashInjected {
+                    at_cycle: self.cycle,
+                    node: cp.node as usize,
+                    step: cp.step,
+                    packets_lost: self.pos_fabric.packets_lost + self.frc_fabric.packets_lost,
                 }
+                .into());
             }
             let stepped = self.compute_phase(pool.as_ref());
             if self.tracing {
@@ -1227,6 +1246,11 @@ impl Cluster {
                 .map(|(n, s)| (n, s.step, format!("{:?}", s.phase)))
                 .collect(),
             packets_lost: self.pos_fabric.packets_lost + self.frc_fabric.packets_lost,
+            outages: self
+                .faults
+                .as_ref()
+                .map(|f| f.fired_outages())
+                .unwrap_or_default(),
         }
     }
 
@@ -2068,8 +2092,9 @@ impl Cluster {
     /// delivery phases, so outcomes are engine-invariant.
     fn put_on_wire(&mut self, node: usize, peer: usize, mut d: Delivery) {
         let kind = d.cargo.kind();
+        let (step, cycle) = (self.state[node].step, self.cycle);
         let outcome = match &mut self.faults {
-            Some(f) => f.on_transmit(chan_of(kind), node as u32, peer as u32, d.last),
+            Some(f) => f.on_transmit(chan_of(kind), node as u32, peer as u32, step, cycle, d.last),
             None => FaultOutcome::Deliver,
         };
         let channel = channel_id(kind);
@@ -2201,8 +2226,9 @@ impl Cluster {
                 EventKind::AckSent { channel: channel_id(kind), to: peer as u32, seq },
             );
         }
+        let (step, cycle) = (self.state[node].step, self.cycle);
         let outcome = match &mut self.faults {
-            Some(f) => f.on_transmit(chan_of(kind), node as u32, peer as u32, false),
+            Some(f) => f.on_transmit(chan_of(kind), node as u32, peer as u32, step, cycle, false),
             None => FaultOutcome::Deliver,
         };
         let channel = channel_id(kind);
@@ -2671,11 +2697,15 @@ impl Cluster {
         w.put_f64(self.cfg.dt_fs);
         w.put_u32(dbg(format!("{:?}", self.cfg.straggler)));
         w.put_u32(dbg(format!("{:?}", self.cfg.loss)));
+        // Fingerprint the recovery-invariant core of the plan: resumed
+        // runs strip crash directives (and, after a partition-diagnosed
+        // deadlock, flap/partition windows), and a stripped plan must
+        // still open the checkpoints its faulty ancestor wrote.
         let faults = self
             .cfg
             .faults
             .as_ref()
-            .map(|p| p.without_crash())
+            .map(|p| p.without_outages())
             .filter(|p| !p.is_none());
         w.put_u32(dbg(format!("{faults:?}")));
         w.put_u32(dbg(format!("{:?}", self.cfg.reliability)));
@@ -2851,9 +2881,21 @@ impl Cluster {
         match (&mut self.faults, had_faults) {
             (Some(f), true) => f.restore(r)?,
             (None, false) => {}
-            _ => {
+            // Recovery tolerance: a run resumed with a stripped plan may
+            // have no traffic faults left at all (the ancestor's plan
+            // was outage-only), yet the snapshot carries the ancestor's
+            // fault layer. Adopt it into an empty-plan fault state so
+            // the injected tallies and link streams survive the splice;
+            // with no directives in the plan the restored latches and
+            // streams are inert.
+            (None, true) => {
+                let mut f = FaultState::new(FaultPlan::none());
+                f.restore(r)?;
+                self.faults = Some(f);
+            }
+            (Some(_), false) => {
                 return Err(r.malformed(
-                    "fault-layer presence disagrees between snapshot and cluster",
+                    "snapshot has no fault layer but the cluster expects one",
                 ))
             }
         }

@@ -22,15 +22,16 @@ pub mod shard;
 pub mod wire;
 
 pub use ckpt::{
-    latest_checkpoint, load_checkpoint, resume_latest, run_with_checkpoints, save_checkpoint,
-    CheckpointConfig, CheckpointedRun, CkptRunError, RunAccumulator,
+    latest_checkpoint, load_checkpoint, newest_consistent, resume_latest, run_with_checkpoints,
+    run_with_recovery, save_checkpoint, CheckpointConfig, CheckpointedRun, CkptRunError,
+    RecoveredRun, RecoveryPolicy, RunAccumulator,
 };
 pub use driver::{
     Cluster, ClusterConfig, ClusterError, ClusterStalled, CrashInjected, DeadlockDetected,
     EngineConfig,
 };
 pub use fasda_net::fault::CrashPoint;
-pub use fasda_net::fault::{FaultChannel, FaultPlan, LinkFaults, MarkerKill};
+pub use fasda_net::fault::{BurstModel, FaultChannel, FaultPlan, LinkFaults, LinkFlap, MarkerKill, Partition};
 pub use fasda_net::reliable::RelConfig;
 pub use report::RelSummary;
 pub use host::{HostController, HostRun};

@@ -471,6 +471,9 @@ enum SegmentFail {
         /// Owned starving nodes: `(node, step, phase)`.
         starving: Vec<(u64, u64, String)>,
         lost: u64,
+        /// Flap/partition directives this worker saw latch — the
+        /// coordinator unions the shares into the oracle's diagnosis.
+        outages: Vec<String>,
     },
     Crashed {
         at_cycle: u64,
@@ -495,7 +498,7 @@ impl Persist for SegmentFail {
                 }
                 w.put_u64(*lost);
             }
-            SegmentFail::Deadlock { at_cycle, starving, lost } => {
+            SegmentFail::Deadlock { at_cycle, starving, lost, outages } => {
                 w.put_u8(1);
                 w.put_u64(*at_cycle);
                 w.put_usize(starving.len());
@@ -505,6 +508,7 @@ impl Persist for SegmentFail {
                     w.put_str(phase);
                 }
                 w.put_u64(*lost);
+                outages.save(w);
             }
             SegmentFail::Crashed { at_cycle, node, step, lost } => {
                 w.put_u8(2);
@@ -537,7 +541,8 @@ impl Persist for SegmentFail {
                 for _ in 0..n {
                     starving.push((r.get_u64()?, r.get_u64()?, r.get_str()?));
                 }
-                Ok(SegmentFail::Deadlock { at_cycle, starving, lost: r.get_u64()? })
+                let lost = r.get_u64()?;
+                Ok(SegmentFail::Deadlock { at_cycle, starving, lost, outages: Persist::load(r)? })
             }
             2 => Ok(SegmentFail::Crashed {
                 at_cycle: r.get_u64()?,
@@ -680,6 +685,12 @@ fn owned_starving(cl: &Cluster) -> Vec<(u64, u64, String)> {
         .filter(|&n| cl.state[n].phase != NodePhase::Done)
         .map(|n| (n as u64, cl.state[n].step, format!("{:?}", cl.state[n].phase)))
         .collect()
+}
+
+/// Window directives this worker saw latch on its owned source links —
+/// its share of the oracle's partition-vs-deadlock diagnosis.
+fn owned_outages(cl: &Cluster) -> Vec<String> {
+    cl.faults.as_ref().map(|f| f.fired_outages()).unwrap_or_default()
 }
 
 /// Combine per-worker event horizons exactly as the oracle's single
@@ -853,38 +864,49 @@ fn run_segment(
     let run_start = cl.cycle;
     cl.arm_run(engine);
     let mut idle_streak = 0u64;
-    let crash = cl.cfg.faults.as_ref().and_then(|p| p.crash);
+    let crashes: Vec<_> = cl
+        .cfg
+        .faults
+        .as_ref()
+        .map(|p| p.crashes.clone())
+        .unwrap_or_default();
     let owned = cl.owned_range();
 
     loop {
-        // Crash directive, checked at the loop top exactly like the
-        // oracle. Only the owner can observe it; it announces the crash
+        // Crash directives, checked at the loop top exactly like the
+        // oracle. Only the owner can observe one; it announces the crash
         // in place of its frame A so every worker fails identically.
         // (Peers learn one sub-cycle late — after their local compute —
         // but the divergence is unobservable: no segment result is
         // produced and the error is built from frame-consistent data.)
-        if let Some(cp) = crash {
-            let node = cp.node as usize;
-            if owned.contains(&node)
-                && cl.state[node].phase == NodePhase::Force
-                && cl.state[node].step == cp.step
-                && cl.cycle > cl.state[node].phase_start
-            {
-                let ci = CrashInfo {
-                    at_cycle: cl.cycle,
-                    node: cp.node,
-                    step: cp.step,
-                    lost: *lost_total,
-                };
-                broadcast(mesh, &MeshFrame::Events { crash: Some(ci), events: Vec::new() })
-                    .map_err(link_err)?;
-                return Err(SegmentFail::Crashed {
-                    at_cycle: ci.at_cycle,
-                    node: ci.node,
-                    step: ci.step,
-                    lost: ci.lost,
-                });
-            }
+        // Among concurrently-due directives the lowest node fires,
+        // matching the oracle's tie-break.
+        let due = crashes
+            .iter()
+            .filter(|cp| {
+                let node = cp.node as usize;
+                owned.contains(&node)
+                    && cl.state[node].phase == NodePhase::Force
+                    && cl.state[node].step == cp.step
+                    && cl.cycle > cl.state[node].phase_start
+            })
+            .min_by_key(|cp| cp.node)
+            .copied();
+        if let Some(cp) = due {
+            let ci = CrashInfo {
+                at_cycle: cl.cycle,
+                node: cp.node,
+                step: cp.step,
+                lost: *lost_total,
+            };
+            broadcast(mesh, &MeshFrame::Events { crash: Some(ci), events: Vec::new() })
+                .map_err(link_err)?;
+            return Err(SegmentFail::Crashed {
+                at_cycle: ci.at_cycle,
+                node: ci.node,
+                step: ci.step,
+                lost: ci.lost,
+            });
         }
 
         // Local cycle: compute → exchange → network, all on owned nodes.
@@ -1023,6 +1045,7 @@ fn run_segment(
                             at_cycle: cl.cycle,
                             starving: owned_starving(cl),
                             lost: *lost_total,
+                            outages: owned_outages(cl),
                         });
                     }
                 }
@@ -1038,6 +1061,7 @@ fn run_segment(
                     at_cycle: cl.cycle,
                     starving: owned_starving(cl),
                     lost: *lost_total,
+                    outages: owned_outages(cl),
                 });
             }
         }
@@ -1295,19 +1319,21 @@ fn merge_failures(fails: Vec<SegmentFail>) -> ShardError {
     }
     let mut starving = Vec::new();
     let mut nodes = Vec::new();
+    let mut outages = Vec::new();
     let mut at_cycle = 0;
     let mut lost = 0;
     let mut saw_deadlock = false;
     let mut saw_stall = false;
     for f in fails {
         match f {
-            SegmentFail::Deadlock { at_cycle: c, starving: s, lost: l } => {
+            SegmentFail::Deadlock { at_cycle: c, starving: s, lost: l, outages: o } => {
                 saw_deadlock = true;
                 at_cycle = c;
                 lost = l;
                 starving.extend(
                     s.into_iter().map(|(n, step, ph)| (n as usize, step, ph)),
                 );
+                outages.extend(o);
             }
             SegmentFail::Stalled { at_cycle: c, nodes: n, lost: l } => {
                 saw_stall = true;
@@ -1320,8 +1346,12 @@ fn merge_failures(fails: Vec<SegmentFail>) -> ShardError {
         }
     }
     if saw_deadlock {
+        // Workers report the directives their own links saw latch;
+        // the union, deduplicated, is the oracle's diagnosis.
+        outages.sort();
+        outages.dedup();
         ShardError::Cluster(
-            DeadlockDetected { at_cycle, starving, packets_lost: lost }.into(),
+            DeadlockDetected { at_cycle, starving, packets_lost: lost, outages }.into(),
         )
     } else if saw_stall {
         ShardError::Cluster(

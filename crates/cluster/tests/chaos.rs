@@ -14,29 +14,16 @@
 //! reported as a detected deadlock, not an infinite spin (§4.4's
 //! failure mode).
 
+mod harness;
+
 use fasda_cluster::{
-    Cluster, ClusterConfig, ClusterError, EngineConfig, FaultChannel, FaultPlan, MarkerKill,
-    RelConfig, StallCause, Trace, TraceConfig,
+    Cluster, ClusterError, EngineConfig, FaultChannel, FaultPlan, MarkerKill, StallCause, Trace,
+    TraceConfig,
 };
-use fasda_core::config::ChipConfig;
-use fasda_md::element::Element;
-use fasda_md::space::SimulationSpace;
 use fasda_md::system::ParticleSystem;
-use fasda_md::workload::{Placement, WorkloadSpec};
+use harness::{config, workload, ForceBits};
 
 const STEPS: u64 = 3;
-
-fn workload() -> ParticleSystem {
-    WorkloadSpec {
-        space: SimulationSpace::cubic(6),
-        per_cell: 3,
-        placement: Placement::JitteredLattice { jitter: 0.05 },
-        temperature_k: 150.0,
-        seed: 47,
-        element: Element::Na,
-    }
-    .generate()
-}
 
 /// The three seeded plans the acceptance gate names: pure loss, loss
 /// plus reordering hazards (delay/duplicate/corrupt), and targeted
@@ -77,37 +64,18 @@ fn plans() -> Vec<(&'static str, FaultPlan)> {
 struct RunOut {
     report: fasda_cluster::ClusterRunReport,
     sys: ParticleSystem,
-    forces: Vec<(u32, [i64; 3])>,
+    forces: ForceBits,
     trace: Option<Trace>,
 }
 
 fn run(plan: Option<FaultPlan>, reliable: bool, engine: &EngineConfig) -> RunOut {
     let sys = workload();
-    let mut cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
-    if let Some(p) = plan {
-        cfg = cfg.with_faults(p);
-    }
-    if reliable {
-        cfg = cfg.with_reliability(RelConfig::new(2_048, 16_384));
-    }
-    let mut cluster = Cluster::new(cfg, &sys);
+    let mut cluster = Cluster::new(config(plan, reliable), &sys);
     assert_eq!(cluster.num_nodes(), 8);
     let report = cluster
-        .try_run_with(STEPS, 2_000_000_000, engine)
+        .try_run_with(STEPS, harness::BUDGET, engine)
         .expect("chaos run converges");
-    let mut out = sys.clone();
-    cluster.store_into(&mut out);
-    // Per-particle force accumulators (raw fixed-point FC-bank bits)
-    // keyed by stable ID.
-    let mut forces = Vec::new();
-    for chip in &cluster.chips {
-        for cbb in &chip.cbbs {
-            for i in 0..cbb.len() {
-                forces.push((cbb.id[i], cbb.force[i].map(|f| f.0)));
-            }
-        }
-    }
-    forces.sort_by_key(|e| e.0);
+    let (out, forces) = harness::final_state(&cluster, &sys);
     RunOut {
         report,
         sys: out,
@@ -247,10 +215,9 @@ fn lost_marker_without_reliability_deadlocks() {
         EngineConfig::serial().with_fast_forward(true),
     ] {
         let sys = workload();
-        let cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3)).with_faults(plan.clone());
-        let mut cluster = Cluster::new(cfg, &sys);
+        let mut cluster = Cluster::new(config(Some(plan.clone()), false), &sys);
         let err = cluster
-            .try_run_with(STEPS, 2_000_000_000, &engine)
+            .try_run_with(STEPS, harness::BUDGET, &engine)
             .expect_err("killed marker must deadlock without reliability");
         match &err {
             ClusterError::Deadlock(d) => {

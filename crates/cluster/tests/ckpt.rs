@@ -12,6 +12,8 @@
 //! or truncated checkpoint files must fail with a typed error naming the
 //! bad section — never a panic, never a silent partial restore.
 
+mod harness;
+
 use fasda_cluster::ckpt::{
     resume_latest, run_with_checkpoints, CheckpointConfig, CheckpointedRun, CkptRunError,
     RunAccumulator,
@@ -19,65 +21,17 @@ use fasda_cluster::ckpt::{
 use fasda_cluster::{
     Cluster, ClusterConfig, ClusterError, EngineConfig, FaultPlan, RelConfig, TraceConfig,
 };
-use fasda_ckpt::{Container, ContainerWriter, CkptError};
-use fasda_core::config::ChipConfig;
-use fasda_md::element::Element;
-use fasda_md::space::SimulationSpace;
+use fasda_ckpt::{CkptError, Container, ContainerWriter};
 use fasda_md::system::ParticleSystem;
-use fasda_md::workload::{Placement, WorkloadSpec};
 use fasda_sim::rng::XorShift64Star;
-use std::path::PathBuf;
+use harness::{config, final_state, workload, BUDGET};
 
 const STEPS: u64 = 6;
 const EVERY: u64 = 2;
-const BUDGET: u64 = 2_000_000_000;
 
-fn workload() -> ParticleSystem {
-    WorkloadSpec {
-        space: SimulationSpace::cubic(6),
-        per_cell: 3,
-        placement: Placement::JitteredLattice { jitter: 0.05 },
-        temperature_k: 150.0,
-        seed: 47,
-        element: Element::Na,
-    }
-    .generate()
-}
-
-fn config(faults: Option<FaultPlan>, reliable: bool) -> ClusterConfig {
-    let mut cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
-    if let Some(p) = faults {
-        cfg = cfg.with_faults(p);
-    }
-    if reliable {
-        cfg = cfg.with_reliability(RelConfig::new(2_048, 16_384));
-    }
-    cfg
-}
-
-/// Fresh scratch directory under the system temp dir, unique per tag.
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("fasda-ckpt-{}-{tag}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).expect("create scratch dir");
-    d
-}
-
-/// Bit-exact final state: positions, velocities, and the raw
-/// fixed-point force-accumulator bank bits keyed by stable particle ID.
-fn final_state(cluster: &Cluster, sys: &ParticleSystem) -> (ParticleSystem, Vec<(u32, [i64; 3])>) {
-    let mut out = sys.clone();
-    cluster.store_into(&mut out);
-    let mut forces = Vec::new();
-    for chip in &cluster.chips {
-        for cbb in &chip.cbbs {
-            for i in 0..cbb.len() {
-                forces.push((cbb.id[i], cbb.force[i].map(|f| f.0)));
-            }
-        }
-    }
-    forces.sort_by_key(|e| e.0);
-    (out, forces)
+/// Suite-namespaced scratch directory.
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    harness::tmpdir(&format!("ckpt-{tag}"))
 }
 
 /// Per-node event streams of every segment trace, flattened in segment

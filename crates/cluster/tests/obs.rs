@@ -7,67 +7,21 @@
 //! a parseable Prometheus scrape file, and — in sharded runs — fleet
 //! records naming the lagging shard.
 
+mod harness;
+
 use fasda_cluster::{
-    emit_final, final_totals_json, measured_from, model_input, run_sharded, Cluster,
-    ClusterConfig, EngineConfig, FaultPlan, ObsLive, ObsSinkConfig, RelConfig, ShardOpts,
-    StallLedger, Trace, TraceConfig,
+    emit_final, final_totals_json, measured_from, model_input, run_sharded, Cluster, EngineConfig,
+    FaultPlan, ObsLive, ObsSinkConfig, ShardOpts, TraceConfig,
 };
-use fasda_core::config::ChipConfig;
-use fasda_md::element::Element;
-use fasda_md::space::SimulationSpace;
-use fasda_md::system::ParticleSystem;
-use fasda_md::workload::{Placement, WorkloadSpec};
 use fasda_trace::Json;
+use harness::{config, fold, parse_jsonl, workload, BUDGET};
 use std::path::PathBuf;
 
 const STEPS: u64 = 4;
-const BUDGET: u64 = 2_000_000_000;
 
-fn workload() -> ParticleSystem {
-    WorkloadSpec {
-        space: SimulationSpace::cubic(6),
-        per_cell: 3,
-        placement: Placement::JitteredLattice { jitter: 0.05 },
-        temperature_k: 150.0,
-        seed: 47,
-        element: Element::Na,
-    }
-    .generate()
-}
-
-/// 2×2×2 nodes: a 6³-cell space split into 3×3×3-cell blocks.
-fn config(faults: Option<FaultPlan>, reliable: bool) -> ClusterConfig {
-    let mut cfg = ClusterConfig::paper(ChipConfig::baseline(), (3, 3, 3));
-    if let Some(p) = faults {
-        cfg = cfg.with_faults(p);
-    }
-    if reliable {
-        cfg = cfg.with_reliability(RelConfig::new(2_048, 16_384));
-    }
-    cfg
-}
-
+/// Suite-namespaced scratch directory.
 fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("fasda-obs-{}-{tag}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).expect("create scratch dir");
-    d
-}
-
-fn fold(traces: &[Trace], nodes: usize) -> StallLedger {
-    let mut folded = StallLedger::new(nodes);
-    for t in traces {
-        folded.absorb(&t.stalls);
-    }
-    folded
-}
-
-fn parse_jsonl(path: &PathBuf) -> Vec<Json> {
-    std::fs::read_to_string(path)
-        .expect("read heartbeat stream")
-        .lines()
-        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}")))
-        .collect()
+    harness::tmpdir(&format!("obs-{tag}"))
 }
 
 // -------------------------------------------------------------------------
@@ -248,6 +202,56 @@ fn sharded_run_emits_fleet_beats_naming_lagging_shard() {
     let prom = std::fs::read_to_string(sinks.prom_out.clone().unwrap()).expect("scrape file");
     assert!(prom.contains("fasda_fleet_shard_min_step_total{shard=\"0\"}"));
     assert!(prom.contains("fasda_fleet_shard_min_step_total{shard=\"1\"}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -------------------------------------------------------------------------
+// Heartbeat continuity across a partition-with-heal window
+// -------------------------------------------------------------------------
+
+#[test]
+fn heartbeats_stay_continuous_across_partition_heal() {
+    // The in-run sampler beats on step boundaries, so a partition window
+    // stretches *cycles* (retransmission storms on the severed links)
+    // but must never open a gap in the beat stream: with cadence 1 no
+    // two consecutive beats — nor start-of-run to first beat, nor last
+    // beat to end-of-run — may be more than 2× the cadence apart.
+    let every = 1u64;
+    let limit = 2 * every;
+    let sys = workload();
+    let dir = tmpdir("continuity");
+    let sinks = ObsSinkConfig {
+        heartbeat_out: Some(dir.join("beats.jsonl")),
+        prom_out: None,
+    };
+
+    // Halves sever at step 1 and heal mid-run; reliability on, so the
+    // retransmit timers outlive the window and the run completes.
+    let plan = FaultPlan::none()
+        .with_seed(0x0B5)
+        .with_partition(vec![0, 1, 2, 3], vec![4, 5, 6, 7], 1, 6_000);
+    let mut cluster = Cluster::new(config(Some(plan), true), &sys);
+    cluster.attach_obs(Box::new(ObsLive::new(every, &sinks).expect("sinks open")));
+    let report = cluster
+        .try_run_with(STEPS, BUDGET, &EngineConfig::serial())
+        .expect("partitioned run heals and completes");
+    assert!(report.faults_injected > 0, "partition window injected nothing");
+
+    let seen: Vec<u64> = parse_jsonl(&sinks.heartbeat_out.clone().unwrap())
+        .iter()
+        .filter(|rec| rec.get("type").unwrap().as_str() == Some("beat"))
+        .map(|rec| rec.get("step").unwrap().as_i64().unwrap() as u64)
+        .collect();
+    assert!(!seen.is_empty(), "no heartbeats emitted");
+    let mut max_gap = seen[0]; // start-of-run to first beat
+    for w in seen.windows(2) {
+        max_gap = max_gap.max(w[1] - w[0]);
+    }
+    max_gap = max_gap.max(STEPS - seen.last().unwrap()); // last beat to end
+    assert!(
+        max_gap <= limit,
+        "heartbeat gap of {max_gap} steps across the partition window exceeds {limit} (2x cadence)"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

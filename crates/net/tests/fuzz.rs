@@ -467,9 +467,9 @@ mod snapshot_roundtrips {
         ) {
             let plan = FaultPlan::drop_only(drop_p, seed);
             let mut fs = FaultState::new(plan.clone());
-            for &(ch, src, dst) in &warmup {
+            for (i, &(ch, src, dst)) in warmup.iter().enumerate() {
                 let channel = FaultChannel::ALL[ch as usize % FaultChannel::ALL.len()];
-                fs.on_transmit(channel, src, dst, ch % 5 == 0);
+                fs.on_transmit(channel, src, dst, i as u64, i as u64, ch % 5 == 0);
             }
             let bytes = snapshot_bytes(&fs);
             let mut restored = FaultState::new(plan);
@@ -484,11 +484,134 @@ mod snapshot_roundtrips {
                     for i in 0..10u8 {
                         let channel = FaultChannel::ALL[i as usize % FaultChannel::ALL.len()];
                         prop_assert_eq!(
-                            fs.on_transmit(channel, src, dst, false),
-                            restored.on_transmit(channel, src, dst, false)
+                            fs.on_transmit(channel, src, dst, 9, 9, false),
+                            restored.on_transmit(channel, src, dst, 9, 9, false)
                         );
                     }
                 }
+            }
+        }
+
+        /// Correlated schedules (burst chains, flaps, partitions) are a
+        /// pure function of the per-link transmission history: the same
+        /// seed and plan produce the byte-identical fault event sequence
+        /// no matter where a checkpoint/resume split lands.
+        #[test]
+        fn correlated_schedule_invariant_across_resume_split(
+            seed in any::<u64>(),
+            drop_p in 0.0f64..0.4,
+            p_enter in 0.0f64..0.5,
+            p_exit in 0.05f64..1.0,
+            flap_step in 0u64..5,
+            flap_dur in 1u64..60,
+            part_step in 0u64..5,
+            part_dur in 1u64..60,
+            ops in proptest::collection::vec((0u8..3, 0u32..4, 0u32..4, any::<bool>()), 1..120),
+            split in any::<u64>(),
+        ) {
+            let plan = FaultPlan::drop_only(drop_p, seed)
+                .with_burst(p_enter, p_exit, 0.9)
+                .with_flap(fasda_net::fault::LinkFlap {
+                    channel: FaultChannel::Pos,
+                    src: 0,
+                    dst: 1,
+                    step: flap_step,
+                    duration: flap_dur,
+                })
+                .with_partition(vec![0, 1], vec![2, 3], part_step, part_dur);
+            // Step/cycle trajectories are deterministic functions of the
+            // op index, shared by every replay below.
+            let transmit = |st: &mut FaultState, i: usize, op: (u8, u32, u32, bool)| {
+                let (ch, src, dst, marker) = op;
+                let channel = FaultChannel::ALL[ch as usize % FaultChannel::ALL.len()];
+                st.on_transmit(channel, src, dst, i as u64 / 7, i as u64 * 3, marker)
+            };
+
+            // Oracle: the uninterrupted schedule.
+            let mut oracle = FaultState::new(plan.clone());
+            let want: Vec<_> =
+                ops.iter().enumerate().map(|(i, &op)| transmit(&mut oracle, i, op)).collect();
+
+            // Split at an arbitrary point, snapshot, restore, continue.
+            let k = split as usize % (ops.len() + 1);
+            let mut first = FaultState::new(plan.clone());
+            let mut got: Vec<_> = ops[..k]
+                .iter()
+                .enumerate()
+                .map(|(i, &op)| transmit(&mut first, i, op))
+                .collect();
+            let bytes = snapshot_bytes(&first);
+            let mut resumed = FaultState::new(plan);
+            let mut r = fasda_ckpt::Reader::new(&bytes, "net.faults");
+            resumed.restore(&mut r).expect("restore");
+            got.extend(
+                ops[k..]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &op)| transmit(&mut resumed, k + j, op)),
+            );
+            prop_assert_eq!(got, want, "resume split at {} diverged", k);
+            prop_assert_eq!(resumed.injected, oracle.injected);
+            prop_assert_eq!(snapshot_bytes(&resumed), snapshot_bytes(&oracle));
+        }
+
+        /// The same schedule is invariant to sharding: two workers, each
+        /// deciding only the transmissions whose source node it owns,
+        /// produce exactly the oracle's per-transmission outcomes, and
+        /// the source-sliced splice (`adopt_links_from`) rebuilds a
+        /// state that continues identically to the oracle.
+        #[test]
+        fn correlated_schedule_invariant_across_sharding(
+            seed in any::<u64>(),
+            drop_p in 0.0f64..0.4,
+            p_enter in 0.0f64..0.5,
+            p_exit in 0.05f64..1.0,
+            part_step in 0u64..4,
+            part_dur in 1u64..60,
+            ops in proptest::collection::vec((0u8..3, 0u32..4, 0u32..4, any::<bool>()), 1..120),
+            tail in proptest::collection::vec((0u8..3, 0u32..4, 0u32..4, any::<bool>()), 1..40),
+        ) {
+            let plan = FaultPlan::drop_only(drop_p, seed)
+                .with_burst(p_enter, p_exit, 0.9)
+                .with_partition(vec![0, 1], vec![2, 3], part_step, part_dur);
+            let transmit = |st: &mut FaultState, i: usize, op: (u8, u32, u32, bool)| {
+                let (ch, src, dst, marker) = op;
+                let channel = FaultChannel::ALL[ch as usize % FaultChannel::ALL.len()];
+                st.on_transmit(channel, src, dst, i as u64 / 7, i as u64 * 3, marker)
+            };
+
+            let mut oracle = FaultState::new(plan.clone());
+            let want: Vec<_> =
+                ops.iter().enumerate().map(|(i, &op)| transmit(&mut oracle, i, op)).collect();
+
+            // Workers own srcs {0,1} and {2,3}; each sees only its half
+            // of the global transmit order, exactly like the sharded
+            // network phase.
+            let mut w_lo = FaultState::new(plan.clone());
+            let mut w_hi = FaultState::new(plan.clone());
+            for (i, &op) in ops.iter().enumerate() {
+                let st = if op.1 < 2 { &mut w_lo } else { &mut w_hi };
+                prop_assert_eq!(transmit(st, i, op), want[i], "worker diverged at op {}", i);
+            }
+            // Per-transmission attribution is disjoint, so worker tallies
+            // reconcile to the oracle's by summation.
+            for k in 0..5 {
+                prop_assert_eq!(w_lo.injected[k] + w_hi.injected[k], oracle.injected[k]);
+            }
+
+            // Splice both workers' link state into a fresh replica and
+            // continue: the replica must match the oracle continuing.
+            let mut replica = FaultState::new(plan);
+            replica.adopt_links_from(&w_lo, |src| src < 2);
+            replica.adopt_links_from(&w_hi, |src| src >= 2);
+            for (j, &op) in tail.iter().enumerate() {
+                let i = ops.len() + j;
+                prop_assert_eq!(
+                    transmit(&mut replica, i, op),
+                    transmit(&mut oracle, i, op),
+                    "spliced replica diverged at tail op {}",
+                    j
+                );
             }
         }
 
