@@ -1,0 +1,224 @@
+//! Service load generator — submit→complete latency and queue-depth
+//! behaviour of the `fasda-svc` job daemon under concurrent multi-tenant
+//! load.
+//!
+//! Starts an in-process server (Unix-domain control socket, a worker
+//! pool), then drives it from several client threads, each submitting a
+//! stream of tiny jobs across a handful of tenants with distinct
+//! fair-share weights. A slice of the jobs is asked to migrate
+//! mid-flight, so the measured latencies include drain/resume cycles —
+//! the service's steady state under rebalancing, not an idle best case.
+//!
+//! Two latency views are recorded and cross-checked:
+//!
+//! * client-side — per-job submit→terminal wall clock, quantiled over
+//!   the raw samples (includes the client's ~20 ms status-poll
+//!   quantization, i.e. what a caller actually experiences);
+//! * server-side — the daemon's own `job_latency_ms` histogram,
+//!   bucket-quantiled with the `fasda_obs::Hist::quantile` rule
+//!   (submit→settle, no poll overhead, upper-bound biased).
+//!
+//! Results go to `BENCH_service.json` in the current directory.
+//!
+//! Usage: `svcloadgen [--jobs N] [--clients N] [--workers N]
+//!                    [--per-cell N] [--steps N] [--migrate-every N]
+//!                    [--out FILE] [--smoke]`
+//!
+//! `--smoke` shrinks the run to a handful of jobs — a CI liveness gate,
+//! not a measurement.
+
+use fasda_bench::Args;
+use fasda_svc::{Client, JobSpec, Server, ServerConfig};
+use fasda_trace::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TENANTS: [(&str, &str); 3] = [("alice", "2"), ("bob", "1"), ("carol", "1")];
+
+fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let jobs: usize = if smoke { 6 } else { args.get("jobs", 40) };
+    let clients: usize = args.get("clients", if smoke { 2 } else { 4 });
+    let workers: usize = args.get("workers", 2);
+    let per_cell: u32 = args.get("per-cell", 4);
+    // Two steps with a checkpoint after the first gives every job a
+    // segment boundary a migrate request can drain at.
+    let steps: u64 = args.get("steps", 2);
+    let migrate_every: usize = args.get("migrate-every", 8);
+    let out = args.get("out", "BENCH_service.json".to_string());
+
+    let dir = std::env::temp_dir().join(format!("fasda-svcload-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = ServerConfig::at(&dir);
+    cfg.workers = workers;
+    for (tenant, weight) in TENANTS {
+        cfg.tenants
+            .parse_clause(&format!("{tenant}:{weight}"))
+            .expect("tenant clause");
+    }
+    let handle = Server::start(cfg).expect("server start");
+    println!(
+        "svcloadgen: {jobs} job(s) from {clients} client thread(s) against {workers} worker(s) \
+         (per_cell {per_cell}, steps {steps}, migrate every {migrate_every})"
+    );
+
+    let counter = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let addr = handle.addr().clone();
+        let counter = Arc::clone(&counter);
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("client connect");
+            let mut latencies_ms: Vec<f64> = Vec::new();
+            let mut migrated = 0u64;
+            loop {
+                let n = counter.fetch_add(1, Ordering::SeqCst) as usize;
+                if n >= jobs {
+                    break;
+                }
+                let spec = JobSpec {
+                    name: format!("load-{n}"),
+                    tenant: TENANTS[n % TENANTS.len()].0.to_string(),
+                    priority: (n % 3) as i64,
+                    per_cell,
+                    steps,
+                    ckpt_every: 1,
+                    ..JobSpec::default()
+                };
+                let t0 = Instant::now();
+                let id = client.submit(&spec).expect("submit");
+                if workers >= 2 && migrate_every > 0 && n.is_multiple_of(migrate_every) {
+                    // Racing the worker is fine: a job that already
+                    // finished just rejects the migrate.
+                    if client.migrate(id).is_ok() {
+                        migrated += 1;
+                    }
+                }
+                let status = client
+                    .wait(id, Duration::from_secs(600))
+                    .expect("job terminal");
+                assert_eq!(
+                    status.get("state").and_then(Json::as_str),
+                    Some("completed"),
+                    "client {c} job {id}: {}",
+                    status.compact()
+                );
+                latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            (latencies_ms, migrated)
+        }));
+    }
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut migrate_requests = 0u64;
+    for t in threads {
+        let (lat, mig) = t.join().expect("client thread");
+        latencies_ms.extend(lat);
+        migrate_requests += mig;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut metrics_client = Client::connect(handle.addr()).expect("metrics connect");
+    let metrics = metrics_client.metrics().expect("metrics");
+    metrics_client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (p50, p95, p99) = (
+        quantile(&latencies_ms, 0.50),
+        quantile(&latencies_ms, 0.95),
+        quantile(&latencies_ms, 0.99),
+    );
+    let counters = metrics.get("counters").cloned().unwrap_or(Json::Null);
+    let counter_of = |name: &str| counters.get(name).and_then(Json::as_i64).unwrap_or(0);
+    // The serialized histogram is bounds/counts; quantile it with the
+    // same upper-bound-of-bucket rule as `fasda_obs::Hist::quantile`.
+    let hist = metrics
+        .get("hists")
+        .and_then(|h| h.get("job_latency_ms"))
+        .cloned()
+        .unwrap_or(Json::Null);
+    let hist_q = |q: f64| -> u64 {
+        let nums = |key: &str| -> Vec<u64> {
+            hist.get(key)
+                .map(|a| a.items().iter().filter_map(|v| v.as_i64()).map(|v| v as u64).collect())
+                .unwrap_or_default()
+        };
+        let (bounds, counts) = (nums("bounds"), nums("counts"));
+        let total: u64 = counts.iter().sum();
+        if total == 0 || bounds.is_empty() {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bounds.get(i).copied().unwrap_or(*bounds.last().expect("bounds"));
+            }
+        }
+        *bounds.last().expect("bounds")
+    };
+
+    assert_eq!(
+        counter_of("jobs_completed") as usize,
+        jobs,
+        "not every job completed: {}",
+        metrics.compact()
+    );
+
+    let doc = Json::obj()
+        .field("workload", "svc-loadgen-633-2node")
+        .field("jobs", jobs)
+        .field("clients", clients)
+        .field("workers", workers)
+        .field("per_cell", per_cell)
+        .field("steps", Json::uint(steps))
+        .field("elapsed_seconds", elapsed)
+        .field("throughput_jobs_per_sec", jobs as f64 / elapsed)
+        .field(
+            "latency_ms",
+            Json::obj()
+                .field("p50", p50)
+                .field("p95", p95)
+                .field("p99", p99)
+                .field("min", latencies_ms.first().copied().unwrap_or(0.0))
+                .field("max", latencies_ms.last().copied().unwrap_or(0.0))
+                .field("samples", latencies_ms.len())
+                .build(),
+        )
+        .field(
+            "server_hist_latency_ms",
+            Json::obj()
+                .field("p50", Json::uint(hist_q(0.50)))
+                .field("p95", Json::uint(hist_q(0.95)))
+                .field("p99", Json::uint(hist_q(0.99)))
+                .build(),
+        )
+        .field("queue_depth_peak", counter_of("queue_depth_peak"))
+        .field("migrate_requests", Json::uint(migrate_requests))
+        .field("jobs_migrated", counter_of("jobs_migrated"))
+        .field("jobs_completed", counter_of("jobs_completed"))
+        .field("smoke", smoke)
+        .build();
+    std::fs::write(&out, doc.pretty()).expect("write results");
+    println!(
+        "submit->complete: p50 {p50:.0} ms, p95 {p95:.0} ms, p99 {p99:.0} ms \
+         ({:.1} jobs/s, queue peak {}, {} migration(s))",
+        jobs as f64 / elapsed,
+        counter_of("queue_depth_peak"),
+        counter_of("jobs_migrated")
+    );
+    println!("wrote {out}");
+}

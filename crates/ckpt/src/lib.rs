@@ -941,9 +941,15 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
     Ok(())
 }
 
-/// All checkpoints in `dir`, sorted ascending by step.
+/// All checkpoints in `dir`, sorted ascending by step. A directory that
+/// does not exist yet holds no checkpoints — that's an empty list, not
+/// an error (a job resumed before its first checkpoint write starts
+/// fresh).
 pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, CkptError> {
     let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         if let Some(step) = checkpoint_step(&path) {
@@ -957,6 +963,215 @@ pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, CkptError> {
 /// The most recent checkpoint in `dir`, if any.
 pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, CkptError> {
     Ok(list_checkpoints(dir)?.pop().map(|(_, p)| p))
+}
+
+pub mod journal {
+    //! Crash-safe append-only record log, built on the same
+    //! [`frame`](super::frame) encoding as the container sections and
+    //! the shard transport: each record is `len u64 | crc32 u32 |
+    //! payload`, appended and fsynced before the write is acknowledged.
+    //!
+    //! Recovery semantics (the part a queue journal lives or dies on):
+    //! [`replay`] returns every record up to the first *incomplete*
+    //! frame. A frame cut short by a crash mid-append — the header or
+    //! payload simply ends early — is a **torn tail**: the record was
+    //! never acknowledged, so it is discarded and reported, not an
+    //! error. A frame that is fully present but fails its CRC is
+    //! *corruption* of acknowledged data and is a hard
+    //! [`CkptError::CrcMismatch`]; so is any garbage that continues
+    //! after a short frame.
+
+    use super::{frame, CkptError};
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+
+    /// What [`replay`] found in a journal file.
+    #[derive(Debug)]
+    pub struct Replay {
+        /// Every durable record, in append order.
+        pub records: Vec<Vec<u8>>,
+        /// Bytes of torn (unacknowledged, discarded) tail frame, 0 for
+        /// a cleanly closed journal.
+        pub torn_bytes: u64,
+    }
+
+    /// Read a journal back. A missing file is an empty journal.
+    pub fn replay(path: &Path) -> Result<Replay, CkptError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Replay { records: Vec::new(), torn_bytes: 0 })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let rest = &bytes[pos..];
+            // A header or payload that runs past EOF is a torn tail
+            // (the append never completed); anything else re-frames
+            // through the shared validation path.
+            if rest.len() < frame::HEADER_BYTES {
+                return Ok(Replay { records, torn_bytes: rest.len() as u64 });
+            }
+            let len = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+            if len > frame::MAX_FRAME_BYTES {
+                return Err(CkptError::Malformed {
+                    section: "journal".to_string(),
+                    what: format!("record length {len} exceeds the frame cap"),
+                });
+            }
+            let total = frame::HEADER_BYTES + len as usize;
+            if rest.len() < total {
+                return Ok(Replay { records, torn_bytes: rest.len() as u64 });
+            }
+            let mut rd = &rest[..total];
+            let payload = frame::read_frame_from(&mut rd, "journal")?;
+            records.push(payload);
+            pos += total;
+        }
+        Ok(Replay { records, torn_bytes: 0 })
+    }
+
+    /// Append handle: one durable record per [`JournalWriter::append`].
+    #[derive(Debug)]
+    pub struct JournalWriter {
+        file: std::fs::File,
+        path: PathBuf,
+    }
+
+    impl JournalWriter {
+        /// Open (creating if absent) `path` for appending.
+        pub fn open(path: &Path) -> Result<Self, CkptError> {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)?;
+            }
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            Ok(JournalWriter { file, path: path.to_path_buf() })
+        }
+
+        /// Append one record and fsync it. When this returns `Ok`, the
+        /// record survives a crash.
+        pub fn append(&mut self, payload: &[u8]) -> Result<(), CkptError> {
+            let mut framed = Vec::with_capacity(payload.len() + frame::HEADER_BYTES);
+            frame::write_frame(&mut framed, payload);
+            self.file.write_all(&framed)?;
+            self.file.sync_data()?;
+            Ok(())
+        }
+
+        /// Replace the journal's contents with `records` (compaction
+        /// after a snapshot): write a fresh journal beside the live one,
+        /// fsync it, and rename it into place — the same atomic
+        /// write-rename discipline as [`write_atomic`](super::write_atomic).
+        /// The handle continues appending to the new file.
+        pub fn compact(&mut self, records: &[&[u8]]) -> Result<(), CkptError> {
+            let tmp = self.path.with_extension("journal.tmp");
+            let mut out = Vec::new();
+            for r in records {
+                frame::write_frame(&mut out, r);
+            }
+            {
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(&out)?;
+                f.sync_data()?;
+            }
+            std::fs::rename(&tmp, &self.path)?;
+            self.file = std::fs::OpenOptions::new().append(true).open(&self.path)?;
+            Ok(())
+        }
+
+        /// The journal file path.
+        pub fn path(&self) -> &Path {
+            &self.path
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn tmp(tag: &str) -> PathBuf {
+            let d = std::env::temp_dir()
+                .join(format!("fasda-journal-test-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            std::fs::create_dir_all(&d).unwrap();
+            d.join("q.journal")
+        }
+
+        #[test]
+        fn append_replay_roundtrip() {
+            let path = tmp("roundtrip");
+            let mut w = JournalWriter::open(&path).unwrap();
+            w.append(b"one").unwrap();
+            w.append(b"").unwrap();
+            w.append(&[0xAB; 4096]).unwrap();
+            let r = replay(&path).unwrap();
+            assert_eq!(r.records.len(), 3);
+            assert_eq!(r.records[0], b"one");
+            assert_eq!(r.records[1], b"");
+            assert_eq!(r.records[2], vec![0xAB; 4096]);
+            assert_eq!(r.torn_bytes, 0);
+        }
+
+        #[test]
+        fn missing_file_is_empty_journal() {
+            let r = replay(&tmp("missing")).unwrap();
+            assert!(r.records.is_empty());
+            assert_eq!(r.torn_bytes, 0);
+        }
+
+        #[test]
+        fn torn_tail_is_discarded_not_fatal() {
+            let path = tmp("torn");
+            let mut w = JournalWriter::open(&path).unwrap();
+            w.append(b"alpha").unwrap();
+            w.append(b"beta").unwrap();
+            let full = std::fs::read(&path).unwrap();
+            // Cut anywhere strictly inside the second frame: the first
+            // record must survive, the tail must be reported torn.
+            let first_len = frame::HEADER_BYTES + 5;
+            for cut in first_len + 1..full.len() {
+                std::fs::write(&path, &full[..cut]).unwrap();
+                let r = replay(&path).unwrap();
+                assert_eq!(r.records, vec![b"alpha".to_vec()], "cut at {cut}");
+                assert_eq!(r.torn_bytes, (cut - first_len) as u64);
+            }
+        }
+
+        #[test]
+        fn mid_file_corruption_is_fatal() {
+            let path = tmp("corrupt");
+            let mut w = JournalWriter::open(&path).unwrap();
+            w.append(b"alpha").unwrap();
+            w.append(b"beta").unwrap();
+            let mut bytes = std::fs::read(&path).unwrap();
+            // Flip a payload bit inside the *first* (acknowledged,
+            // fully framed) record.
+            bytes[frame::HEADER_BYTES] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(matches!(
+                replay(&path),
+                Err(CkptError::CrcMismatch { .. })
+            ));
+        }
+
+        #[test]
+        fn compact_then_append_continues() {
+            let path = tmp("compact");
+            let mut w = JournalWriter::open(&path).unwrap();
+            for i in 0..10u8 {
+                w.append(&[i]).unwrap();
+            }
+            w.compact(&[b"snapshot-cursor"]).unwrap();
+            w.append(b"after").unwrap();
+            let r = replay(&path).unwrap();
+            assert_eq!(r.records, vec![b"snapshot-cursor".to_vec(), b"after".to_vec()]);
+        }
+    }
 }
 
 pub mod policy {

@@ -17,10 +17,10 @@ use fasda_cluster::ckpt::{
     CheckpointConfig, RecoveryPolicy, RunAccumulator,
 };
 use fasda_cluster::{
-    chrome_trace, coordinator_main, emit_final, final_totals_json, shard_ranges, stall_json,
-    trace_summary_json_with, worker_main, Cluster, ClusterConfig, ClusterRunReport,
-    EngineConfig, FaultPlan, HostController, Json, ObsLive, ObsSinkConfig, RelConfig,
-    ShardOpts, StallLedger, Trace, TraceConfig, TraceLevel,
+    chrome_trace, coordinator_main_net, emit_final, final_totals_json, shard_ranges, stall_json,
+    state_dump, trace_summary_json_with, worker_main_net, Cluster, ClusterConfig,
+    ClusterRunReport, EngineConfig, FaultPlan, HostController, Json, ObsLive, ObsSinkConfig,
+    RelConfig, ShardNet, ShardOpts, StallLedger, Trace, TraceConfig, TraceLevel,
 };
 use fasda_core::config::{ChipConfig, DesignVariant};
 use fasda_core::geometry::{ChipCoord, ChipGeometry};
@@ -29,6 +29,8 @@ use fasda_md::pdb::to_pdb;
 use fasda_md::space::SimulationSpace;
 use fasda_md::workload::WorkloadSpec;
 use fasda_net::sync::SyncMode;
+use fasda_svc::server::{bench_recovery_costs, policy_interval};
+use fasda_svc::{Client, JobSpec, Listen, Server, ServerConfig};
 use std::process::ExitCode;
 
 /// Parse the artifact's `222`-style dimension triple.
@@ -64,6 +66,17 @@ impl Opts {
 
     fn has(&self, key: &str) -> bool {
         self.args.iter().any(|a| a == key)
+    }
+
+    /// Every value of a repeatable flag, in order.
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == key)
+            .filter_map(|(i, _)| self.args.get(i + 1))
+            .map(String::as_str)
+            .collect()
     }
 }
 
@@ -209,6 +222,16 @@ fn usage() -> ExitCode {
          \x20 fasda ckpt policy --step-ms T --failure-rate L\n\
          \x20           [--save-ms S --restore-ms R | --bench BENCH_engine.json]\n\
          \x20           [--interval K]\n\
+         \x20 fasda serve [--dir DIR] [--listen unix:PATH|tcp:HOST:PORT] [--workers N]\n\
+         \x20           [--default-ckpt-every N | --policy-bench BENCH.json\n\
+         \x20            --step-ms T --failure-rate L]\n\
+         \x20           [--tenant NAME:WEIGHT[:MAX]]... [--max-restarts N]\n\
+         \x20 fasda job submit --connect ADDR [--spec FILE.json | --name S --tenant T\n\
+         \x20           --priority P --total 633 --per-fpga 333 --per-cell 64 --seed S\n\
+         \x20           --steps N --fault-plan SPEC --unreliable --ckpt-every N\n\
+         \x20           --dump-state FILE] [--wait [--timeout SECS]]\n\
+         \x20 fasda job status|cancel|logs|migrate|wait --connect ADDR [--id N]\n\
+         \x20 fasda job metrics|shutdown --connect ADDR\n\
          \n\
          fault-plan grammar: drop=P,corrupt=P,dup=P,delay=P:MAX,seed=N,\n\
          \x20                   kill=CHAN:SRC->DST:N,crash=NODE@STEP (repeatable),\n\
@@ -305,41 +328,9 @@ fn checkpoint_config(opts: &Opts) -> Result<Option<CheckpointConfig>, String> {
     }
 }
 
-/// Deterministic final-state dump for recovery diffs: one line per
-/// particle with the raw IEEE-754 bits of position/velocity and the raw
-/// fixed-point force-accumulator bank bits, keyed by stable ID. Two runs
-/// are bit-identical iff their dumps are byte-identical.
-fn state_dump(cluster: &Cluster, sys: &fasda_md::system::ParticleSystem) -> String {
-    let mut out = sys.clone();
-    cluster.store_into(&mut out);
-    let mut forces = Vec::new();
-    for chip in &cluster.chips {
-        for cbb in &chip.cbbs {
-            for i in 0..cbb.len() {
-                forces.push((cbb.id[i], cbb.force[i].map(|f| f.0)));
-            }
-        }
-    }
-    forces.sort_by_key(|e| e.0);
-    let mut s = String::with_capacity(forces.len() * 120);
-    for (id, frc) in forces {
-        let p = out.pos[id as usize];
-        let v = out.vel[id as usize];
-        s.push_str(&format!(
-            "{id} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x}\n",
-            p.x.to_bits(),
-            p.y.to_bits(),
-            p.z.to_bits(),
-            v.x.to_bits(),
-            v.y.to_bits(),
-            v.z.to_bits(),
-            frc[0] as u64,
-            frc[1] as u64,
-            frc[2] as u64,
-        ));
-    }
-    s
-}
+// Deterministic final-state dump (`--dump-state`): shared with the job
+// service so a migrated job's dump and a direct run's dump are the same
+// byte stream. See `fasda_cluster::state_dump`.
 
 /// The checkpoint/resume run path: drives the cluster in segments via
 /// `run_with_checkpoints` instead of the host controller. Selected only
@@ -539,17 +530,31 @@ fn run_sharded_cli(
         }
         Some(path) => Some(std::path::PathBuf::from(path)),
     };
-    let dir = match opts.get("--shard-dir") {
-        Some(d) => std::path::PathBuf::from(d),
-        None => std::env::temp_dir().join(format!("fasda-shard-{}", std::process::id())),
+    // Rendezvous carrier: `--shard-listen ADDR` puts the control socket
+    // and worker mesh on TCP (cross-host capable; loopback in CI), the
+    // default stays Unix sockets in `--shard-dir`.
+    let net = match opts.get("--shard-listen") {
+        Some(addr) => ShardNet::Tcp(addr.to_string()),
+        None => ShardNet::Unix(match opts.get("--shard-dir") {
+            Some(d) => std::path::PathBuf::from(d),
+            None => std::env::temp_dir().join(format!("fasda-shard-{}", std::process::id())),
+        }),
     };
     // Workers rebuild config and workload by replaying this exact argv.
     let mut worker_argv = vec!["run".to_string()];
     worker_argv.extend(opts.args.iter().cloned());
 
-    println!("sharding across {shards} worker process(es); rendezvous in {}", dir.display());
+    match &net {
+        ShardNet::Unix(dir) => println!(
+            "sharding across {shards} worker process(es); rendezvous in {}",
+            dir.display()
+        ),
+        ShardNet::Tcp(addr) => {
+            println!("sharding across {shards} worker process(es); listening on tcp {addr}")
+        }
+    }
     let obs = obs_opts(opts)?;
-    let run = coordinator_main(
+    let run = coordinator_main_net(
         &cfg,
         sys,
         steps,
@@ -559,8 +564,9 @@ fn run_sharded_cli(
             ckpt,
             resume: resume_path,
             obs: (obs.every > 0 && obs.sinks.any()).then(|| obs.sinks.clone()),
+            tcp: false,
         },
-        &dir,
+        &net,
         &worker_argv,
     )
     .map_err(|e| e.to_string())?;
@@ -660,10 +666,16 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             .ok_or("--worker needs --shards")?
             .parse()
             .map_err(|_| "bad --shards")?;
-        let dir = opts.get("--shard-dir").ok_or("--worker needs --shard-dir")?;
+        let net = match opts.get("--shard-connect") {
+            Some(addr) => ShardNet::Tcp(addr.to_string()),
+            None => ShardNet::Unix(
+                opts.get("--shard-dir")
+                    .ok_or("--worker needs --shard-dir or --shard-connect")?
+                    .into(),
+            ),
+        };
         let eng = engine(opts)?;
-        return worker_main(&cfg, &sys, &eng, index, shards, std::path::Path::new(dir))
-            .map_err(|e| e.to_string());
+        return worker_main_net(&cfg, &sys, &eng, index, shards, &net).map_err(|e| e.to_string());
     }
 
     println!(
@@ -865,27 +877,9 @@ fn cmd_ckpt_policy(opts: &Opts) -> Result<(), String> {
     let bench = match opts.get("--bench") {
         None => None,
         Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-            let rows: Vec<Json> = doc
-                .get("recovery")
-                .and_then(|r| r.get("sweep"))
-                .map(|s| s.items().to_vec())
-                .unwrap_or_default();
-            if rows.is_empty() {
-                return Err(format!(
-                    "{path} has no recovery.sweep rows — run `chaosbench --recovery` first"
-                ));
-            }
-            let mean = |field: &str| -> Option<f64> {
-                let vals: Vec<f64> = rows
-                    .iter()
-                    .filter_map(|r| r.get(field)?.as_f64())
-                    .collect();
-                (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
-            };
-            println!("measured costs: mean over {} recovery sweep row(s) in {path}", rows.len());
-            Some((mean("serialize_ms"), mean("restore_ms")))
+            let (save, restore, rows) = bench_recovery_costs(path)?;
+            println!("measured costs: mean over {rows} recovery sweep row(s) in {path}");
+            Some((save, restore))
         }
     };
     let cost = |flag: &str, measured: Option<f64>| -> Result<f64, String> {
@@ -898,7 +892,7 @@ fn cmd_ckpt_policy(opts: &Opts) -> Result<(), String> {
     };
     let save_cost = cost("--save-ms", bench.as_ref().and_then(|b| b.0))?;
     let restore_cost = cost("--restore-ms", bench.as_ref().and_then(|b| b.1))?;
-    if !(step_cost > 0.0) || failure_rate < 0.0 || save_cost < 0.0 || restore_cost < 0.0 {
+    if !step_cost.is_finite() || step_cost <= 0.0 || failure_rate < 0.0 || save_cost < 0.0 || restore_cost < 0.0 {
         return Err("costs must be non-negative, with --step-ms > 0".into());
     }
     let input = PolicyInput { save_cost, restore_cost, step_cost, failure_rate };
@@ -945,6 +939,215 @@ fn cmd_ckpt_policy(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `--connect` / `--listen` address syntax: `tcp:HOST:PORT` selects the
+/// TCP carrier, anything else (optionally prefixed `unix:`) is a
+/// Unix-domain socket path.
+fn parse_endpoint(spec: &str) -> Listen {
+    if let Some(addr) = spec.strip_prefix("tcp:") {
+        Listen::Tcp(addr.to_string())
+    } else {
+        Listen::Unix(spec.strip_prefix("unix:").unwrap_or(spec).into())
+    }
+}
+
+/// `fasda serve` — the multi-tenant job daemon (see DESIGN.md §14).
+/// Runs until a client sends `shutdown`; running jobs drain at their
+/// next segment boundary and are journaled as requeued, so a restarted
+/// server resumes them from their newest on-disk checkpoints.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let dir = std::path::PathBuf::from(opts.get_or("--dir", "fasda-svc"));
+    let mut cfg = ServerConfig::at(&dir);
+    if let Some(l) = opts.get("--listen") {
+        cfg.listen = parse_endpoint(l);
+    }
+    if let Some(w) = opts.get("--workers") {
+        cfg.workers = w.parse().map_err(|_| "bad --workers")?;
+    }
+    if let Some(m) = opts.get("--max-restarts") {
+        cfg.max_restarts = m.parse().map_err(|_| "bad --max-restarts")?;
+    }
+    for clause in opts.get_all("--tenant") {
+        cfg.tenants.parse_clause(clause)?;
+    }
+    // The default checkpoint cadence: explicit flag, or the Young–Daly
+    // optimum computed from measured recovery costs (`fasda ckpt policy`
+    // with --bench, folded into the server).
+    cfg.default_ckpt_every = match (opts.get("--default-ckpt-every"), opts.get("--policy-bench")) {
+        (Some(n), None) => {
+            let n: u64 = n.parse().map_err(|_| "bad --default-ckpt-every")?;
+            if n == 0 {
+                return Err("--default-ckpt-every must be >= 1".into());
+            }
+            n
+        }
+        (None, Some(bench)) => {
+            let step_ms: f64 = opts
+                .get("--step-ms")
+                .ok_or("--policy-bench needs --step-ms (wall-clock cost of one step)")?
+                .parse()
+                .map_err(|_| "bad --step-ms")?;
+            let failure_rate: f64 = opts
+                .get("--failure-rate")
+                .ok_or("--policy-bench needs --failure-rate (failures per step)")?
+                .parse()
+                .map_err(|_| "bad --failure-rate")?;
+            let (save, restore, rows) = bench_recovery_costs(bench)?;
+            let save = save.ok_or("no serialize_ms in the recovery sweep")?;
+            let restore = restore.ok_or("no restore_ms in the recovery sweep")?;
+            let every = policy_interval(step_ms, failure_rate, save, restore)?;
+            println!(
+                "policy cadence: checkpoint every {every} step(s) \
+                 (Young-Daly over {rows} sweep row(s): save {save:.3} ms, restore {restore:.3} ms)"
+            );
+            every
+        }
+        (None, None) => cfg.default_ckpt_every,
+        (Some(_), Some(_)) => {
+            return Err("--default-ckpt-every and --policy-bench are exclusive".into())
+        }
+    };
+    let workers = cfg.workers;
+    let handle = Server::start(cfg).map_err(|e| e.to_string())?;
+    match handle.addr() {
+        Listen::Unix(path) => println!(
+            "fasda-svc: {workers} worker(s), control socket {}",
+            path.display()
+        ),
+        Listen::Tcp(addr) => println!("fasda-svc: {workers} worker(s), listening on tcp {addr}"),
+    }
+    println!("serving until a client sends shutdown (fasda job shutdown --connect ...)");
+    handle.join();
+    println!("fasda-svc: shut down cleanly");
+    Ok(())
+}
+
+/// Build a [`JobSpec`] from `fasda job submit` flags (or `--spec FILE`
+/// with a JSON document, with flags layered on top is NOT supported —
+/// the file is the spec).
+fn job_spec(opts: &Opts) -> Result<JobSpec, String> {
+    if let Some(path) = opts.get("--spec") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        return JobSpec::from_json(&doc);
+    }
+    let d = JobSpec::default();
+    let spec = JobSpec {
+        name: opts.get_or("--name", "").to_string(),
+        tenant: opts.get_or("--tenant", &d.tenant).to_string(),
+        priority: opts
+            .get_or("--priority", "0")
+            .parse()
+            .map_err(|_| "bad --priority")?,
+        total: opts.get_or("--total", &d.total).to_string(),
+        per_fpga: opts.get_or("--per-fpga", &d.per_fpga).to_string(),
+        per_cell: opts
+            .get("--per-cell")
+            .map(|v| v.parse().map_err(|_| "bad --per-cell"))
+            .transpose()?
+            .unwrap_or(d.per_cell),
+        seed: opts
+            .get("--seed")
+            .map(|v| v.parse().map_err(|_| "bad --seed"))
+            .transpose()?
+            .unwrap_or(d.seed),
+        steps: opts
+            .get("--steps")
+            .map(|v| v.parse().map_err(|_| "bad --steps"))
+            .transpose()?
+            .unwrap_or(d.steps),
+        fault_plan: opts.get("--fault-plan").map(String::from),
+        unreliable: opts.has("--unreliable"),
+        ckpt_every: opts
+            .get("--ckpt-every")
+            .map(|v| v.parse().map_err(|_| "bad --ckpt-every"))
+            .transpose()?
+            .unwrap_or(0),
+        dump_state: opts.get("--dump-state").map(String::from),
+    };
+    // Round-trip through JSON so flag-built specs hit exactly the
+    // validation a submitted document does.
+    JobSpec::from_json(&spec.to_json())
+}
+
+fn job_id(opts: &Opts) -> Result<u64, String> {
+    opts.get("--id")
+        .ok_or("--id required")?
+        .parse()
+        .map_err(|_| "bad --id".into())
+}
+
+/// `fasda job <verb>` — the service client.
+fn cmd_job(opts: &Opts) -> Result<(), String> {
+    let verb = opts
+        .args
+        .first()
+        .map(String::as_str)
+        .ok_or("job needs a verb: submit|status|cancel|logs|migrate|wait|metrics|shutdown")?;
+    let addr = parse_endpoint(opts.get("--connect").ok_or("--connect required")?);
+    let mut client = Client::connect(&addr)?;
+    match verb {
+        "submit" => {
+            let spec = job_spec(opts)?;
+            let id = client.submit(&spec).map_err(|e| e.to_string())?;
+            println!("submitted job {id}");
+            if opts.has("--wait") {
+                let status = client
+                    .wait(id, wait_timeout(opts)?)
+                    .map_err(|e| e.to_string())?;
+                println!("{}", status.pretty());
+            }
+        }
+        "status" => match opts.get("--id") {
+            Some(_) => {
+                let doc = client.status(job_id(opts)?).map_err(|e| e.to_string())?;
+                println!("{}", doc.pretty());
+            }
+            None => {
+                for doc in client.status_all().map_err(|e| e.to_string())? {
+                    println!("{}", doc.compact());
+                }
+            }
+        },
+        "cancel" => {
+            client.cancel(job_id(opts)?).map_err(|e| e.to_string())?;
+            println!("cancel requested");
+        }
+        "logs" => {
+            for line in client.logs(job_id(opts)?).map_err(|e| e.to_string())? {
+                println!("{line}");
+            }
+        }
+        "migrate" => {
+            client.migrate(job_id(opts)?).map_err(|e| e.to_string())?;
+            println!("migration requested (drains at the next segment boundary)");
+        }
+        "wait" => {
+            let status = client
+                .wait(job_id(opts)?, wait_timeout(opts)?)
+                .map_err(|e| e.to_string())?;
+            println!("{}", status.pretty());
+        }
+        "metrics" => {
+            let doc = client.metrics().map_err(|e| e.to_string())?;
+            println!("{}", doc.pretty());
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("shutdown requested (running jobs drain and journal as requeued)");
+        }
+        other => return Err(format!("unknown job verb '{other}'")),
+    }
+    Ok(())
+}
+
+fn wait_timeout(opts: &Opts) -> Result<std::time::Duration, String> {
+    let secs: u64 = opts
+        .get_or("--timeout", "3600")
+        .parse()
+        .map_err(|_| "bad --timeout")?;
+    Ok(std::time::Duration::from_secs(secs))
+}
+
 fn cmd_ckpt(opts: &Opts) -> Result<(), String> {
     match opts.args.first().map(String::as_str) {
         Some("policy") => cmd_ckpt_policy(opts),
@@ -965,6 +1168,8 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "info" => cmd_info(&opts),
         "ckpt" => cmd_ckpt(&opts),
+        "serve" => cmd_serve(&opts),
+        "job" => cmd_job(&opts),
         _ => return usage(),
     };
     match result {

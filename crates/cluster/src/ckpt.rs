@@ -202,6 +202,32 @@ impl Persist for RunAccumulator {
     }
 }
 
+/// Serialize the quiescent cluster + accumulator into checkpoint
+/// container bytes **in memory** — the drain half of a live migration.
+/// The bytes are exactly what [`save_checkpoint`] would write to disk,
+/// so a drained job handed to another worker resumes from the same
+/// snapshot an on-disk recovery would.
+pub fn drain_to_container(cluster: &Cluster, acc: &RunAccumulator) -> Vec<u8> {
+    let mut cw = ContainerWriter::new();
+    cluster.snapshot_into(&mut cw);
+    let mut w = Writer::new();
+    acc.save(&mut w);
+    cw.push(sections::RUNNER, w);
+    cw.finish()
+}
+
+/// Restore `cluster` (freshly built over the same configuration and
+/// particle system) from in-memory container bytes — the resume half of
+/// a live migration. Returns the accumulator of the completed segments.
+pub fn resume_from_container(
+    cluster: &mut Cluster,
+    bytes: &[u8],
+) -> Result<RunAccumulator, CkptError> {
+    let container = Container::parse(bytes)?;
+    cluster.restore_from(&container)?;
+    RunAccumulator::load(&mut container.reader(sections::RUNNER)?)
+}
+
 /// Serialize the cluster + accumulator into a checkpoint file named
 /// after the current step, atomically, then prune to the retention
 /// bound. Returns the path written.
@@ -210,14 +236,10 @@ pub fn save_checkpoint(
     acc: &RunAccumulator,
     cfg: &CheckpointConfig,
 ) -> Result<PathBuf, CkptError> {
-    let mut cw = ContainerWriter::new();
-    cluster.snapshot_into(&mut cw);
-    let mut w = Writer::new();
-    acc.save(&mut w);
-    cw.push(sections::RUNNER, w);
+    let bytes = drain_to_container(cluster, acc);
     std::fs::create_dir_all(&cfg.dir)?;
     let path = checkpoint_path(&cfg.dir, cluster.current_step());
-    write_atomic(&path, &cw.finish())?;
+    write_atomic(&path, &bytes)?;
     if cfg.keep > 0 {
         prune_checkpoints(&cfg.dir, cfg.keep)?;
     }
@@ -297,6 +319,56 @@ pub struct CheckpointedRun {
     pub checkpoints: Vec<PathBuf>,
 }
 
+/// A scheduler's verdict after each completed segment of a controlled
+/// run ([`run_with_checkpoints_ctl`]). Decisions are only taken at
+/// quiescent segment boundaries, which is what makes drain (and thus
+/// live migration) bit-exact: the state handed off is a checkpoint, not
+/// an arbitrary mid-step machine state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentControl {
+    /// Keep running the next segment.
+    Continue,
+    /// Stop here and hand back the quiescent state as in-memory
+    /// container bytes (for migration to another worker).
+    Drain,
+    /// Stop here and discard the run (user cancellation). Any
+    /// checkpoints already written stay on disk.
+    Cancel,
+}
+
+/// Progress snapshot passed to the control callback after each segment.
+#[derive(Clone, Debug)]
+pub struct SegmentStatus {
+    /// Absolute steps completed so far (including pre-resume segments).
+    pub steps_done: u64,
+    /// The run's total step target.
+    pub steps_total: u64,
+    /// Wall-clock cycles accumulated over the whole run so far.
+    pub total_cycles: u64,
+    /// Checkpoint written at this boundary, when checkpointing is on.
+    pub checkpoint: Option<PathBuf>,
+}
+
+/// How a controlled run ([`run_with_checkpoints_ctl`]) ended.
+#[derive(Debug)]
+pub enum CkptRunOutcome {
+    /// Ran to the step target.
+    Completed(CheckpointedRun),
+    /// Drained at a segment boundary: `run` reports the segments
+    /// completed here, `container` is the quiescent state
+    /// ([`drain_to_container`] bytes) to resume elsewhere via
+    /// [`resume_from_container`].
+    Drained {
+        /// Partial run over the segments completed before the drain.
+        run: CheckpointedRun,
+        /// Quiescent checkpoint-container bytes at the drain boundary.
+        container: Vec<u8>,
+    },
+    /// Cancelled at a segment boundary; the partial run is reported for
+    /// accounting but the job is over.
+    Cancelled(CheckpointedRun),
+}
+
 /// Drive `cluster` to `steps` total timesteps in checkpoint-sized
 /// segments, snapshotting after each one. `acc` carries the progress of
 /// any previously completed segments (from [`load_checkpoint`]); pass
@@ -312,8 +384,33 @@ pub fn run_with_checkpoints(
     cycle_budget: u64,
     engine: &EngineConfig,
     ckpt: Option<&CheckpointConfig>,
-    mut acc: RunAccumulator,
+    acc: RunAccumulator,
 ) -> Result<CheckpointedRun, CkptRunError> {
+    match run_with_checkpoints_ctl(cluster, steps, cycle_budget, engine, ckpt, acc, &mut |_| {
+        SegmentControl::Continue
+    })? {
+        CkptRunOutcome::Completed(run) => Ok(run),
+        // A Continue-only controller can neither drain nor cancel.
+        CkptRunOutcome::Drained { .. } | CkptRunOutcome::Cancelled(_) => {
+            unreachable!("uncontrolled run cannot drain or cancel")
+        }
+    }
+}
+
+/// [`run_with_checkpoints`] with a per-segment control hook: after every
+/// segment (and its checkpoint write) `ctl` is consulted, and the run
+/// continues, drains to in-memory container bytes, or cancels. This is
+/// the job-facing run API the service layer schedules on — cancellation
+/// and live migration both act here, never mid-segment.
+pub fn run_with_checkpoints_ctl(
+    cluster: &mut Cluster,
+    steps: u64,
+    cycle_budget: u64,
+    engine: &EngineConfig,
+    ckpt: Option<&CheckpointConfig>,
+    mut acc: RunAccumulator,
+    ctl: &mut dyn FnMut(&SegmentStatus) -> SegmentControl,
+) -> Result<CkptRunOutcome, CkptRunError> {
     assert!(
         acc.steps_done <= steps,
         "accumulator is already past the requested step count"
@@ -335,15 +432,48 @@ pub fn run_with_checkpoints(
             }
         }
         acc.fold(&report);
+        let mut written = None;
         if let Some(c) = ckpt {
-            checkpoints.push(save_checkpoint(cluster, &acc, c)?);
+            let path = save_checkpoint(cluster, &acc, c)?;
+            checkpoints.push(path.clone());
+            written = Some(path);
+        }
+        if acc.steps_done >= steps {
+            break;
+        }
+        let status = SegmentStatus {
+            steps_done: acc.steps_done,
+            steps_total: steps,
+            total_cycles: acc.total_cycles,
+            checkpoint: written,
+        };
+        match ctl(&status) {
+            SegmentControl::Continue => {}
+            SegmentControl::Drain => {
+                let container = drain_to_container(cluster, &acc);
+                return Ok(CkptRunOutcome::Drained {
+                    run: CheckpointedRun {
+                        report: acc.into_report(),
+                        traces,
+                        checkpoints,
+                    },
+                    container,
+                });
+            }
+            SegmentControl::Cancel => {
+                return Ok(CkptRunOutcome::Cancelled(CheckpointedRun {
+                    report: acc.into_report(),
+                    traces,
+                    checkpoints,
+                }));
+            }
         }
     }
-    Ok(CheckpointedRun {
+    Ok(CkptRunOutcome::Completed(CheckpointedRun {
         report: acc.into_report(),
         traces,
         checkpoints,
-    })
+    }))
 }
 
 /// Bounds for [`run_with_recovery`]'s restart loop.

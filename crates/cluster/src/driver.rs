@@ -2912,3 +2912,41 @@ impl Cluster {
         Ok(())
     }
 }
+
+/// Deterministic final-state dump for recovery and migration diffs: one
+/// line per particle with the raw IEEE-754 bits of position/velocity and
+/// the raw fixed-point force-accumulator bank bits, keyed by stable ID.
+/// Two runs are bit-identical iff their dumps are byte-identical — the
+/// CLI's `--dump-state`, the job service's completion dump, and every
+/// recovery gate in CI all compare exactly this string.
+pub fn state_dump(cluster: &Cluster, sys: &ParticleSystem) -> String {
+    let mut out = sys.clone();
+    cluster.store_into(&mut out);
+    let mut forces = Vec::new();
+    for chip in &cluster.chips {
+        for cbb in &chip.cbbs {
+            for i in 0..cbb.len() {
+                forces.push((cbb.id[i], cbb.force[i].map(|f| f.0)));
+            }
+        }
+    }
+    forces.sort_by_key(|e| e.0);
+    let mut s = String::with_capacity(forces.len() * 120);
+    for (id, frc) in forces {
+        let p = out.pos[id as usize];
+        let v = out.vel[id as usize];
+        s.push_str(&format!(
+            "{id} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x}\n",
+            p.x.to_bits(),
+            p.y.to_bits(),
+            p.z.to_bits(),
+            v.x.to_bits(),
+            v.y.to_bits(),
+            v.z.to_bits(),
+            frc[0] as u64,
+            frc[1] as u64,
+            frc[2] as u64,
+        ));
+    }
+    s
+}

@@ -22,13 +22,14 @@ pub mod shard;
 pub mod wire;
 
 pub use ckpt::{
-    latest_checkpoint, load_checkpoint, newest_consistent, resume_latest, run_with_checkpoints,
-    run_with_recovery, save_checkpoint, CheckpointConfig, CheckpointedRun, CkptRunError,
-    RecoveredRun, RecoveryPolicy, RunAccumulator,
+    drain_to_container, latest_checkpoint, load_checkpoint, newest_consistent, resume_from_container,
+    resume_latest, run_with_checkpoints, run_with_checkpoints_ctl, run_with_recovery,
+    save_checkpoint, CheckpointConfig, CheckpointedRun, CkptRunError, CkptRunOutcome, RecoveredRun,
+    RecoveryPolicy, RunAccumulator, SegmentControl, SegmentStatus,
 };
 pub use driver::{
-    Cluster, ClusterConfig, ClusterError, ClusterStalled, CrashInjected, DeadlockDetected,
-    EngineConfig,
+    state_dump, Cluster, ClusterConfig, ClusterError, ClusterStalled, CrashInjected,
+    DeadlockDetected, EngineConfig,
 };
 pub use fasda_net::fault::CrashPoint;
 pub use fasda_net::fault::{BurstModel, FaultChannel, FaultPlan, LinkFaults, LinkFlap, MarkerKill, Partition};
@@ -41,8 +42,8 @@ pub use obs::{
 };
 pub use report::{ClusterRunReport, NodeStepReport};
 pub use shard::{
-    coordinator_main, run_sharded, shard_ranges, validate_sharding, worker_main, ShardError,
-    ShardOpts, ShardedRun,
+    coordinator_main, coordinator_main_net, run_sharded, shard_ranges, validate_sharding,
+    worker_main, worker_main_net, ShardError, ShardNet, ShardOpts, ShardedRun,
 };
 
 // Re-export the flight-recorder vocabulary so downstream users can

@@ -73,7 +73,7 @@ use fasda_obs::model::STALL_CLASSES;
 use std::collections::BTreeMap;
 use fasda_ckpt::{crc32, CkptError, Container, ContainerWriter, Persist, Reader, Writer};
 use fasda_net::sync::SyncMode;
-use fasda_net::transport::{FrameLink, LinkError, MemLink, SocketLink};
+use fasda_net::transport::{FrameLink, LinkError, MemLink, SocketLink, TcpLink};
 use fasda_sim::StatSet;
 use fasda_trace::{NodeStream, StallLedger, Trace, TraceLevel};
 use rayon::{ThreadPool, ThreadPoolBuilder};
@@ -558,11 +558,15 @@ impl Persist for SegmentFail {
 
 /// Coordinator↔worker control frames.
 enum CtlFrame {
-    /// Worker → coordinator: shard index + config fingerprint.
-    Hello { index: u32, meta_crc: u32 },
+    /// Worker → coordinator: shard index + config fingerprint + the
+    /// address peers can dial this worker's mesh listener at (a Unix
+    /// socket path or a TCP `host:port`, matching the rendezvous
+    /// carrier).
+    Hello { index: u32, meta_crc: u32, mesh_addr: String },
     /// Coordinator → workers: proceed (optionally restoring a
-    /// checkpoint first).
-    Go { resume: Option<String> },
+    /// checkpoint first). `peers` is every worker's advertised mesh
+    /// address in shard order — the connection table for the full mesh.
+    Go { resume: Option<String>, peers: Vec<String> },
     /// Run one segment to the absolute step `target` under `budget`
     /// remaining cycles.
     Run { target: u64, budget: u64 },
@@ -579,14 +583,16 @@ impl CtlFrame {
     fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         match self {
-            CtlFrame::Hello { index, meta_crc } => {
+            CtlFrame::Hello { index, meta_crc, mesh_addr } => {
                 w.put_u8(0);
                 w.put_u32(*index);
                 w.put_u32(*meta_crc);
+                w.put_str(mesh_addr);
             }
-            CtlFrame::Go { resume } => {
+            CtlFrame::Go { resume, peers } => {
                 w.put_u8(1);
                 resume.save(&mut w);
+                peers.save(&mut w);
             }
             CtlFrame::Run { target, budget } => {
                 w.put_u8(2);
@@ -613,8 +619,12 @@ impl CtlFrame {
     fn decode(bytes: &[u8]) -> Result<Self, CkptError> {
         let mut r = Reader::new(bytes, FRAME);
         match r.get_u8()? {
-            0 => Ok(CtlFrame::Hello { index: r.get_u32()?, meta_crc: r.get_u32()? }),
-            1 => Ok(CtlFrame::Go { resume: Persist::load(&mut r)? }),
+            0 => Ok(CtlFrame::Hello {
+                index: r.get_u32()?,
+                meta_crc: r.get_u32()?,
+                mesh_addr: r.get_str()?,
+            }),
+            1 => Ok(CtlFrame::Go { resume: Persist::load(&mut r)?, peers: Persist::load(&mut r)? }),
             2 => Ok(CtlFrame::Run { target: r.get_u64()?, budget: r.get_u64()? }),
             3 => Ok(CtlFrame::Done(Box::new(Persist::load(&mut r)?))),
             4 => Ok(CtlFrame::Fail(Persist::load(&mut r)?)),
@@ -1470,12 +1480,30 @@ pub struct ShardOpts {
     /// Fleet heartbeat sinks on the coordinator (requires
     /// `EngineConfig::heartbeat_every` > 0 for beats to be produced).
     pub obs: Option<ObsSinkConfig>,
+    /// Thread harness only: carry the control channel and the worker
+    /// mesh over loopback TCP instead of socketpairs, exercising the
+    /// cross-host transport hermetically. The bytes on the wire are
+    /// identical either way.
+    pub tcp: bool,
 }
 
 impl Default for ShardOpts {
     fn default() -> Self {
-        ShardOpts { budget: MAX_RUN_CYCLES, ckpt: None, resume: None, obs: None }
+        ShardOpts { budget: MAX_RUN_CYCLES, ckpt: None, resume: None, obs: None, tcp: false }
     }
+}
+
+/// A connected loopback-TCP [`TcpLink`] pair (hermetic cross-host
+/// transport testing).
+fn tcp_pair() -> std::io::Result<(TcpLink, TcpLink)> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let dial = std::thread::spawn(move || std::net::TcpStream::connect(addr));
+    let (accepted, _) = listener.accept()?;
+    let dialed = dial
+        .join()
+        .map_err(|_| std::io::Error::other("tcp dial thread panicked"))??;
+    Ok((TcpLink::new(accepted)?, TcpLink::new(dialed)?))
 }
 
 /// A completed sharded run.
@@ -1537,16 +1565,29 @@ pub fn run_sharded(
     #[allow(clippy::needless_range_loop)]
     for i in 0..shards {
         for j in i + 1..shards {
-            let (a, b) = SocketLink::pair()?;
-            rows[i][j] = Some(Box::new(a));
-            rows[j][i] = Some(Box::new(b));
+            if opts.tcp {
+                let (a, b) = tcp_pair()?;
+                rows[i][j] = Some(Box::new(a));
+                rows[j][i] = Some(Box::new(b));
+            } else {
+                let (a, b) = SocketLink::pair()?;
+                rows[i][j] = Some(Box::new(a));
+                rows[j][i] = Some(Box::new(b));
+            }
         }
     }
     let mut ctl: Vec<Box<dyn FrameLink>> = Vec::with_capacity(shards);
     let mut handles = Vec::with_capacity(shards);
     for (w, row) in rows.into_iter().enumerate() {
-        let (mine, theirs) = MemLink::pair();
-        ctl.push(Box::new(mine));
+        let theirs: Box<dyn FrameLink> = if opts.tcp {
+            let (mine, theirs) = tcp_pair()?;
+            ctl.push(Box::new(mine));
+            Box::new(theirs)
+        } else {
+            let (mine, theirs) = MemLink::pair();
+            ctl.push(Box::new(mine));
+            Box::new(theirs)
+        };
         let mut mesh: Vec<Box<dyn FrameLink>> = row.into_iter().flatten().collect();
         let range = ranges[w].clone();
         let cfg = cfg.clone();
@@ -1561,7 +1602,7 @@ pub fn run_sharded(
             }
             cl.exchange = Some(ExchangeBuf { owned: range, stage: 0, events: Vec::new() });
             let mut theirs = theirs;
-            worker_loop(cl, &engine, &mut theirs, &mut mesh, w, shards)
+            worker_loop(cl, &engine, &mut *theirs, &mut mesh, w, shards)
         }));
     }
 
@@ -1605,10 +1646,44 @@ fn meta_crc(cl: &Cluster) -> u32 {
     crc32(&cl.meta_writer().into_bytes())
 }
 
-/// Spawn `shards` worker processes (re-invoking `worker_argv` with
-/// `--worker I --shard-dir DIR` appended), handshake them over the
-/// control socket, and drive the run. `dir` holds the rendezvous
-/// sockets and is created if missing.
+/// How shard processes find each other.
+#[derive(Clone, Debug)]
+pub enum ShardNet {
+    /// Same-host rendezvous: Unix-domain sockets in a directory.
+    Unix(PathBuf),
+    /// Cross-host rendezvous: the coordinator listens on this TCP
+    /// address (`host:port`; port 0 binds an ephemeral port) and each
+    /// worker connects to it, advertising its own ephemeral mesh
+    /// listener in its HELLO. The bytes on every link are identical to
+    /// the Unix carrier, so the carrier cannot affect results.
+    Tcp(String),
+}
+
+/// Either-carrier listener for control and mesh accept loops.
+enum Acceptor {
+    Unix(std::os::unix::net::UnixListener),
+    Tcp(std::net::TcpListener),
+}
+
+impl Acceptor {
+    fn accept(&self) -> Result<Box<dyn FrameLink>, ShardError> {
+        Ok(match self {
+            Acceptor::Unix(l) => Box::new(SocketLink::new(l.accept()?.0)?),
+            Acceptor::Tcp(l) => Box::new(TcpLink::new(l.accept()?.0)?),
+        })
+    }
+}
+
+/// Dial a peer's advertised mesh address on the matching carrier.
+fn dial_mesh(net_is_tcp: bool, addr: &str) -> Result<Box<dyn FrameLink>, ShardError> {
+    Ok(if net_is_tcp {
+        Box::new(TcpLink::connect(addr)?)
+    } else {
+        Box::new(SocketLink::new(std::os::unix::net::UnixStream::connect(addr)?)?)
+    })
+}
+
+/// [`coordinator_main_net`] over the same-host Unix-socket rendezvous.
 #[allow(clippy::too_many_arguments)]
 pub fn coordinator_main(
     cfg: &ClusterConfig,
@@ -1619,17 +1694,58 @@ pub fn coordinator_main(
     dir: &std::path::Path,
     worker_argv: &[String],
 ) -> Result<ShardedRun, ShardError> {
+    coordinator_main_net(
+        cfg,
+        sys,
+        steps,
+        shards,
+        opts,
+        &ShardNet::Unix(dir.to_path_buf()),
+        worker_argv,
+    )
+}
+
+/// Spawn `shards` worker processes (re-invoking `worker_argv` with
+/// `--worker I` plus the rendezvous flag — `--shard-dir DIR` for the
+/// Unix carrier, `--shard-connect ADDR` for TCP — appended), handshake
+/// them over the control listener, and drive the run. With
+/// [`ShardNet::Tcp`] the listen address may use port 0; workers are
+/// told the resolved address.
+#[allow(clippy::too_many_arguments)]
+pub fn coordinator_main_net(
+    cfg: &ClusterConfig,
+    sys: &ParticleSystem,
+    steps: u64,
+    shards: usize,
+    opts: ShardOpts,
+    net: &ShardNet,
+    worker_argv: &[String],
+) -> Result<ShardedRun, ShardError> {
     let mut replica = Cluster::new(cfg.clone(), sys);
     let n = replica.num_nodes();
     validate_sharding(cfg, shards, n)?;
     let ranges = shard_ranges(n, shards);
-    std::fs::create_dir_all(dir)?;
-    let ctl_path = ctl_socket(dir);
-    let _ = std::fs::remove_file(&ctl_path);
-    for i in 0..shards {
-        let _ = std::fs::remove_file(peer_socket(dir, i));
-    }
-    let listener = std::os::unix::net::UnixListener::bind(&ctl_path)?;
+    // Bind the control listener and decide the rendezvous args the
+    // spawned workers get.
+    let (listener, rendezvous_args, unix_dir) = match net {
+        ShardNet::Unix(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let ctl_path = ctl_socket(dir);
+            let _ = std::fs::remove_file(&ctl_path);
+            for i in 0..shards {
+                let _ = std::fs::remove_file(peer_socket(dir, i));
+            }
+            let l = std::os::unix::net::UnixListener::bind(&ctl_path)?;
+            let args = vec!["--shard-dir".to_string(), dir.to_string_lossy().into_owned()];
+            (Acceptor::Unix(l), args, Some(dir.clone()))
+        }
+        ShardNet::Tcp(addr) => {
+            let l = std::net::TcpListener::bind(addr.as_str())?;
+            let resolved = l.local_addr()?.to_string();
+            let args = vec!["--shard-connect".to_string(), resolved];
+            (Acceptor::Tcp(l), args, None)
+        }
+    };
 
     let exe = std::env::current_exe()?;
     let mut children = Vec::with_capacity(shards);
@@ -1638,8 +1754,7 @@ pub fn coordinator_main(
             .args(worker_argv)
             .arg("--worker")
             .arg(i.to_string())
-            .arg("--shard-dir")
-            .arg(dir)
+            .args(&rendezvous_args)
             .spawn()?;
         children.push(child);
     }
@@ -1649,11 +1764,11 @@ pub fn coordinator_main(
         // from different arguments before any state moves.
         let expect = meta_crc(&replica);
         let mut ctl: Vec<Option<Box<dyn FrameLink>>> = (0..shards).map(|_| None).collect();
+        let mut peers: Vec<String> = vec![String::new(); shards];
         for _ in 0..shards {
-            let (stream, _) = listener.accept()?;
-            let mut link = SocketLink::new(stream)?;
+            let mut link = listener.accept()?;
             match CtlFrame::decode(&link.recv_frame()?)? {
-                CtlFrame::Hello { index, meta_crc } => {
+                CtlFrame::Hello { index, meta_crc, mesh_addr } => {
                     if meta_crc != expect {
                         return Err(ShardError::Protocol(format!(
                             "worker {index} config fingerprint mismatch"
@@ -1662,11 +1777,12 @@ pub fn coordinator_main(
                     let slot = ctl.get_mut(index as usize).ok_or_else(|| {
                         ShardError::Protocol(format!("worker index {index} out of range"))
                     })?;
-                    if slot.replace(Box::new(link)).is_some() {
+                    if slot.replace(link).is_some() {
                         return Err(ShardError::Protocol(format!(
                             "duplicate worker index {index}"
                         )));
                     }
+                    peers[index as usize] = mesh_addr;
                 }
                 _ => return Err(ShardError::Protocol("expected hello frame".into())),
             }
@@ -1682,7 +1798,7 @@ pub fn coordinator_main(
             acc = RunAccumulator::load(&mut container.reader(sections::RUNNER)?)?;
             resume_str = Some(path.to_string_lossy().into_owned());
         }
-        let go = CtlFrame::Go { resume: resume_str }.encode();
+        let go = CtlFrame::Go { resume: resume_str, peers }.encode();
         for link in ctl.iter_mut() {
             link.send_frame(&go)?;
         }
@@ -1711,19 +1827,17 @@ pub fn coordinator_main(
         }
         let _ = child.wait();
     }
-    let _ = std::fs::remove_file(&ctl_path);
-    for i in 0..shards {
-        let _ = std::fs::remove_file(peer_socket(dir, i));
+    if let Some(dir) = unix_dir {
+        let _ = std::fs::remove_file(ctl_socket(&dir));
+        for i in 0..shards {
+            let _ = std::fs::remove_file(peer_socket(&dir, i));
+        }
     }
     let (report, traces, checkpoints) = res?;
     Ok(ShardedRun { report, traces, checkpoints, replica })
 }
 
-/// Worker-process entry point: rendezvous over `dir`, mesh with the
-/// other workers, and serve segments until shutdown. The caller must
-/// have built `cfg` / `sys` / `engine` from the same arguments as the
-/// coordinator (it re-invokes its own argv), which the HELLO
-/// fingerprint verifies.
+/// [`worker_main_net`] over the same-host Unix-socket rendezvous.
 pub fn worker_main(
     cfg: &ClusterConfig,
     sys: &ParticleSystem,
@@ -1731,6 +1845,23 @@ pub fn worker_main(
     index: usize,
     shards: usize,
     dir: &std::path::Path,
+) -> Result<(), ShardError> {
+    worker_main_net(cfg, sys, engine, index, shards, &ShardNet::Unix(dir.to_path_buf()))
+}
+
+/// Worker-process entry point: rendezvous with the coordinator (a Unix
+/// rendezvous directory or a TCP coordinator address), mesh with the
+/// other workers, and serve segments until shutdown. The caller must
+/// have built `cfg` / `sys` / `engine` from the same arguments as the
+/// coordinator (it re-invokes its own argv), which the HELLO
+/// fingerprint verifies.
+pub fn worker_main_net(
+    cfg: &ClusterConfig,
+    sys: &ParticleSystem,
+    engine: &EngineConfig,
+    index: usize,
+    shards: usize,
+    net: &ShardNet,
 ) -> Result<(), ShardError> {
     let mut cl = Cluster::new(cfg.clone(), sys);
     let n = cl.num_nodes();
@@ -1740,20 +1871,45 @@ pub fn worker_main(
     }
     let ranges = shard_ranges(n, shards);
 
-    // Bind the mesh listener before saying hello: every peer socket
-    // exists before the coordinator releases anyone with GO.
-    let my_sock = peer_socket(dir, index);
-    let _ = std::fs::remove_file(&my_sock);
-    let listener = std::os::unix::net::UnixListener::bind(&my_sock)?;
-    let ctl_stream = std::os::unix::net::UnixStream::connect(ctl_socket(dir))?;
-    let mut ctl = SocketLink::new(ctl_stream)?;
+    // Bind the mesh listener before saying hello: our advertised
+    // address is live before the coordinator releases anyone with GO.
+    let is_tcp = matches!(net, ShardNet::Tcp(_));
+    let (listener, my_addr, mut ctl): (Acceptor, String, Box<dyn FrameLink>) = match net {
+        ShardNet::Unix(dir) => {
+            let my_sock = peer_socket(dir, index);
+            let _ = std::fs::remove_file(&my_sock);
+            let l = std::os::unix::net::UnixListener::bind(&my_sock)?;
+            let stream = std::os::unix::net::UnixStream::connect(ctl_socket(dir))?;
+            (
+                Acceptor::Unix(l),
+                my_sock.to_string_lossy().into_owned(),
+                Box::new(SocketLink::new(stream)?),
+            )
+        }
+        ShardNet::Tcp(addr) => {
+            // Dial the coordinator first: the local address of that
+            // connection is the interface peers can reach us on.
+            let stream = std::net::TcpStream::connect(addr.as_str())?;
+            let ip = stream.local_addr()?.ip();
+            let l = std::net::TcpListener::bind((ip, 0))?;
+            let my_addr = l.local_addr()?.to_string();
+            (Acceptor::Tcp(l), my_addr, Box::new(TcpLink::new(stream)?))
+        }
+    };
     ctl.send_frame(
-        &CtlFrame::Hello { index: index as u32, meta_crc: meta_crc(&cl) }.encode(),
+        &CtlFrame::Hello { index: index as u32, meta_crc: meta_crc(&cl), mesh_addr: my_addr }
+            .encode(),
     )?;
-    let resume = match CtlFrame::decode(&ctl.recv_frame()?)? {
-        CtlFrame::Go { resume } => resume,
+    let (resume, peers) = match CtlFrame::decode(&ctl.recv_frame()?)? {
+        CtlFrame::Go { resume, peers } => (resume, peers),
         _ => return Err(ShardError::Protocol("expected go frame".into())),
     };
+    if peers.len() != shards {
+        return Err(ShardError::Protocol(format!(
+            "go frame lists {} peers for {shards} shards",
+            peers.len()
+        )));
+    }
     if let Some(path) = resume {
         let bytes = std::fs::read(path)?;
         let container = Container::parse(&bytes)?;
@@ -1763,14 +1919,12 @@ pub fn worker_main(
     // Mesh: dial lower indices (announcing who we are), accept higher.
     let mut links: Vec<Option<Box<dyn FrameLink>>> = (0..shards).map(|_| None).collect();
     for (peer, slot) in links.iter_mut().enumerate().take(index) {
-        let stream = std::os::unix::net::UnixStream::connect(peer_socket(dir, peer))?;
-        let mut link = SocketLink::new(stream)?;
+        let mut link = dial_mesh(is_tcp, &peers[peer])?;
         link.send_frame(&MeshFrame::Id(index as u32).encode())?;
-        *slot = Some(Box::new(link));
+        *slot = Some(link);
     }
     for _ in index + 1..shards {
-        let (stream, _) = listener.accept()?;
-        let mut link = SocketLink::new(stream)?;
+        let mut link = listener.accept()?;
         let peer = match MeshFrame::decode(&link.recv_frame()?)? {
             MeshFrame::Id(i) => i as usize,
             _ => return Err(ShardError::Protocol("expected id frame".into())),
@@ -1778,11 +1932,11 @@ pub fn worker_main(
         if peer <= index || peer >= shards || links[peer].is_some() {
             return Err(ShardError::Protocol(format!("bad mesh peer id {peer}")));
         }
-        links[peer] = Some(Box::new(link));
+        links[peer] = Some(link);
     }
     let mut mesh: Vec<Box<dyn FrameLink>> = links.into_iter().flatten().collect();
 
     cl.exchange =
         Some(ExchangeBuf { owned: ranges[index].clone(), stage: 0, events: Vec::new() });
-    worker_loop(cl, engine, &mut ctl, &mut mesh, index, shards)
+    worker_loop(cl, engine, &mut *ctl, &mut mesh, index, shards)
 }

@@ -36,6 +36,7 @@ fn golden_path(step: u64) -> PathBuf {
 /// Run the reference segmentation with the current writer: the bytes it
 /// produces at each golden boundary, plus the final state every resume
 /// must reproduce.
+#[allow(clippy::type_complexity)]
 fn current() -> (Vec<(u64, Vec<u8>)>, (ParticleSystem, ForceBits)) {
     let sys = workload();
     let dir = harness::tmpdir("golden-regen");

@@ -71,7 +71,7 @@ fn final_totals_identical_across_engines_and_shards() {
             STEPS,
             &EngineConfig::serial().with_trace(full),
             2,
-            ShardOpts { budget: BUDGET, ckpt: None, resume: None, obs: None },
+            ShardOpts { budget: BUDGET, ckpt: None, resume: None, obs: None, ..Default::default() },
         )
         .expect("sharded run completes");
         let nodes = run.replica.num_nodes();
@@ -173,7 +173,7 @@ fn sharded_run_emits_fleet_beats_naming_lagging_shard() {
             .with_trace(TraceConfig::full())
             .with_heartbeat_every(1),
         2,
-        ShardOpts { budget: BUDGET, ckpt: None, resume: None, obs: Some(sinks.clone()) },
+        ShardOpts { budget: BUDGET, ckpt: None, resume: None, obs: Some(sinks.clone()), ..Default::default() },
     )
     .expect("sharded run completes");
     assert_eq!(run.report.steps, STEPS);

@@ -104,7 +104,7 @@ fn correlated_windows_heal_bit_identical_across_engines_and_shards() {
             STEPS,
             &EngineConfig::serial(),
             2,
-            ShardOpts { budget: BUDGET, ckpt: None, resume: None, obs: None },
+            ShardOpts { budget: BUDGET, ckpt: None, resume: None, obs: None, ..Default::default() },
         )
         .unwrap_or_else(|e| panic!("{name} x2: sharded healing run failed: {e}"));
         assert_state_eq(&final_state(&run.replica, &sys), &want, &format!("{name} x2"));
@@ -234,6 +234,7 @@ fn sharded_staggered_crashes_roll_forward_from_newest_consistent() {
                 ckpt: Some(ck.clone()),
                 resume: resume.clone(),
                 obs: None,
+                ..Default::default()
             },
         ) {
             Ok(run) => break run,
@@ -241,7 +242,7 @@ fn sharded_staggered_crashes_roll_forward_from_newest_consistent() {
                 restarts += 1;
                 assert!(restarts <= 4, "rolling resume did not converge");
                 plan = plan.map(|p| p.without_crash_at(c.node as u32, c.step));
-                let (step, paths) = newest_consistent(&[dir.clone()])
+                let (step, paths) = newest_consistent(std::slice::from_ref(&dir))
                     .expect("list checkpoints")
                     .expect("a checkpoint survives the crash");
                 assert!(step < c.step, "restore point (step {step}) must predate the crash");

@@ -182,7 +182,7 @@ fn sharded_runs_match_oracle_bit_for_bit() {
                 STEPS,
                 &sc.engine,
                 shards,
-                ShardOpts { budget: BUDGET, ckpt: Some(ck), resume: None, obs: None },
+                ShardOpts { budget: BUDGET, ckpt: Some(ck), resume: None, obs: None, ..Default::default() },
             )
             .unwrap_or_else(|e| panic!("{ctx}: sharded run failed: {e}"));
 
@@ -200,6 +200,65 @@ fn sharded_runs_match_oracle_bit_for_bit() {
 
             let _ = std::fs::remove_dir_all(&dir);
         }
+        let _ = std::fs::remove_dir_all(&dir_oracle);
+    }
+}
+
+/// Satellite gate: the same protocol over loopback TCP ([`TcpLink`]
+/// carries every control and mesh frame) is byte-identical to the
+/// Unix-socket and in-process paths — the carrier cannot leak into the
+/// simulation. One clean and one lossy scenario keep the matrix cheap;
+/// the full scenario sweep above already covers the protocol itself.
+#[test]
+fn sharded_over_loopback_tcp_matches_oracle_bit_for_bit() {
+    let sys = workload();
+    for (name, faults, reliable) in [
+        ("tcp-clean", None, false),
+        ("tcp-lossy", Some(FaultPlan::drop_only(0.05, 0xC0FFEE)), true),
+    ] {
+        let cfg = config(faults, reliable);
+        let engine = EngineConfig::serial().with_trace(TraceConfig::full());
+
+        let dir_oracle = tmpdir(&format!("{name}-oracle"));
+        let ck_oracle = CheckpointConfig::new(EVERY, &dir_oracle).with_keep(0);
+        let mut oracle = Cluster::new(cfg.clone(), &sys);
+        let oracle_run = run_with_checkpoints(
+            &mut oracle,
+            STEPS,
+            BUDGET,
+            &engine,
+            Some(&ck_oracle),
+            RunAccumulator::new(),
+        )
+        .expect("oracle completes");
+        let oracle_state = final_state(&oracle, &sys);
+        let oracle_ckpts = checkpoint_bytes(&oracle_run.checkpoints);
+
+        let dir = tmpdir(&format!("{name}-tcp"));
+        let ck = CheckpointConfig::new(EVERY, &dir).with_keep(0);
+        let run = run_sharded(
+            &cfg,
+            &sys,
+            STEPS,
+            &engine,
+            2,
+            ShardOpts { budget: BUDGET, ckpt: Some(ck), resume: None, obs: None, tcp: true },
+        )
+        .unwrap_or_else(|e| panic!("{name}: TCP sharded run failed: {e}"));
+
+        assert_eq!(run.report, oracle_run.report, "{name}: folded report drifted");
+        let state = final_state(&run.replica, &sys);
+        assert_eq!(state.0.pos, oracle_state.0.pos, "{name}: positions drifted");
+        assert_eq!(state.0.vel, oracle_state.0.vel, "{name}: velocities drifted");
+        assert_eq!(state.1, oracle_state.1, "{name}: force-bank bits drifted");
+        assert_traces_equal(&run.traces, &oracle_run.traces, name);
+        assert_eq!(
+            checkpoint_bytes(&run.checkpoints),
+            oracle_ckpts,
+            "{name}: checkpoint files not byte-identical"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&dir_oracle);
     }
 }
@@ -270,7 +329,7 @@ fn crash_then_resume_on_different_shard_count_matches_oracle() {
         STEPS,
         &engine,
         2,
-        ShardOpts { budget: BUDGET, ckpt: Some(ck.clone()), resume: None, obs: None },
+        ShardOpts { budget: BUDGET, ckpt: Some(ck.clone()), resume: None, obs: None, ..Default::default() },
     )
     .expect_err("crash directive must abort the sharded run");
     match err {
@@ -293,7 +352,7 @@ fn crash_then_resume_on_different_shard_count_matches_oracle() {
         STEPS,
         &engine,
         4,
-        ShardOpts { budget: BUDGET, ckpt: Some(ck), resume: Some(latest), obs: None },
+        ShardOpts { budget: BUDGET, ckpt: Some(ck), resume: Some(latest), obs: None, ..Default::default() },
     )
     .expect("resumed sharded run completes");
 

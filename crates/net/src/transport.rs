@@ -9,17 +9,19 @@
 //!
 //! [`FrameLink`] abstracts the carrier:
 //!
-//! * [`SocketLink`] — a Unix-domain stream socket, the real inter-process
-//!   transport (loopback today, host-to-host tomorrow: anything
-//!   `Read + Write` frames identically);
+//! * [`SocketLink`] — a Unix-domain stream socket, the same-host
+//!   inter-process transport;
+//! * [`TcpLink`] — a TCP stream (Nagle off: frames are latency-bound
+//!   barrier traffic), the cross-host transport;
 //! * [`MemLink`] — an in-process channel pair for hermetic tests and the
 //!   thread-backed shard harness.
 //!
-//! Both carriers move identical bytes; which one a run uses cannot
+//! All carriers move identical bytes; which one a run uses cannot
 //! affect simulation results, only wall-clock time.
 
 use fasda_ckpt::{frame, CkptError};
 use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::sync::mpsc::{Receiver, Sender};
 
@@ -106,6 +108,46 @@ impl FrameLink for SocketLink {
     }
 }
 
+/// [`FrameLink`] over a TCP stream — byte-for-byte the same framing as
+/// [`SocketLink`], so swapping the carrier cannot change what a run
+/// computes, only where its processes live.
+pub struct TcpLink {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpLink {
+    /// Wrap a connected stream. Disables Nagle's algorithm — exchange
+    /// frames are small and on the critical path of every simulated
+    /// cycle, so coalescing them for bandwidth costs exactly the wrong
+    /// thing.
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(TcpLink {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Connect to `addr` (e.g. `127.0.0.1:7700` or `host:port`).
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        TcpLink::new(TcpStream::connect(addr)?)
+    }
+}
+
+impl FrameLink for TcpLink {
+    fn send_frame(&mut self, payload: &[u8]) -> Result<(), LinkError> {
+        frame::write_frame_to(&mut self.writer, payload)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, LinkError> {
+        Ok(frame::read_frame_from(&mut self.reader, "shard-link")?)
+    }
+}
+
 /// [`FrameLink`] over in-process channels. Frames still round-trip
 /// through the CRC framing so the validation path matches the socket
 /// carrier byte for byte.
@@ -164,6 +206,17 @@ mod tests {
     #[test]
     fn mem_link_roundtrip() {
         let (a, b) = MemLink::pair();
+        roundtrip(a, b);
+    }
+
+    #[test]
+    fn tcp_link_roundtrip() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let dial = std::thread::spawn(move || TcpLink::connect(&addr.to_string()).expect("dial"));
+        let (stream, _) = listener.accept().expect("accept");
+        let a = TcpLink::new(stream).expect("link");
+        let b = dial.join().expect("join");
         roundtrip(a, b);
     }
 

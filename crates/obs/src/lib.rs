@@ -111,6 +111,28 @@ impl Hist {
         self.count += 1;
     }
 
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// inclusive upper edge of the bucket holding the `ceil(q·count)`-th
+    /// observation. The overflow bucket reports the largest bound (the
+    /// histogram cannot see past its edges); an empty histogram reports
+    /// `None`. Bucketed quantiles are coarse by construction — the point
+    /// is a deterministic, mergeable percentile, not sub-bucket
+    /// precision.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(*self.bounds.get(i).unwrap_or(self.bounds.last()?));
+            }
+        }
+        self.bounds.last().copied()
+    }
+
     fn to_json(&self) -> Json {
         Json::obj()
             .field(
@@ -480,6 +502,22 @@ mod tests {
         assert_eq!(h.counts, vec![2, 1, 1]);
         assert_eq!(h.count, 4);
         assert_eq!(h.sum, 1065);
+    }
+
+    #[test]
+    fn hist_quantiles() {
+        let mut h = Hist::new(&[1, 2, 4, 8, 16]);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [1, 1, 2, 3, 5, 9, 9, 9, 9, 100] {
+            h.observe(v);
+        }
+        // Ranks: p50 → 5th obs (value 5, bucket ≤8), p95 → 10th obs
+        // (overflow → last bound), p0 clamps to the first observation.
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(8));
+        assert_eq!(h.quantile(0.9), Some(16));
+        assert_eq!(h.quantile(0.95), Some(16));
+        assert_eq!(h.quantile(1.0), Some(16));
     }
 
     #[test]

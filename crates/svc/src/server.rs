@@ -1,0 +1,935 @@
+//! The job-service daemon: journal-backed queue, worker pool, control
+//! listener, and checkpoint-backed live migration.
+//!
+//! ## Architecture
+//!
+//! One shared [`State`] (mutex + condvar) holds every job record, the
+//! open queue journal, and the metrics registry. `workers` threads loop:
+//! pick the next runnable job by fair share ([`crate::queue::pick`]),
+//! journal the pickup, and drive the cluster through
+//! [`run_with_checkpoints_ctl`] — the control callback re-locks the
+//! state at each segment boundary to publish progress and read the
+//! job's *wanted* verb (continue / drain / cancel). A listener thread
+//! accepts control connections (Unix or TCP) and answers the
+//! [`crate::proto`] verbs against the same shared state.
+//!
+//! ## Migration and recovery
+//!
+//! `migrate` sets the job's wanted verb to drain. At the next segment
+//! boundary the running worker receives the quiescent state as
+//! in-memory checkpoint-container bytes, requeues the job with
+//! anti-affinity against itself, and another worker resumes it via
+//! [`resume_from_container`]. Because both halves are the checkpoint
+//! path, the migrated run is bit-identical to an unmigrated run with
+//! the same segmentation (DESIGN.md §9 and §14).
+//!
+//! A worker *crash* (the fault plan's `crash=NODE@STEP`, the service's
+//! stand-in for a dying worker process) requeues the job from its
+//! newest on-disk checkpoint with exactly the fired directive stripped
+//! — the rolling-recovery contract, applied across the pool. Server
+//! death loses only in-memory drain containers: the journal replays
+//! every non-terminal job back to *queued*, and each resumes from its
+//! newest on-disk checkpoint.
+
+use crate::job::{JobSpec, JobState};
+use crate::proto::{self, ProtoError};
+use crate::queue::{self, QueueJournal, ReplayedState, SchedJob, TenantTable};
+use fasda_cluster::ckpt::{
+    resume_latest, run_with_checkpoints_ctl, CheckpointConfig, CkptRunError, CkptRunOutcome,
+    RunAccumulator, SegmentControl,
+};
+use fasda_cluster::{state_dump, Cluster, ClusterError, EngineConfig};
+use fasda_net::transport::{FrameLink, SocketLink, TcpLink};
+use fasda_obs::Registry;
+use fasda_trace::Json;
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Latency histogram bounds (milliseconds, log-spaced).
+const LATENCY_MS_BOUNDS: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 30_000, 120_000,
+];
+
+/// Where the control listener lives.
+#[derive(Clone, Debug)]
+pub enum Listen {
+    /// Unix-domain socket at this path (default; single host).
+    Unix(PathBuf),
+    /// TCP address (`host:port`; port 0 picks an ephemeral port).
+    Tcp(String),
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Control-socket carrier.
+    pub listen: Listen,
+    /// Worker threads (migration needs at least 2).
+    pub workers: usize,
+    /// Queue journal path (created if missing, replayed if present).
+    pub journal: PathBuf,
+    /// Per-job checkpoint directories live under `ckpt_root/job-N`.
+    pub ckpt_root: PathBuf,
+    /// Default checkpoint cadence in steps for jobs that don't set
+    /// their own — ideally the Young–Daly optimum from
+    /// `fasda ckpt policy` (see [`crate::server::policy_interval`]).
+    pub default_ckpt_every: u64,
+    /// Fair-share weights and quotas.
+    pub tenants: TenantTable,
+    /// Per-job bound on automatic crash/deadlock restarts.
+    pub max_restarts: u32,
+}
+
+impl ServerConfig {
+    /// A two-worker server rooted at `dir` (journal, checkpoints, and —
+    /// for the Unix default — the control socket all live under it).
+    pub fn at(dir: &std::path::Path) -> Self {
+        ServerConfig {
+            listen: Listen::Unix(dir.join("ctl.sock")),
+            workers: 2,
+            journal: dir.join("queue.journal"),
+            ckpt_root: dir.join("ckpt"),
+            default_ckpt_every: 2,
+            tenants: TenantTable::new(),
+            max_restarts: 4,
+        }
+    }
+}
+
+/// What the scheduler wants a running job to do at its next segment
+/// boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Wanted {
+    Run,
+    Drain,
+    Cancel,
+}
+
+/// Where a (re)starting job resumes from.
+enum Resume {
+    /// Step 0.
+    Fresh,
+    /// In-memory drain container (live migration).
+    Container(Vec<u8>),
+    /// Newest on-disk checkpoint in the job's directory (crash requeue
+    /// and post-restart recovery); falls back to fresh when none exists.
+    Disk,
+}
+
+/// One job's full server-side record.
+struct JobRec {
+    id: u64,
+    spec: JobSpec,
+    state: JobState,
+    steps_done: u64,
+    wanted: Wanted,
+    resume: Resume,
+    avoid: Option<usize>,
+    /// Crash directives already fired and stripped (node, step).
+    stripped_crashes: Vec<(u32, u64)>,
+    /// Whether outage windows were stripped after a fault-induced
+    /// deadlock.
+    stripped_windows: bool,
+    restarts: u32,
+    migrations: u32,
+    submitted: Instant,
+    logs: Vec<String>,
+}
+
+impl JobRec {
+    fn status_json(&self) -> Json {
+        let mut o = Json::obj()
+            .field("id", Json::uint(self.id))
+            .field("name", self.spec.name.as_str())
+            .field("tenant", self.spec.tenant.as_str())
+            .field("priority", self.spec.priority)
+            .field("state", self.state.as_str())
+            .field("steps_done", Json::uint(self.steps_done))
+            .field("steps_total", Json::uint(self.spec.steps))
+            .field("restarts", self.restarts as i64)
+            .field("migrations", self.migrations as i64);
+        if let JobState::Running(w) = self.state {
+            o = o.field("worker", w);
+        }
+        if let JobState::Failed(e) = &self.state {
+            o = o.field("error", e.as_str());
+        }
+        o.build()
+    }
+}
+
+struct State {
+    jobs: Vec<JobRec>,
+    journal: QueueJournal,
+    running_by_tenant: HashMap<String, usize>,
+    registry: Registry,
+    shutdown: bool,
+}
+
+impl State {
+    fn job_mut(&mut self, id: u64) -> Option<&mut JobRec> {
+        self.jobs.iter_mut().find(|j| j.id == id)
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.jobs.iter().filter(|j| j.state == JobState::Queued).count()
+    }
+
+    fn running(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.state, JobState::Running(_)))
+            .count()
+    }
+
+    fn refresh_gauges(&mut self) {
+        let depth = self.queue_depth() as f64;
+        let running = self.running() as f64;
+        self.registry.gauge_set("queue_depth", depth);
+        self.registry.gauge_set("jobs_running", running);
+        // Peak depth as a counter so the totals document keeps it.
+        self.registry.counter_set("queue_depth_peak", depth as u64);
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+/// A running daemon. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown`] (or send the protocol `shutdown`
+/// verb) and then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    addr: Listen,
+}
+
+impl ServerHandle {
+    /// Where clients should connect (TCP port resolved if 0 was asked).
+    pub fn addr(&self) -> &Listen {
+        &self.addr
+    }
+
+    /// Ask every thread to stop: running jobs drain at their next
+    /// segment boundary and are journaled as requeued (they resume from
+    /// their newest on-disk checkpoint at the next start).
+    pub fn shutdown(&self) {
+        let mut st = self.shared.state.lock().expect("state lock");
+        st.shutdown = true;
+        for job in &mut st.jobs {
+            if matches!(job.state, JobState::Running(_)) && job.wanted == Wanted::Run {
+                job.wanted = Wanted::Drain;
+            }
+        }
+        drop(st);
+        self.shared.wake.notify_all();
+    }
+
+    /// Wait for the worker pool and listener to exit.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Has shutdown been requested (by handle or protocol verb)?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.state.lock().expect("state lock").shutdown
+    }
+}
+
+/// The daemon entry point.
+pub struct Server;
+
+impl Server {
+    /// Replay the journal, bind the control socket, and start the
+    /// worker pool. Returns a handle with the resolved listen address.
+    pub fn start(cfg: ServerConfig) -> Result<ServerHandle, String> {
+        if cfg.workers == 0 {
+            return Err("server needs at least one worker".into());
+        }
+        if let Some(parent) = cfg.journal.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+        std::fs::create_dir_all(&cfg.ckpt_root).map_err(|e| e.to_string())?;
+
+        // Rebuild the queue from the journal: every non-terminal job is
+        // owed a run and resumes from its newest on-disk checkpoint.
+        let recovered = queue::replay(&cfg.journal).map_err(|e| e.to_string())?;
+        let mut journal = QueueJournal::open(&cfg.journal).map_err(|e| e.to_string())?;
+        let live: Vec<(u64, &JobSpec)> = recovered
+            .jobs
+            .iter()
+            .filter(|j| j.state == ReplayedState::Queued)
+            .map(|j| (j.id, &j.spec))
+            .collect();
+        journal.compact_to(&live).map_err(|e| e.to_string())?;
+        let mut registry = Registry::new(true);
+        registry.counter_set("jobs_replayed", live.len() as u64);
+        if recovered.torn_bytes > 0 {
+            registry.counter_set("journal_torn_bytes", recovered.torn_bytes);
+        }
+        let now = Instant::now();
+        let jobs: Vec<JobRec> = recovered
+            .jobs
+            .into_iter()
+            .filter(|j| j.state == ReplayedState::Queued)
+            .map(|j| JobRec {
+                id: j.id,
+                spec: j.spec,
+                state: JobState::Queued,
+                steps_done: 0,
+                wanted: Wanted::Run,
+                resume: Resume::Disk,
+                avoid: None,
+                stripped_crashes: Vec::new(),
+                stripped_windows: false,
+                restarts: 0,
+                migrations: 0,
+                submitted: now,
+                logs: vec!["replayed from journal after server restart".to_string()],
+            })
+            .collect();
+        let next_id = recovered.next_id;
+
+        // Bind the control listener before spawning anything so a
+        // bad address fails the whole start.
+        enum Bound {
+            Unix(UnixListener),
+            Tcp(TcpListener),
+        }
+        let (bound, addr) = match &cfg.listen {
+            Listen::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+                }
+                let l = UnixListener::bind(path).map_err(|e| format!("{}: {e}", path.display()))?;
+                (Bound::Unix(l), Listen::Unix(path.clone()))
+            }
+            Listen::Tcp(spec) => {
+                let l = TcpListener::bind(spec.as_str()).map_err(|e| format!("{spec}: {e}"))?;
+                let resolved = l.local_addr().map_err(|e| e.to_string())?.to_string();
+                (Bound::Tcp(l), Listen::Tcp(resolved))
+            }
+        };
+
+        let mut state = State {
+            jobs,
+            journal,
+            running_by_tenant: HashMap::new(),
+            registry,
+            shutdown: false,
+        };
+        state.refresh_gauges();
+        let shared = Arc::new(Shared {
+            cfg: cfg.clone(),
+            state: Mutex::new(state),
+            wake: Condvar::new(),
+        });
+        let next_id = Arc::new(Mutex::new(next_id));
+
+        let mut threads = Vec::new();
+        for w in 0..cfg.workers {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("fasda-worker-{w}"))
+                    .spawn(move || worker_loop(&sh, w))
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        {
+            let sh = Arc::clone(&shared);
+            let nid = Arc::clone(&next_id);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("fasda-listener".to_string())
+                    .spawn(move || match bound {
+                        Bound::Unix(l) => listener_loop(&sh, &nid, l),
+                        Bound::Tcp(l) => tcp_listener_loop(&sh, &nid, l),
+                    })
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        Ok(ServerHandle { shared, threads, addr })
+    }
+}
+
+// -----------------------------------------------------------------------
+// Worker pool
+// -----------------------------------------------------------------------
+
+/// How one execution attempt ended.
+enum Attempt {
+    Completed { cluster: Box<Cluster>, sys: fasda_md::system::ParticleSystem },
+    Drained(Vec<u8>),
+    Cancelled,
+    Crashed { node: u32, step: u64 },
+    OutageDeadlock { outages: Vec<String> },
+    Error(String),
+}
+
+fn worker_loop(sh: &Shared, worker: usize) {
+    loop {
+        // Pick the next runnable job by fair share, or sleep.
+        let picked = {
+            let mut st = sh.state.lock().expect("state lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                let queued: Vec<SchedJob> = st
+                    .jobs
+                    .iter()
+                    .filter(|j| j.state == JobState::Queued)
+                    .map(|j| SchedJob {
+                        id: j.id,
+                        tenant: j.spec.tenant.clone(),
+                        priority: j.spec.priority,
+                        avoid: j.avoid,
+                    })
+                    .collect();
+                if let Some(id) =
+                    queue::pick(&queued, &st.running_by_tenant, &sh.cfg.tenants, worker)
+                {
+                    let job = st.job_mut(id).expect("picked job exists");
+                    job.state = JobState::Running(worker);
+                    job.logs.push(format!("started on worker {worker}"));
+                    let tenant = job.spec.tenant.clone();
+                    let spec = job.spec.clone();
+                    let resume = std::mem::replace(&mut job.resume, Resume::Fresh);
+                    let stripped_crashes = job.stripped_crashes.clone();
+                    let stripped_windows = job.stripped_windows;
+                    let _ = st.journal.start(id, worker);
+                    *st.running_by_tenant.entry(tenant).or_insert(0) += 1;
+                    st.refresh_gauges();
+                    break Some((id, spec, resume, stripped_crashes, stripped_windows));
+                }
+                let (guard, _) = sh
+                    .wake
+                    .wait_timeout(st, Duration::from_millis(100))
+                    .expect("condvar wait");
+                st = guard;
+            }
+        };
+        let Some((id, spec, resume, stripped_crashes, stripped_windows)) = picked else {
+            return;
+        };
+        // A panic anywhere in the simulator must fail the job, not
+        // silently kill the worker thread and strand the pool.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(sh, worker, id, &spec, resume, &stripped_crashes, stripped_windows)
+        }))
+        .unwrap_or_else(|p| {
+            let what = p
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| p.downcast_ref::<&str>().copied())
+                .unwrap_or("panic");
+            Attempt::Error(format!("worker panicked: {what}"))
+        });
+        settle(sh, worker, id, &spec, outcome);
+    }
+}
+
+/// Build the cluster for `spec` (with recovered-against directives
+/// stripped), resume it, and drive it segment by segment under the
+/// job's control verb.
+fn execute(
+    sh: &Shared,
+    worker: usize,
+    id: u64,
+    spec: &JobSpec,
+    resume: Resume,
+    stripped_crashes: &[(u32, u64)],
+    stripped_windows: bool,
+) -> Attempt {
+    let (mut cfg, sys) = match spec.build() {
+        Ok(v) => v,
+        Err(e) => return Attempt::Error(e),
+    };
+    // Strip the directives previous attempts already absorbed — the
+    // rolling-recovery contract (each failure teaches the next attempt).
+    let mut plan = cfg.faults.clone();
+    for (node, step) in stripped_crashes {
+        plan = plan.map(|p| p.without_crash_at(*node, *step));
+    }
+    if stripped_windows {
+        plan = plan.map(|p| p.without_windows());
+    }
+    cfg.faults = plan.filter(|p| !p.is_none() || !p.crashes.is_empty());
+
+    let every = if spec.ckpt_every > 0 { spec.ckpt_every } else { sh.cfg.default_ckpt_every };
+    let ckpt = CheckpointConfig::new(every, sh.cfg.ckpt_root.join(format!("job-{id}")));
+
+    let mut cluster = Box::new(Cluster::new(cfg, &sys));
+    let acc = match resume {
+        Resume::Fresh => RunAccumulator::new(),
+        Resume::Container(bytes) => {
+            match fasda_cluster::resume_from_container(&mut cluster, &bytes) {
+                Ok(acc) => {
+                    log_to(sh, id, format!(
+                        "resumed on worker {worker} from in-memory container at step {}",
+                        acc.steps_done
+                    ));
+                    acc
+                }
+                Err(e) => return Attempt::Error(format!("container resume: {e}")),
+            }
+        }
+        Resume::Disk => match resume_latest(&mut cluster, &ckpt.dir) {
+            Ok(Some((path, acc))) => {
+                log_to(sh, id, format!(
+                    "resumed on worker {worker} from {} at step {}",
+                    path.display(),
+                    acc.steps_done
+                ));
+                acc
+            }
+            Ok(None) => RunAccumulator::new(),
+            Err(e) => return Attempt::Error(format!("checkpoint resume: {e}")),
+        },
+    };
+
+    let engine = EngineConfig::serial();
+    let mut ctl = |status: &fasda_cluster::SegmentStatus| -> SegmentControl {
+        let mut st = sh.state.lock().expect("state lock");
+        let Some(job) = st.job_mut(id) else { return SegmentControl::Cancel };
+        job.steps_done = status.steps_done;
+        if let Some(path) = &status.checkpoint {
+            job.logs
+                .push(format!("checkpoint at step {} -> {}", status.steps_done, path.display()));
+        }
+        match job.wanted {
+            Wanted::Run => SegmentControl::Continue,
+            Wanted::Drain => SegmentControl::Drain,
+            Wanted::Cancel => SegmentControl::Cancel,
+        }
+    };
+    match run_with_checkpoints_ctl(
+        &mut cluster,
+        spec.steps,
+        2_000_000_000,
+        &engine,
+        Some(&ckpt),
+        acc,
+        &mut ctl,
+    ) {
+        Ok(CkptRunOutcome::Completed(_run)) => Attempt::Completed { cluster, sys },
+        Ok(CkptRunOutcome::Drained { run, container }) => {
+            log_to(sh, id, format!(
+                "drained on worker {worker} at step {} ({} checkpoint(s) on disk)",
+                run.report.steps,
+                run.checkpoints.len()
+            ));
+            Attempt::Drained(container)
+        }
+        Ok(CkptRunOutcome::Cancelled(_)) => Attempt::Cancelled,
+        Err(CkptRunError::Run(ClusterError::Crashed(c))) => {
+            Attempt::Crashed { node: c.node as u32, step: c.step }
+        }
+        Err(CkptRunError::Run(ClusterError::Deadlock(d))) if !d.outages.is_empty() => {
+            Attempt::OutageDeadlock { outages: d.outages.clone() }
+        }
+        Err(e) => Attempt::Error(e.to_string()),
+    }
+}
+
+/// Apply an attempt's outcome to the shared state and the journal.
+fn settle(sh: &Shared, worker: usize, id: u64, spec: &JobSpec, outcome: Attempt) {
+    // The completion dump happens outside the lock (it walks the whole
+    // cluster), before the state transition is published.
+    let dump = match &outcome {
+        Attempt::Completed { cluster, sys } => {
+            spec.dump_state.as_ref().map(|path| (path.clone(), state_dump(cluster, sys)))
+        }
+        _ => None,
+    };
+    let mut st = sh.state.lock().expect("state lock");
+    if let Some(n) = st.running_by_tenant.get_mut(&spec.tenant) {
+        *n = n.saturating_sub(1);
+    }
+    let shutdown = st.shutdown;
+    let Some(job) = st.job_mut(id) else { return };
+    let elapsed_ms = job.submitted.elapsed().as_millis() as u64;
+    match outcome {
+        Attempt::Completed { .. } => {
+            job.state = JobState::Completed;
+            job.steps_done = spec.steps;
+            job.logs.push(format!("completed on worker {worker}"));
+            let mut dump_err = None;
+            if let Some((path, text)) = dump {
+                match std::fs::write(&path, text) {
+                    Ok(()) => job.logs.push(format!("wrote state dump to {path}")),
+                    Err(e) => dump_err = Some(format!("state dump {path}: {e}")),
+                }
+            }
+            if let Some(e) = dump_err {
+                job.logs.push(e);
+            }
+            let _ = st.journal.done(id);
+            st.registry.counter_add("jobs_completed", 1);
+            st.registry
+                .hist_observe("job_latency_ms", LATENCY_MS_BOUNDS, elapsed_ms);
+        }
+        Attempt::Drained(container) => {
+            job.state = JobState::Queued;
+            job.wanted = Wanted::Run;
+            job.migrations += 1;
+            if shutdown {
+                // The container dies with the process; the journal entry
+                // sends the job back through its on-disk checkpoints.
+                job.resume = Resume::Disk;
+                job.avoid = None;
+                job.logs.push("drained for shutdown; will resume from disk".to_string());
+                let _ = st.journal.requeue(id, "shutdown");
+            } else {
+                job.resume = Resume::Container(container);
+                job.avoid = Some(worker);
+                job.logs.push(format!("requeued for migration away from worker {worker}"));
+                let _ = st.journal.requeue(id, "migrate");
+                st.registry.counter_add("jobs_migrated", 1);
+            }
+        }
+        Attempt::Cancelled => {
+            job.state = JobState::Cancelled;
+            job.logs.push("cancelled at segment boundary".to_string());
+            let _ = st.journal.cancel(id);
+            st.registry.counter_add("jobs_cancelled", 1);
+        }
+        Attempt::Crashed { node, step } => {
+            if job.restarts < sh.cfg.max_restarts {
+                job.restarts += 1;
+                job.stripped_crashes.push((node, step));
+                job.state = JobState::Queued;
+                job.resume = Resume::Disk;
+                job.avoid = None;
+                job.logs.push(format!(
+                    "worker {worker} crashed (node {node} at step {step}); requeued from newest checkpoint"
+                ));
+                let _ = st.journal.requeue(id, "crash");
+                st.registry.counter_add("jobs_requeued_crash", 1);
+            } else {
+                job.state = JobState::Failed(format!(
+                    "crash of node {node} at step {step} exceeded {} restarts",
+                    sh.cfg.max_restarts
+                ));
+                let _ = st.journal.fail(id, "restart budget exhausted");
+                st.registry.counter_add("jobs_failed", 1);
+            }
+        }
+        Attempt::OutageDeadlock { outages } => {
+            if job.restarts < sh.cfg.max_restarts {
+                job.restarts += 1;
+                job.stripped_windows = true;
+                job.state = JobState::Queued;
+                job.resume = Resume::Disk;
+                job.avoid = None;
+                job.logs.push(format!(
+                    "outage deadlock [{}]; windows lifted, requeued from newest checkpoint",
+                    outages.join(", ")
+                ));
+                let _ = st.journal.requeue(id, "crash");
+                st.registry.counter_add("jobs_requeued_crash", 1);
+            } else {
+                job.state = JobState::Failed("outage deadlock exceeded restart budget".into());
+                let _ = st.journal.fail(id, "restart budget exhausted");
+                st.registry.counter_add("jobs_failed", 1);
+            }
+        }
+        Attempt::Error(e) => {
+            job.state = JobState::Failed(e.clone());
+            job.logs.push(format!("failed: {e}"));
+            let _ = st.journal.fail(id, &e);
+            st.registry.counter_add("jobs_failed", 1);
+        }
+    }
+    st.refresh_gauges();
+    drop(st);
+    sh.wake.notify_all();
+}
+
+fn log_to(sh: &Shared, id: u64, line: String) {
+    let mut st = sh.state.lock().expect("state lock");
+    if let Some(job) = st.job_mut(id) {
+        job.logs.push(line);
+    }
+}
+
+// -----------------------------------------------------------------------
+// Control listener
+// -----------------------------------------------------------------------
+
+fn listener_loop(sh: &Arc<Shared>, next_id: &Arc<Mutex<u64>>, listener: UnixListener) {
+    listener.set_nonblocking(true).expect("nonblocking listener");
+    loop {
+        if sh.state.lock().expect("state lock").shutdown {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                if let Ok(link) = SocketLink::new(stream) {
+                    spawn_handler(sh, next_id, Box::new(link));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn tcp_listener_loop(sh: &Arc<Shared>, next_id: &Arc<Mutex<u64>>, listener: TcpListener) {
+    listener.set_nonblocking(true).expect("nonblocking listener");
+    loop {
+        if sh.state.lock().expect("state lock").shutdown {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                if let Ok(link) = TcpLink::new(stream) {
+                    spawn_handler(sh, next_id, Box::new(link));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handler threads are detached: each exits when its client hangs up
+/// (`recv_frame` errors) or after serving a `shutdown` verb.
+fn spawn_handler(sh: &Arc<Shared>, next_id: &Arc<Mutex<u64>>, mut link: Box<dyn FrameLink>) {
+    let sh = Arc::clone(sh);
+    let next_id = Arc::clone(next_id);
+    let _ = std::thread::Builder::new()
+        .name("fasda-ctl".to_string())
+        .spawn(move || {
+            let _ = connection_loop(&sh, &next_id, &mut *link);
+        });
+}
+
+// -----------------------------------------------------------------------
+// Request handling
+// -----------------------------------------------------------------------
+
+fn handle_request(
+    sh: &Shared,
+    next_id: &Mutex<u64>,
+    doc: &Json,
+) -> (Json, bool) {
+    let op = doc.get("op").and_then(Json::as_str).unwrap_or("");
+    let id_of = |doc: &Json| doc.get("id").and_then(Json::as_i64).map(|v| v as u64);
+    match op {
+        "submit" => {
+            let spec = match doc.get("spec").ok_or("submit needs a spec".to_string()).and_then(
+                JobSpec::from_json,
+            ) {
+                Ok(s) => s,
+                Err(e) => return (proto::err(&e), false),
+            };
+            let mut nid = next_id.lock().expect("id lock");
+            let id = *nid;
+            *nid += 1;
+            drop(nid);
+            let mut st = sh.state.lock().expect("state lock");
+            if st.shutdown {
+                return (proto::err("server is shutting down"), false);
+            }
+            if let Err(e) = st.journal.submit(id, &spec) {
+                return (proto::err(&format!("journal: {e}")), false);
+            }
+            st.jobs.push(JobRec {
+                id,
+                spec,
+                state: JobState::Queued,
+                steps_done: 0,
+                wanted: Wanted::Run,
+                resume: Resume::Fresh,
+                avoid: None,
+                stripped_crashes: Vec::new(),
+                stripped_windows: false,
+                restarts: 0,
+                migrations: 0,
+                submitted: Instant::now(),
+                logs: vec!["submitted".to_string()],
+            });
+            st.registry.counter_add("jobs_submitted", 1);
+            st.refresh_gauges();
+            drop(st);
+            sh.wake.notify_all();
+            (proto::ok().field("id", Json::uint(id)).build(), false)
+        }
+        "status" => {
+            let st = sh.state.lock().expect("state lock");
+            match id_of(doc) {
+                Some(id) => match st.jobs.iter().find(|j| j.id == id) {
+                    Some(job) => (proto::ok().field("job", job.status_json()).build(), false),
+                    None => (proto::err(&format!("no job {id}")), false),
+                },
+                None => {
+                    let jobs: Vec<Json> = st.jobs.iter().map(|j| j.status_json()).collect();
+                    (proto::ok().field("jobs", Json::Arr(jobs)).build(), false)
+                }
+            }
+        }
+        "cancel" => {
+            let Some(id) = id_of(doc) else {
+                return (proto::err("cancel needs an id"), false);
+            };
+            let mut st = sh.state.lock().expect("state lock");
+            let Some(job) = st.job_mut(id) else {
+                return (proto::err(&format!("no job {id}")), false);
+            };
+            match &job.state {
+                JobState::Queued => {
+                    job.state = JobState::Cancelled;
+                    job.logs.push("cancelled while queued".to_string());
+                    let _ = st.journal.cancel(id);
+                    st.registry.counter_add("jobs_cancelled", 1);
+                    st.refresh_gauges();
+                    (proto::ok().build(), false)
+                }
+                JobState::Running(_) => {
+                    job.wanted = Wanted::Cancel;
+                    job.logs.push("cancel requested".to_string());
+                    (proto::ok().build(), false)
+                }
+                s => (proto::err(&format!("job {id} is already {}", s.as_str())), false),
+            }
+        }
+        "logs" => {
+            let Some(id) = id_of(doc) else {
+                return (proto::err("logs needs an id"), false);
+            };
+            let st = sh.state.lock().expect("state lock");
+            match st.jobs.iter().find(|j| j.id == id) {
+                Some(job) => {
+                    let lines: Vec<Json> =
+                        job.logs.iter().map(|l| Json::Str(l.clone())).collect();
+                    (proto::ok().field("lines", Json::Arr(lines)).build(), false)
+                }
+                None => (proto::err(&format!("no job {id}")), false),
+            }
+        }
+        "migrate" => {
+            let Some(id) = id_of(doc) else {
+                return (proto::err("migrate needs an id"), false);
+            };
+            if sh.cfg.workers < 2 {
+                return (proto::err("migration needs at least 2 workers"), false);
+            }
+            let mut st = sh.state.lock().expect("state lock");
+            let Some(job) = st.job_mut(id) else {
+                return (proto::err(&format!("no job {id}")), false);
+            };
+            match &job.state {
+                JobState::Queued | JobState::Running(_) => {
+                    job.wanted = Wanted::Drain;
+                    job.logs.push("migration requested (drain at next segment boundary)".to_string());
+                    (proto::ok().build(), false)
+                }
+                s => (proto::err(&format!("job {id} is already {}", s.as_str())), false),
+            }
+        }
+        "metrics" => {
+            let st = sh.state.lock().expect("state lock");
+            (proto::ok().field("metrics", st.registry.snapshot_json()).build(), false)
+        }
+        "shutdown" => {
+            let mut st = sh.state.lock().expect("state lock");
+            st.shutdown = true;
+            for job in &mut st.jobs {
+                if matches!(job.state, JobState::Running(_)) && job.wanted == Wanted::Run {
+                    job.wanted = Wanted::Drain;
+                }
+            }
+            drop(st);
+            sh.wake.notify_all();
+            (proto::ok().build(), true)
+        }
+        other => (proto::err(&format!("unknown op '{other}'")), false),
+    }
+}
+
+fn connection_loop(
+    sh: &Shared,
+    next_id: &Mutex<u64>,
+    link: &mut dyn FrameLink,
+) -> Result<(), ProtoError> {
+    loop {
+        let doc = proto::read_msg(link)?;
+        let (resp, stop) = handle_request(sh, next_id, &doc);
+        proto::write_msg(link, &resp)?;
+        if stop {
+            return Ok(());
+        }
+    }
+}
+
+// -----------------------------------------------------------------------
+// Policy-fed default cadence
+// -----------------------------------------------------------------------
+
+/// Mean `serialize_ms` / `restore_ms` over the `recovery.sweep` rows of
+/// a benchmark document (`chaosbench --recovery` output) — the measured
+/// costs `fasda ckpt policy --bench` uses. Returns the two means and
+/// the row count.
+pub fn bench_recovery_costs(path: &str) -> Result<(Option<f64>, Option<f64>, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let rows: Vec<Json> = doc
+        .get("recovery")
+        .and_then(|r| r.get("sweep"))
+        .map(|s| s.items().to_vec())
+        .unwrap_or_default();
+    if rows.is_empty() {
+        return Err(format!(
+            "{path} has no recovery.sweep rows — run `chaosbench --recovery` first"
+        ));
+    }
+    let mean = |field: &str| -> Option<f64> {
+        let vals: Vec<f64> = rows.iter().filter_map(|r| r.get(field)?.as_f64()).collect();
+        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+    };
+    Ok((mean("serialize_ms"), mean("restore_ms"), rows.len()))
+}
+
+/// The Young–Daly-optimal checkpoint interval (in steps) for the given
+/// costs — what `fasda serve` feeds into
+/// [`ServerConfig::default_ckpt_every`] so the server's default cadence
+/// is the policy calculator's output instead of a hardcoded number.
+pub fn policy_interval(
+    step_ms: f64,
+    failure_rate: f64,
+    save_ms: f64,
+    restore_ms: f64,
+) -> Result<u64, String> {
+    use fasda_cluster::ckpt::policy::PolicyInput;
+    if !step_ms.is_finite() || step_ms <= 0.0 || failure_rate < 0.0 || save_ms < 0.0 || restore_ms < 0.0 {
+        return Err("policy costs must be non-negative, with step cost > 0".into());
+    }
+    if failure_rate == 0.0 {
+        return Err("failure rate 0 means never checkpoint — give the server an explicit --default-ckpt-every instead".into());
+    }
+    let input = PolicyInput {
+        save_cost: save_ms,
+        restore_cost: restore_ms,
+        step_cost: step_ms,
+        failure_rate,
+    };
+    Ok(input.optimize().interval_steps.max(1))
+}

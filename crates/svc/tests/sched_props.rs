@@ -1,0 +1,165 @@
+//! Property-based tests for the fair-share scheduler: `queue::pick` is
+//! pure, so these drive it directly over randomized queues, quota
+//! tables, and cluster occupancy.
+
+use fasda_svc::queue::{pick, SchedJob, TenantQuota, TenantTable};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const TENANTS: [&str; 4] = ["alice", "bob", "carol", "dave"];
+
+/// Decode a randomized job list from plain tuples (tenant index,
+/// priority, avoid-worker switch).
+fn decode(jobs: &[(u8, i64, u8)]) -> Vec<SchedJob> {
+    jobs.iter()
+        .enumerate()
+        .map(|(id, (t, priority, avoid))| SchedJob {
+            id: id as u64,
+            tenant: TENANTS[*t as usize % TENANTS.len()].to_string(),
+            priority: *priority,
+            avoid: (*avoid < 2).then_some(*avoid as usize),
+        })
+        .collect()
+}
+
+fn decode_table(clauses: &[(u8, u64, u8)]) -> TenantTable {
+    let mut table = TenantTable::new();
+    for (t, weight, max) in clauses {
+        table.set(
+            TENANTS[*t as usize % TENANTS.len()],
+            TenantQuota {
+                weight: (*weight).max(1),
+                max_running: if *max >= 4 { usize::MAX } else { *max as usize },
+            },
+        );
+    }
+    table
+}
+
+fn decode_running(loads: &[(u8, u8)]) -> HashMap<String, usize> {
+    let mut running = HashMap::new();
+    for (t, n) in loads {
+        running.insert(TENANTS[*t as usize % TENANTS.len()].to_string(), *n as usize);
+    }
+    running
+}
+
+proptest! {
+    /// The picked job always exists, is eligible for the worker, and its
+    /// tenant is under quota — no pick ever violates a hard constraint.
+    #[test]
+    fn pick_respects_hard_constraints(
+        raw in proptest::collection::vec((0u8..4, -5i64..5, 0u8..5), 0..30),
+        clauses in proptest::collection::vec((0u8..4, 0u64..5, 0u8..6), 0..4),
+        loads in proptest::collection::vec((0u8..4, 0u8..5), 0..4),
+        worker in 0usize..3,
+    ) {
+        let queued = decode(&raw);
+        let table = decode_table(&clauses);
+        let running = decode_running(&loads);
+        if let Some(id) = pick(&queued, &running, &table, worker) {
+            let job = queued.iter().find(|j| j.id == id).expect("picked id exists");
+            prop_assert!(job.avoid != Some(worker), "anti-affinity violated");
+            let quota = table.get(&job.tenant);
+            let tenant_running = *running.get(&job.tenant).unwrap_or(&0);
+            prop_assert!(
+                tenant_running < quota.max_running,
+                "picked tenant {} already at quota {}",
+                job.tenant,
+                quota.max_running
+            );
+        } else {
+            // None only when no job is runnable at all.
+            for job in &queued {
+                let quota = table.get(&job.tenant);
+                let tenant_running = *running.get(&job.tenant).unwrap_or(&0);
+                prop_assert!(
+                    job.avoid == Some(worker) || tenant_running >= quota.max_running,
+                    "job {} was runnable but pick returned None",
+                    job.id
+                );
+            }
+        }
+    }
+
+    /// The winner's running/weight share is minimal among runnable jobs
+    /// (compared exactly by cross-multiplication), and within the winning
+    /// share priority then FIFO break ties.
+    #[test]
+    fn pick_minimizes_share_then_priority_then_fifo(
+        raw in proptest::collection::vec((0u8..4, -5i64..5, 4u8..5), 1..30),
+        clauses in proptest::collection::vec((0u8..4, 0u64..5, 5u8..6), 0..4),
+        loads in proptest::collection::vec((0u8..4, 0u8..5), 0..4),
+    ) {
+        // avoid and max_running are disabled above: every job is runnable.
+        let queued = decode(&raw);
+        let table = decode_table(&clauses);
+        let running = decode_running(&loads);
+        let id = pick(&queued, &running, &table, 0).expect("non-empty runnable queue");
+        let win = queued.iter().find(|j| j.id == id).unwrap();
+        let share = |j: &SchedJob| {
+            let q = table.get(&j.tenant);
+            (*running.get(&j.tenant).unwrap_or(&0) as u128, q.weight.max(1) as u128)
+        };
+        let (wr, ww) = share(win);
+        for other in &queued {
+            let (or, ow) = share(other);
+            // winner share <= other share
+            prop_assert!(
+                wr * ow <= or * ww,
+                "job {} (share {}/{}) beat winner {} (share {}/{})",
+                other.id, or, ow, win.id, wr, ww
+            );
+            if wr * ow == or * ww && other.id != win.id {
+                prop_assert!(
+                    win.priority > other.priority
+                        || (win.priority == other.priority && win.id < other.id),
+                    "tie-break violated: winner {} (prio {}) vs {} (prio {})",
+                    win.id, win.priority, other.id, other.priority
+                );
+            }
+        }
+    }
+
+    /// Driving a full drain simulation never exceeds any tenant's
+    /// `max_running`, and with enough workers every unblocked job
+    /// eventually runs.
+    #[test]
+    fn drain_simulation_never_exceeds_quota(
+        raw in proptest::collection::vec((0u8..4, -5i64..5, 4u8..5), 1..30),
+        // max_running >= 1 so no tenant is blocked forever.
+        clauses in proptest::collection::vec((0u8..4, 0u64..5, 1u8..6), 0..4),
+    ) {
+        let table = decode_table(&clauses);
+        let mut queued = decode(&raw);
+        let mut running: HashMap<String, usize> = HashMap::new();
+        let mut executed = 0usize;
+        // Each round: every worker picks, then everything running
+        // finishes. Bounded by jobs * rounds so a scheduling livelock
+        // fails loudly instead of hanging.
+        for _round in 0..raw.len() * 2 + 4 {
+            let mut picked_this_round: Vec<u64> = Vec::new();
+            for worker in 0..3usize {
+                if let Some(id) = pick(&queued, &running, &table, worker) {
+                    let job = queued.iter().find(|j| j.id == id).unwrap().clone();
+                    let quota = table.get(&job.tenant);
+                    let n = running.entry(job.tenant.clone()).or_insert(0);
+                    *n += 1;
+                    prop_assert!(
+                        *n <= quota.max_running,
+                        "tenant {} exceeded quota {} (now {})",
+                        job.tenant, quota.max_running, *n
+                    );
+                    queued.retain(|j| j.id != id);
+                    picked_this_round.push(id);
+                }
+            }
+            executed += picked_this_round.len();
+            running.clear(); // round ends: all running jobs complete
+            if queued.is_empty() {
+                break;
+            }
+        }
+        prop_assert_eq!(executed, raw.len(), "jobs starved: {:?}", queued);
+    }
+}

@@ -1,0 +1,275 @@
+//! End-to-end service tests: live migration bit-identity, worker-crash
+//! requeue, and queue-journal replay after a server death.
+//!
+//! The bit-identity oracle is always a direct, uninterrupted
+//! `run_with_checkpoints` over the same spec and segmentation — the
+//! service must add scheduling, draining, and recovery *around* the
+//! run without perturbing a single bit of simulated state.
+
+use fasda_cluster::ckpt::{run_with_checkpoints, CheckpointConfig, RunAccumulator};
+use fasda_cluster::{state_dump, Cluster, EngineConfig};
+use fasda_svc::queue::QueueJournal;
+use fasda_svc::server::Listen;
+use fasda_svc::{Client, JobSpec, Server, ServerConfig};
+use fasda_trace::Json;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const STEPS: u64 = 6;
+const EVERY: u64 = 2;
+const WAIT: Duration = Duration::from_secs(120);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fasda-svc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// A small but non-trivial job: one node, 27 cells, 16 particles/cell.
+fn spec(name: &str, dump: &std::path::Path) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        per_cell: 16,
+        steps: STEPS,
+        ckpt_every: EVERY,
+        dump_state: Some(dump.to_string_lossy().into_owned()),
+        ..JobSpec::default()
+    }
+}
+
+/// The uninterrupted oracle: same spec, same segmentation, one process.
+fn oracle_dump(spec: &JobSpec, dir: &std::path::Path) -> String {
+    let (cfg, sys) = spec.build().expect("oracle build");
+    let mut cluster = Cluster::new(cfg, &sys);
+    let ck = CheckpointConfig::new(spec.ckpt_every, dir);
+    run_with_checkpoints(
+        &mut cluster,
+        spec.steps,
+        2_000_000_000,
+        &EngineConfig::serial(),
+        Some(&ck),
+        RunAccumulator::new(),
+    )
+    .expect("oracle run");
+    state_dump(&cluster, &sys)
+}
+
+fn field_u64(doc: &Json, key: &str) -> u64 {
+    doc.get(key).and_then(Json::as_i64).unwrap_or(-1) as u64
+}
+
+#[test]
+fn migrated_job_is_bit_identical_to_direct_run() {
+    let dir = tmpdir("migrate");
+    let dump = dir.join("migrated.state");
+    let job = spec("migrate-me", &dump);
+    let want = oracle_dump(&job.clone_without_faults(), &dir.join("oracle"));
+
+    let handle = Server::start(ServerConfig::at(&dir.join("srv"))).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let id = client.submit(&job).expect("submit");
+    // Drain at the first segment boundary, resume on the other worker.
+    client.migrate(id).expect("migrate accepted");
+    let status = client.wait(id, WAIT).expect("job finishes");
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("completed"));
+    assert_eq!(field_u64(&status, "migrations"), 1, "status: {}", status.compact());
+    assert_eq!(field_u64(&status, "steps_done"), STEPS);
+
+    // The job must have run on two distinct workers.
+    let logs = client.logs(id).expect("logs");
+    let workers: Vec<&str> = logs
+        .iter()
+        .filter(|l| l.starts_with("started on worker "))
+        .map(|l| l.rsplit(' ').next().unwrap())
+        .collect();
+    assert_eq!(workers.len(), 2, "logs: {logs:#?}");
+    assert_ne!(workers[0], workers[1], "anti-affinity violated: {logs:#?}");
+    assert!(
+        logs.iter().any(|l| l.contains("resumed") && l.contains("in-memory container")),
+        "no container resume in logs: {logs:#?}"
+    );
+
+    let got = std::fs::read_to_string(&dump).expect("migrated dump written");
+    assert_eq!(got, want, "migrated state diverged from the direct run");
+
+    let mut metrics_client = Client::connect(handle.addr()).expect("connect metrics");
+    let metrics = metrics_client.metrics().expect("metrics");
+    let migrated = metrics
+        .get("counters")
+        .and_then(|c| c.get("jobs_migrated"))
+        .and_then(Json::as_i64);
+    assert_eq!(migrated, Some(1), "metrics: {}", metrics.compact());
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crashed_worker_requeues_from_newest_checkpoint() {
+    let dir = tmpdir("crash");
+    let dump = dir.join("crashed.state");
+    let mut job = spec("crash-me", &dump);
+    // The service's worker-death model: an injected crash kills the run
+    // mid-flight; the pool must requeue from the newest checkpoint with
+    // the fired directive stripped and converge to the fault-free state.
+    job.fault_plan = Some("crash=0@3".to_string());
+    let want = oracle_dump(&job.clone_without_faults(), &dir.join("oracle"));
+
+    let handle = Server::start(ServerConfig::at(&dir.join("srv"))).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let id = client.submit(&job).expect("submit");
+    let status = client.wait(id, WAIT).expect("job finishes");
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("completed"),
+        "status: {}",
+        status.compact()
+    );
+    assert_eq!(field_u64(&status, "restarts"), 1, "status: {}", status.compact());
+
+    let logs = client.logs(id).expect("logs");
+    assert!(
+        logs.iter().any(|l| l.contains("crashed") && l.contains("requeued from newest checkpoint")),
+        "no crash requeue in logs: {logs:#?}"
+    );
+    assert!(
+        logs.iter().any(|l| l.contains("resumed") && l.contains("ckpt-")),
+        "no on-disk checkpoint resume in logs: {logs:#?}"
+    );
+
+    let got = std::fs::read_to_string(&dump).expect("dump written");
+    assert_eq!(got, want, "crash-recovered state diverged from the fault-free run");
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancelled_job_stops_and_terminal_states_reject_verbs() {
+    let dir = tmpdir("cancel");
+    let job = JobSpec {
+        name: "cancel-me".to_string(),
+        per_cell: 16,
+        steps: STEPS,
+        ckpt_every: EVERY,
+        ..JobSpec::default()
+    };
+
+    let handle = Server::start(ServerConfig::at(&dir.join("srv"))).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let id = client.submit(&job).expect("submit");
+    client.cancel(id).expect("cancel accepted");
+    let status = client.wait(id, WAIT).expect("job settles");
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("cancelled"));
+    // Terminal jobs reject further control verbs.
+    assert!(client.cancel(id).is_err());
+    assert!(client.migrate(id).is_err());
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_replay_reruns_interrupted_jobs() {
+    let dir = tmpdir("replay");
+    let srv = dir.join("srv");
+    std::fs::create_dir_all(&srv).expect("mkdir");
+    let journal = srv.join("queue.journal");
+    let dump_a = dir.join("a.state");
+    let dump_b = dir.join("b.state");
+    let job_a = spec("interrupted", &dump_a);
+    let job_b = spec("never-started", &dump_b);
+    let job_c = spec("already-done", &dir.join("c.state"));
+
+    // Simulate a dead server: job 0 was mid-run, job 1 queued, job 2
+    // finished. Then tear the tail the way a mid-append death would.
+    {
+        let mut j = QueueJournal::open(&journal).expect("journal");
+        j.submit(0, &job_a).unwrap();
+        j.submit(1, &job_b).unwrap();
+        j.submit(2, &job_c).unwrap();
+        j.done(2).unwrap();
+        j.start(0, 1).unwrap();
+    }
+    {
+        use std::io::Write as _;
+        let mut payload = Vec::new();
+        fasda_ckpt::frame::write_frame(&mut payload, br#"{"v":1,"ev":"start","id":1,"worker":0}"#);
+        let torn = &payload[..payload.len() / 2];
+        let mut f = std::fs::OpenOptions::new().append(true).open(&journal).unwrap();
+        f.write_all(torn).unwrap();
+    }
+
+    let handle = Server::start(ServerConfig::at(&srv)).expect("server replays journal");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Only the two interrupted jobs come back; both run to completion.
+    let all = client.status_all().expect("status");
+    let ids: Vec<u64> = all.iter().map(|j| field_u64(j, "id")).collect();
+    assert_eq!(ids, vec![0, 1], "replayed jobs: {all:#?}");
+    for id in [0u64, 1] {
+        let status = client.wait(id, WAIT).expect("replayed job finishes");
+        assert_eq!(
+            status.get("state").and_then(Json::as_str),
+            Some("completed"),
+            "job {id}: {}",
+            status.compact()
+        );
+    }
+    assert!(dump_a.exists() && dump_b.exists());
+
+    // Replay preserved the id space: a new submission continues past
+    // the dead server's last id.
+    let new_id = client.submit(&job_b).expect("submit after replay");
+    assert_eq!(new_id, 3);
+    client.cancel(new_id).expect("cancel the extra job");
+
+    // The torn trailing record was discarded, not fatal — and counted.
+    let metrics = client.metrics().expect("metrics");
+    let torn = metrics
+        .get("counters")
+        .and_then(|c| c.get("journal_torn_bytes"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    assert!(torn > 0, "torn bytes not surfaced: {}", metrics.compact());
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_control_socket_speaks_the_same_protocol() {
+    let dir = tmpdir("tcp");
+    let mut cfg = ServerConfig::at(&dir.join("srv"));
+    cfg.listen = Listen::Tcp("127.0.0.1:0".to_string());
+    let handle = Server::start(cfg).expect("server starts on tcp");
+    match handle.addr() {
+        Listen::Tcp(addr) => assert!(!addr.ends_with(":0"), "port not resolved: {addr}"),
+        other => panic!("expected tcp addr, got {other:?}"),
+    }
+    let mut client = Client::connect(handle.addr()).expect("connect over tcp");
+    let job = JobSpec { name: "tcp".into(), per_cell: 4, steps: 2, ..JobSpec::default() };
+    let id = client.submit(&job).expect("submit");
+    let status = client.wait(id, WAIT).expect("job finishes");
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("completed"));
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Strip the fault plan for oracle runs (the recovery contract promises
+/// convergence to the fault-free state).
+trait CloneWithoutFaults {
+    fn clone_without_faults(&self) -> JobSpec;
+}
+
+impl CloneWithoutFaults for JobSpec {
+    fn clone_without_faults(&self) -> JobSpec {
+        JobSpec { fault_plan: None, ..self.clone() }
+    }
+}
